@@ -1,0 +1,42 @@
+"""Ablation: ECN marking instead of dropping (packet engine).
+
+BBRv2 supports ECN as a congestion signal (paper §3.1.2); the main
+experiments run without it.  This ablation flips the bottleneck AQM to
+marking mode and checks that marking removes (almost) all retransmissions
+while keeping throughput — the mechanism ECN exists for.
+"""
+
+from benchmarks.common import banner, run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.units import mbps
+
+
+def _run(pair, ecn: bool):
+    return run_packet_experiment(
+        ExperimentConfig(
+            cca_pair=pair, aqm="red", buffer_bdp=2.0,
+            bottleneck_bw_bps=mbps(100), scale=5.0, duration_s=20.0,
+            warmup_s=4.0, mss_bytes=1500, flows_per_node=1, seed=37,
+            ecn_mode=ecn,
+        )
+    )
+
+
+def _regenerate():
+    return {
+        pair: (_run(pair, False), _run(pair, True))
+        for pair in (("cubic", "cubic"), ("bbrv2", "bbrv2"))
+    }
+
+
+def test_ecn_marking_removes_retransmissions(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Ablation — RED drop vs RED+ECN mark (packet engine, 20 Mbps)"))
+    for pair, (drop, mark) in outcomes.items():
+        print(
+            f"  {pair[0]:<6s}: drop retx={drop.total_retransmits:>5d} phi={drop.link_utilization:.3f}"
+            f"  |  ecn retx={mark.total_retransmits:>5d} phi={mark.link_utilization:.3f}"
+        )
+        assert mark.total_retransmits < max(5, drop.total_retransmits)
+        assert mark.link_utilization > 0.7

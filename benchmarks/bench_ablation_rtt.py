@@ -1,0 +1,42 @@
+"""Ablation: varying the path RTT (the paper's declared future work).
+
+The paper fixes RTT at 62 ms and conjectures its qualitative findings
+replicate at other RTTs.  This bench re-runs the headline FIFO
+equilibrium comparison at 0.5x, 1x, and 2x the paper RTT.
+"""
+
+from benchmarks.common import banner, run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.units import gbps
+
+MULTIPLIERS = (0.5, 1.0, 2.0)
+
+
+def _run(buffer_bdp, mult):
+    return run_experiment(
+        ExperimentConfig(
+            cca_pair=("bbrv1", "cubic"), aqm="fifo", buffer_bdp=buffer_bdp,
+            bottleneck_bw_bps=gbps(1), duration_s=30.0, warmup_s=5.0,
+            engine="fluid", seed=29, delay_multiplier=mult,
+        )
+    )
+
+
+def _regenerate():
+    return {
+        mult: (_run(0.5, mult), _run(16.0, mult)) for mult in MULTIPLIERS
+    }
+
+
+def test_findings_replicate_across_rtts(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Ablation — RTT sensitivity (BBRv1 vs CUBIC, FIFO, 1 Gbps)"))
+    print(f"  {'RTT':>7s} {'0.5BDP bbr/cubic (Mbps)':>26s} {'16BDP bbr/cubic (Mbps)':>25s}")
+    for mult, (small, large) in sorted(outcomes.items()):
+        s1, s2 = small.senders[0].throughput_bps / 1e6, small.senders[1].throughput_bps / 1e6
+        l1, l2 = large.senders[0].throughput_bps / 1e6, large.senders[1].throughput_bps / 1e6
+        print(f"  {62 * mult:>5.0f}ms {s1:>12.1f}/{s2:<12.1f} {l1:>12.1f}/{l2:<12.1f}")
+        # The qualitative finding holds at every RTT (paper's conjecture).
+        assert s1 > s2, f"RTT x{mult}: BBRv1 should win at 0.5 BDP"
+        assert l2 > l1, f"RTT x{mult}: CUBIC should win at 16 BDP"

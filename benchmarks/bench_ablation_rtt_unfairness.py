@@ -1,0 +1,54 @@
+"""Ablation: RTT unfairness (paper §3.1.2: "RTT unfairness ... persists").
+
+The grid keeps both senders on the same 62 ms path; here client2's
+access delay is stretched so its flows run at ~3x the RTT of client1's.
+Classic expectations, checked on the packet engine:
+
+- loss-based CCAs favour the SHORT-RTT flow (window growth is per-RTT);
+- BBR favours the LONG-RTT flow (its 2xBDP inflight cap scales with its
+  own larger RTT, so it parks more data in the shared queue).
+"""
+
+from benchmarks.common import banner, run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.units import mbps
+
+#: client2's access delay stretch: RTT2 = 14ms*20 + 48ms ~ 3x RTT1.
+STRETCH = (1.0, 20.0)
+
+
+def _run(cca):
+    return run_packet_experiment(
+        ExperimentConfig(
+            cca_pair=(cca, cca), aqm="fifo", buffer_bdp=2.0,
+            bottleneck_bw_bps=mbps(100), scale=5.0, duration_s=60.0,
+            warmup_s=20.0, mss_bytes=1500, flows_per_node=1, seed=53,
+            client_delay_multipliers=STRETCH,
+        )
+    )
+
+
+def _regenerate():
+    return {cca: _run(cca) for cca in ("reno", "cubic", "bbrv1", "bbrv2")}
+
+
+def test_rtt_unfairness(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Ablation — RTT unfairness: short-RTT vs 3x-RTT sender (FIFO, 2 BDP)"))
+    print(f"  {'cca':<7s} {'short-RTT':>10s} {'long-RTT':>10s} {'J':>6s}  (Mbps)")
+    ratios = {}
+    for cca, r in outcomes.items():
+        s_short = r.senders[0].throughput_bps / 1e6
+        s_long = r.senders[1].throughput_bps / 1e6
+        ratios[cca] = s_short / max(s_long, 1e-9)
+        print(f"  {cca:<7s} {s_short:>10.2f} {s_long:>10.2f} {r.jain_index:>6.3f}")
+
+    # Loss-based: the short-RTT flow wins clearly.
+    assert ratios["reno"] > 1.5
+    assert ratios["cubic"] > 1.2
+    # BBR family: the bias flips (or at least vanishes) — long-RTT flows
+    # are NOT penalized the way loss-based ones are.
+    assert ratios["bbrv1"] < ratios["reno"]
+    assert ratios["bbrv1"] < 1.2
+    assert ratios["bbrv2"] < ratios["reno"]

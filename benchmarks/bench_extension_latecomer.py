@@ -1,0 +1,84 @@
+"""Extension: late-comer convergence ("short-term dynamics ... long-term
+fairness", paper §1/§3.2).
+
+One flow owns the bottleneck; a second flow of the same CCA joins 10 s
+later.  How long until they share fairly?  BBRv1's aggressive startup is
+known to bully its way in fast (the paper cites this as a fairness
+concern for later-started flows competing with established ones).
+"""
+
+from benchmarks.common import banner, run_once
+from repro.analysis.convergence import convergence_time_s, jain_series
+from repro.analysis.sparkline import sparkline
+from repro.cca.registry import make_cca
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.metrics.summary import ExperimentResult
+from repro.tcp.connection import open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import mbps, seconds
+
+JOIN_S = 10.0
+DURATION_S = 40.0
+
+
+def _run(cca_name):
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0,
+                       mss_bytes=1500, seed=61)
+    )
+    first = open_connection(db.clients[0], db.servers[0],
+                            make_cca(cca_name, db.network.rng.stream("cca")), mss=1500)
+    second = open_connection(db.clients[1], db.servers[1],
+                             make_cca(cca_name, db.network.rng.stream("cca")), mss=1500)
+    first.start()
+    second.start(delay_ns=seconds(JOIN_S))
+
+    marks = {1: [0], 2: [0]}
+
+    def sample():
+        marks[1].append(first.receiver.bytes_received)
+        marks[2].append(second.receiver.bytes_received)
+        db.sim.schedule(seconds(1), sample)
+
+    db.sim.schedule(seconds(1), sample)
+    db.network.run(seconds(DURATION_S))
+
+    series = {
+        k: [(b - a) * 8 for a, b in zip(v, v[1:])] for k, v in marks.items()
+    }
+    # Jain over the post-join window only.
+    join_idx = int(JOIN_S)
+    post = [
+        [series[1][i], series[2][i]] for i in range(join_idx, len(series[1]))
+    ]
+    from repro.metrics.fairness import jain_index
+
+    jains = [jain_index(pair) for pair in post]
+    t_converge = None
+    run = 0
+    for i, j in enumerate(jains):
+        run = run + 1 if j >= 0.8 else 0
+        if run >= 3:
+            t_converge = float(i - 1)  # seconds after the join
+            break
+    return series, jains, t_converge
+
+
+def _regenerate():
+    return {cca: _run(cca) for cca in ("reno", "cubic", "htcp", "bbrv1", "bbrv2")}
+
+
+def test_latecomer_convergence(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner(f"Extension — late-comer convergence (join at t={JOIN_S:.0f}s, 20 Mbps FIFO)"))
+    for cca, (series, jains, t_conv) in outcomes.items():
+        label = f"{t_conv:.0f}s" if t_conv is not None else ">window"
+        print(f"  {cca:<6s} converge={label:>8s}  J(t): {sparkline(jains, lo=0.5, hi=1.0)}")
+
+    # Every CCA eventually lets the late-comer in.
+    for cca, (_, _, t_conv) in outcomes.items():
+        assert t_conv is not None, f"{cca} never converged"
+    # BBRv1's startup muscles in at least as fast as Reno's slow start
+    # pushes against an established queue occupant.
+    assert outcomes["bbrv1"][2] <= outcomes["reno"][2] + 10

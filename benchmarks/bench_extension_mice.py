@@ -1,0 +1,59 @@
+"""Extension: elephants sharing with mice.
+
+The paper's motivation contrasts science networks (elephants) with
+commercial traffic (mice) and observes that per-flow queueing is what
+keeps the two coexisting.  This bench quantifies it: short Poisson
+flows' completion times while a CUBIC elephant fills the bottleneck,
+under each AQM (packet engine).
+"""
+
+from benchmarks.common import banner, run_once
+from repro.cca.registry import make_cca
+from repro.tcp.connection import open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.traffic.mice import PoissonMice
+from repro.units import mbps, seconds
+
+AQMS = ("fifo", "red", "fq_codel", "pie")
+
+
+def _run(aqm):
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=8.0, aqm=aqm,
+                       mss_bytes=1500, seed=11)
+    )
+    elephant = open_connection(
+        db.clients[0], db.servers[0],
+        make_cca("cubic", db.network.rng.stream("cca")), mss=1500,
+    )
+    elephant.start()
+    mice = PoissonMice(
+        db.clients[1], db.servers[1],
+        rate_per_s=5.0, size_segments=5, mss=1500,
+        rng=db.network.rng.stream("mice"),
+    )
+    db.network.run(seconds(5))  # elephant fills the buffer first
+    mice.start()
+    db.network.run(seconds(30))
+    mice.stop()
+    elephant_bps = elephant.receiver.bytes_received * 8 / 30
+    return mice.fct_stats_ns(), elephant_bps
+
+
+def _regenerate():
+    return {aqm: _run(aqm) for aqm in AQMS}
+
+
+def test_mice_fct_per_aqm(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Extension — mice FCT under a CUBIC elephant (20 Mbps, 8 BDP)"))
+    print(f"  {'aqm':<9s} {'mice':>5s} {'p50 FCT':>9s} {'p95 FCT':>9s} {'elephant':>9s}")
+    for aqm, (stats, elephant_bps) in outcomes.items():
+        print(
+            f"  {aqm:<9s} {stats['count']:>5d} {stats['p50'] / 1e6:>7.0f}ms "
+            f"{stats['p95'] / 1e6:>7.0f}ms {elephant_bps / 1e6:>7.1f}Mb"
+        )
+    # Per-flow queueing protects the mice from the elephant's bufferbloat.
+    assert outcomes["fq_codel"][0]["p50"] < 0.7 * outcomes["fifo"][0]["p50"]
+    # Delay-target AQMs (fq_codel, pie) beat the deep FIFO for mice.
+    assert outcomes["pie"][0]["p50"] < outcomes["fifo"][0]["p50"]

@@ -1,0 +1,55 @@
+"""Extension: PIE vs the paper's AQMs at high bandwidth.
+
+The paper's conclusion calls for AQMs that keep working "in a wide range
+of BW scenarios, especially considering future Internet".  PIE
+(RFC 8033) is the obvious candidate it didn't test; this bench drops it
+into the same grid and compares utilization/fairness/retransmissions
+against RED and FQ_CODEL at 1 and 25 Gbps.
+"""
+
+from benchmarks.common import banner, run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.units import gbps
+
+AQMS = ("red", "fq_codel", "pie")
+TIERS = (gbps(1), gbps(25))
+
+
+def _run(aqm, bw, pair):
+    return run_experiment(
+        ExperimentConfig(
+            cca_pair=pair, aqm=aqm, buffer_bdp=2.0, bottleneck_bw_bps=bw,
+            duration_s=30.0, warmup_s=5.0, engine="fluid", seed=43,
+        )
+    )
+
+
+def _regenerate():
+    out = {}
+    for aqm in AQMS:
+        for bw in TIERS:
+            out[(aqm, bw)] = {
+                "intra": _run(aqm, bw, ("cubic", "cubic")),
+                "inter": _run(aqm, bw, ("bbrv1", "cubic")),
+            }
+    return out
+
+
+def test_pie_against_paper_aqms(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Extension — PIE vs RED vs FQ_CODEL at 1 / 25 Gbps"))
+    print(f"  {'aqm':<9s} {'bw':>5s} {'phi(cubic)':>11s} {'retx':>8s} {'J(bbr1/cubic)':>14s}")
+    for (aqm, bw), runs in outcomes.items():
+        intra, inter = runs["intra"], runs["inter"]
+        print(
+            f"  {aqm:<9s} {bw / 1e9:>4.0f}G {intra.link_utilization:>11.3f} "
+            f"{intra.total_retransmits:>8d} {inter.jain_index:>14.3f}"
+        )
+    # PIE keeps loss-based utilization at the top tier where RED fails.
+    assert outcomes[("pie", gbps(25))]["intra"].link_utilization > \
+        outcomes[("red", gbps(25))]["intra"].link_utilization
+    # But, like RED, a single shared queue cannot fix BBRv1's dominance —
+    # only per-flow queueing (FQ_CODEL) does.
+    assert outcomes[("pie", gbps(1))]["inter"].jain_index < \
+        outcomes[("fq_codel", gbps(1))]["inter"].jain_index

@@ -1,0 +1,36 @@
+"""Figure 2: per-sender throughput vs buffer size, AQM = FIFO.
+
+Regenerates the paper's (a)-(t) panel grid — each inter-CCA pair
+({BBRv1, BBRv2, HTCP, Reno} vs CUBIC) across all six buffer sizes at
+every bandwidth tier — and checks the headline shape: an equilibrium
+buffer size below which the challenger beats CUBIC and above which
+CUBIC takes over, shifting right as bandwidth grows.
+"""
+
+from benchmarks.common import INTER_PAIRS, banner, run_once, sweep
+from repro.analysis.figures import equilibrium_points, fig2_series
+from repro.analysis.report import render_inter_panels
+
+
+def _regenerate():
+    results = sweep(cca_pairs=INTER_PAIRS, aqms=("fifo",))
+    return results, fig2_series(results, aqm="fifo")
+
+
+def test_fig2_per_sender_throughput_fifo(benchmark):
+    results, series = run_once(benchmark, _regenerate)
+    print(banner("Figure 2 — per-sender throughput vs buffer, AQM=FIFO"))
+    print(render_inter_panels(series))
+    for pair in ("bbrv1-vs-cubic", "bbrv2-vs-cubic"):
+        points = equilibrium_points(series, pair)
+        rendered = ", ".join(f"{bw}: {buf:g} BDP" for bw, buf in points.items())
+        print(f"equilibrium points [{pair}]: {rendered}")
+        print("  (paper: ~2 BDP at 100 Mbps shifting to ~3.5 BDP at 25 Gbps for BBRv1)")
+
+    # Shape check: BBRv1 vs CUBIC flips from BBR-dominant to
+    # CUBIC-dominant as the buffer grows (all bandwidth tiers).
+    for bw_label, panel in series["bbrv1-vs-cubic"].items():
+        first_gap = panel["cca1_bps"][0] - panel["cca2_bps"][0]
+        last_gap = panel["cca1_bps"][-1] - panel["cca2_bps"][-1]
+        assert first_gap > 0, f"{bw_label}: BBRv1 should win at 0.5 BDP"
+        assert last_gap < 0, f"{bw_label}: CUBIC should win at 16 BDP"

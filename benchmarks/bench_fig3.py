@@ -1,0 +1,33 @@
+"""Figure 3: Jain's fairness index, AQM = FIFO.
+
+Panels (a)-(b): inter-CCA at 2 and 16 BDP; (c)-(d): intra-CCA at the
+same buffers, across the five bandwidth tiers.
+"""
+
+from benchmarks.common import SPOTLIGHT_BUFFERS, banner, run_once, sweep
+from repro.analysis.figures import fig3_series
+from repro.analysis.report import render_jain_panels
+
+
+def _regenerate():
+    results = sweep(aqms=("fifo",), buffer_bdps=SPOTLIGHT_BUFFERS)
+    return fig3_series(results, aqm="fifo", buffers=SPOTLIGHT_BUFFERS)
+
+
+def test_fig3_jain_index_fifo(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 3 — Jain index, AQM=FIFO (inter & intra, 2/16 BDP)"))
+    print(render_jain_panels(series))
+
+    # Intra-CCA runs are fair at both buffer sizes (paper (c)-(d)).
+    for buf in ("2bdp", "16bdp"):
+        for name, values in series["intra"][buf].items():
+            if name == "bandwidths":
+                continue
+            mean_j = sum(values) / len(values)
+            assert mean_j > 0.85, f"intra {name} at {buf}: J={mean_j:.3f}"
+
+    # Inter-CCA at 16 BDP: BBRv1 vs CUBIC fairness is clearly degraded
+    # relative to intra (paper: "fairness decreases significantly").
+    bbr_16 = series["inter"]["16bdp"]["bbrv1-vs-cubic"]
+    assert min(bbr_16) < 0.9

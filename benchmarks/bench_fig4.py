@@ -1,0 +1,32 @@
+"""Figure 4: per-sender throughput vs buffer size, AQM = RED.
+
+The headline result: BBRv1 (and BBRv2) consume nearly all bandwidth
+while CUBIC is starved, at every buffer size and bandwidth; Reno and
+HTCP are far more balanced.
+"""
+
+from benchmarks.common import INTER_PAIRS, banner, run_once, sweep
+from repro.analysis.figures import fig4_series
+from repro.analysis.report import render_inter_panels
+
+
+def _regenerate():
+    results = sweep(cca_pairs=INTER_PAIRS, aqms=("red",))
+    return fig4_series(results)
+
+
+def test_fig4_per_sender_throughput_red(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 4 — per-sender throughput vs buffer, AQM=RED"))
+    print(render_inter_panels(series))
+
+    # BBRv1 starves CUBIC at every buffer size and tier (paper (a)-(e)).
+    for bw_label, panel in series["bbrv1-vs-cubic"].items():
+        for bbr, cubic in zip(panel["cca1_bps"], panel["cca2_bps"]):
+            assert bbr > 2 * cubic, f"{bw_label}: {bbr/1e6:.0f} vs {cubic/1e6:.0f} Mbps"
+
+    # Reno vs CUBIC stays balanced under RED (paper (p)-(t)).
+    for bw_label, panel in series["reno-vs-cubic"].items():
+        for reno, cubic in zip(panel["cca1_bps"], panel["cca2_bps"]):
+            total = reno + cubic
+            assert abs(reno - cubic) < 0.6 * total, bw_label

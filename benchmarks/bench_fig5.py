@@ -1,0 +1,32 @@
+"""Figure 5: Jain's fairness index, AQM = RED.
+
+RED is the worst AQM for inter-CCA fairness when a BBR flavour is
+involved (J ~ 0.5 for BBRv1 vs CUBIC), while Reno/HTCP/CUBIC pairs and
+all intra-CCA runs stay near 1.
+"""
+
+from benchmarks.common import SPOTLIGHT_BUFFERS, banner, run_once, sweep
+from repro.analysis.figures import fig5_series
+from repro.analysis.report import render_jain_panels
+
+
+def _regenerate():
+    results = sweep(aqms=("red",), buffer_bdps=SPOTLIGHT_BUFFERS)
+    return fig5_series(results, buffers=SPOTLIGHT_BUFFERS)
+
+
+def test_fig5_jain_index_red(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 5 — Jain index, AQM=RED (inter & intra, 2/16 BDP)"))
+    print(render_jain_panels(series))
+
+    for buf in ("2bdp", "16bdp"):
+        bbr = series["inter"][buf]["bbrv1-vs-cubic"]
+        mean_bbr = sum(bbr) / len(bbr)
+        assert mean_bbr < 0.75, f"BBRv1-CUBIC under RED should be unfair, got {mean_bbr:.3f}"
+        reno = series["inter"][buf]["reno-vs-cubic"]
+        assert sum(reno) / len(reno) > 0.9
+        # Intra-CCA (other than BBRv1's RTO lottery) is fair.
+        for name in ("cubic-vs-cubic", "reno-vs-reno", "htcp-vs-htcp"):
+            values = series["intra"][buf][name]
+            assert sum(values) / len(values) > 0.9, name

@@ -1,0 +1,28 @@
+"""Figure 6: Jain's fairness index, AQM = FQ_CODEL.
+
+Per-flow queueing equalizes everything: J ~ 1 for every pair, buffer
+size, and bandwidth — the paper's cleanest panel.
+"""
+
+from benchmarks.common import SPOTLIGHT_BUFFERS, banner, run_once, sweep
+from repro.analysis.figures import fig6_series
+from repro.analysis.report import render_jain_panels
+
+
+def _regenerate():
+    results = sweep(aqms=("fq_codel",), buffer_bdps=SPOTLIGHT_BUFFERS)
+    return fig6_series(results, buffers=SPOTLIGHT_BUFFERS)
+
+
+def test_fig6_jain_index_fq_codel(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 6 — Jain index, AQM=FQ_CODEL (inter & intra, 2/16 BDP)"))
+    print(render_jain_panels(series))
+
+    for kind in ("inter", "intra"):
+        for buf in ("2bdp", "16bdp"):
+            for name, values in series[kind][buf].items():
+                if name == "bandwidths":
+                    continue
+                mean_j = sum(values) / len(values)
+                assert mean_j > 0.9, f"{kind} {name} at {buf}: J={mean_j:.3f}"

@@ -1,0 +1,51 @@
+"""Figure 7: overall link utilization, intra-CCA experiments.
+
+Six panels: FIFO / RED / FQ_CODEL at 2 and 16 BDP across the five
+bandwidth tiers.  Shape targets: FIFO ~ full everywhere; FQ_CODEL near
+full with a shortfall at 25 Gbps; RED degrading from ~1 Gbps up.
+"""
+
+from benchmarks.common import INTRA_PAIRS, SPOTLIGHT_BUFFERS, banner, run_once, sweep
+from repro.analysis.figures import fig7_series
+from repro.analysis.report import render_intra_metric_panels
+from repro.units import gbps, mbps
+
+
+def _regenerate():
+    results = sweep(
+        cca_pairs=INTRA_PAIRS,
+        aqms=("fifo", "red", "fq_codel"),
+        buffer_bdps=SPOTLIGHT_BUFFERS,
+    )
+    return fig7_series(results, buffers=SPOTLIGHT_BUFFERS)
+
+
+def test_fig7_link_utilization(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 7 — intra-CCA link utilization (phi)"))
+    print(render_intra_metric_panels(series))
+
+    bandwidths = series["fifo"]["2bdp"]["bandwidths"]
+    i_low = bandwidths.index(mbps(100))
+    i_1g = bandwidths.index(gbps(1))
+    i_25g = bandwidths.index(gbps(25))
+
+    # FIFO: every CCA fills the link at (almost) every tier.
+    for buf in ("2bdp", "16bdp"):
+        panel = series["fifo"][buf]
+        for cca, values in panel.items():
+            if cca == "bandwidths":
+                continue
+            assert min(values) > 0.8, f"fifo {cca} {buf}: {values}"
+
+    # RED: loss-based CCAs lose utilization at >= 1 Gbps vs 100 Mbps.
+    for cca in ("reno", "cubic", "htcp"):
+        values = series["red"]["2bdp"][cca]
+        assert values[i_25g] < values[i_low] + 0.02, f"red {cca}: {values}"
+
+    # FQ_CODEL: high everywhere, 25G at or below the FIFO reference.
+    fq = series["fq_codel"]["2bdp"]
+    fifo = series["fifo"]["2bdp"]
+    for cca in ("cubic", "bbrv2"):
+        assert fq[cca][i_1g] > 0.85
+        assert fq[cca][i_25g] <= fifo[cca][i_25g] + 0.05

@@ -1,0 +1,46 @@
+"""Figure 8: retransmission counts, intra-CCA experiments.
+
+Shape targets: BBRv1 dominates every panel; RED/FQ_CODEL retransmissions
+grow with bandwidth and barely depend on buffer size; the BBR family's
+2 x BDP inflight cap keeps large FIFO buffers nearly loss-free.
+"""
+
+from benchmarks.common import INTRA_PAIRS, SPOTLIGHT_BUFFERS, banner, run_once, sweep
+from repro.analysis.figures import fig8_series
+from repro.analysis.report import render_intra_metric_panels
+from repro.units import gbps, mbps
+
+
+def _regenerate():
+    results = sweep(
+        cca_pairs=INTRA_PAIRS,
+        aqms=("fifo", "red", "fq_codel"),
+        buffer_bdps=SPOTLIGHT_BUFFERS,
+    )
+    return fig8_series(results, buffers=SPOTLIGHT_BUFFERS)
+
+
+def test_fig8_retransmissions(benchmark):
+    series = run_once(benchmark, _regenerate)
+    print(banner("Figure 8 — intra-CCA retransmissions"))
+    print(render_intra_metric_panels(series, fmt="{:>10.0f}"))
+
+    bandwidths = series["red"]["2bdp"]["bandwidths"]
+    i_low = bandwidths.index(mbps(100))
+    i_10g = bandwidths.index(gbps(10))
+
+    # RED and FQ_CODEL: retransmissions grow with bandwidth.
+    for aqm in ("red", "fq_codel"):
+        for cca in ("cubic", "reno", "bbrv1"):
+            values = series[aqm]["2bdp"][cca]
+            assert values[i_10g] > values[i_low], f"{aqm} {cca}: {values}"
+
+    # BBRv1 is the retransmission champion under RED at high bandwidth.
+    red_panel = series["red"]["2bdp"]
+    for cca in ("cubic", "reno", "htcp", "bbrv2"):
+        assert red_panel["bbrv1"][i_10g] > red_panel[cca][i_10g], cca
+
+    # BBR family: large FIFO buffers stay nearly untouched (inflight cap).
+    fifo16 = series["fifo"]["16bdp"]
+    for cca in ("bbrv1", "bbrv2"):
+        assert fifo16[cca][i_low] <= series["fifo"]["2bdp"][cca][i_low] + 5

@@ -1,0 +1,32 @@
+"""Tables 1 & 2: the configuration grid and iperf3 flow scaling.
+
+Cheap structural benches: building the full 810-cell matrix and deriving
+every Table 2 flow plan.
+"""
+
+from benchmarks.common import banner
+from repro.experiments.config import PAPER_FLOW_PLANS, flow_plan
+from repro.experiments.matrix import full_matrix
+from repro.units import format_rate
+
+
+def test_table1_grid(benchmark):
+    configs = benchmark(full_matrix)
+    print(banner("Table 1 — configuration grid"))
+    print(f"configurations: {len(configs)} (paper: 810)")
+    assert len(configs) == 810
+
+
+def test_table2_flow_plans(benchmark):
+    def build():
+        return {bw: flow_plan(bw) for bw in PAPER_FLOW_PLANS}
+
+    plans = benchmark(build)
+    print(banner("Table 2 — iperf3 configuration per bandwidth tier"))
+    for bw, plan in sorted(plans.items()):
+        print(
+            f"  {format_rate(bw):>9s}: {plan.total_flows:>4d} flows "
+            f"({plan.processes_per_node} proc/node x {plan.streams_per_process} streams)"
+        )
+    totals = [p.total_flows for _, p in sorted(plans.items())]
+    assert totals == [2, 10, 20, 200, 500]

@@ -1,0 +1,53 @@
+"""Contribution #2: CCA scaling capability across flow counts.
+
+"We assess the scaling capability of BBRv1, BBRv2, CUBIC, Reno, and HTCP
+in TCP sharing experiments in different BW scenarios."  This bench holds
+the tier fixed (1 Gbps) and sweeps the flow population from the 100 Mbps
+complement (2 flows) to the 25 Gbps complement (500 flows), checking
+that intra-CCA per-flow fairness and utilization survive the scaling.
+"""
+
+from benchmarks.common import banner, run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.units import gbps
+
+CCAS = ("reno", "cubic", "htcp", "bbrv1", "bbrv2")
+FLOWS_PER_NODE = (1, 10, 50, 250)  # 2 ... 500 total
+
+
+def _run(cca, flows_per_node):
+    return run_experiment(
+        ExperimentConfig(
+            cca_pair=(cca, cca), aqm="fifo", buffer_bdp=2.0,
+            bottleneck_bw_bps=gbps(1), duration_s=30.0, warmup_s=5.0,
+            engine="fluid", seed=47, flows_per_node=flows_per_node,
+        )
+    )
+
+
+def _regenerate():
+    return {
+        (cca, n): _run(cca, n) for cca in CCAS for n in FLOWS_PER_NODE
+    }
+
+
+def test_scaling_capability(benchmark):
+    outcomes = run_once(benchmark, _regenerate)
+    print(banner("Contribution #2 — scaling: 2 to 500 flows at 1 Gbps (FIFO, 2 BDP)"))
+    header = "  " + "cca".ljust(8) + "".join(f"{2 * n:>16d} flows" for n in FLOWS_PER_NODE)
+    print(header)
+    for cca in CCAS:
+        cells = []
+        for n in FLOWS_PER_NODE:
+            r = outcomes[(cca, n)]
+            cells.append(
+                f"phi={r.link_utilization:4.2f} J={r.extra['flow_jain_index']:4.2f}"
+            )
+        print("  " + cca.ljust(8) + "".join(f"{c:>22s}" for c in cells))
+
+    for (cca, n), r in outcomes.items():
+        # Utilization survives scaling for every CCA.
+        assert r.link_utilization > 0.85, (cca, n)
+        # Per-sender fairness stays intact as populations grow.
+        assert r.jain_index > 0.9 or n == 1, (cca, n, r.jain_index)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The paper's FABlib orchestration notebook, against the simulator.
+
+The paper provisions its topology with a Jupyter notebook built on
+FABlib: add six nodes across four sites, attach NICs, create five L2
+network services, submit the slice, configure L3 + static routes, apply
+`tc` at the bottleneck, and launch iperf3.  This script follows the same
+structure against :mod:`repro.testbed.fablib`, demonstrating how the
+orchestration layer maps one-to-one.
+
+Run:  python examples/fabric_notebook.py
+"""
+
+from repro.net.address import Subnet
+from repro.testbed.fablib import FablibManager
+from repro.testbed.tc import TrafficControl
+from repro.tcp.connection import open_connection
+from repro.cca.registry import make_cca
+from repro.units import bdp_bytes, format_rate, gbps, mbps, seconds
+
+# --- 1. design the slice (paper Fig 1) ----------------------------------------
+
+fablib = FablibManager()
+slice_ = fablib.new_slice("tcp-conflict-study")
+
+nodes = {
+    "client1": slice_.add_node("client1", "CLEM", cores=26, ram=32),
+    "client2": slice_.add_node("client2", "CLEM", cores=26, ram=32),
+    "router1": slice_.add_node("router1", "WASH", cores=24, ram=32, routing=True),
+    "router2": slice_.add_node("router2", "NCSA", cores=24, ram=32, routing=True),
+    "server1": slice_.add_node("server1", "TACC", cores=26, ram=32),
+    "server2": slice_.add_node("server2", "TACC", cores=26, ram=32),
+}
+
+# End hosts: one ConnectX-5 (25 GbE); routers: ConnectX-6 ports (100 GbE).
+for name in ("client1", "client2", "server1", "server2"):
+    nodes[name].add_component("NIC_ConnectX_5", "nic1", rate_bps=gbps(25))
+for name in ("router1", "router2"):
+    for nic in ("nic1", "nic2", "nic3"):
+        nodes[name].add_component("NIC_ConnectX_6", nic, rate_bps=gbps(100))
+
+# Five subnets over L2 services, exactly the paper's addressing plan.
+slice_.add_l2network("net1", (("client1", "nic1"), ("router1", "nic1")), "10.0.1.0/24")
+slice_.add_l2network("net2", (("client2", "nic1"), ("router1", "nic2")), "10.0.2.0/24")
+slice_.add_l2network("net3", (("router1", "nic3"), ("router2", "nic1")), "10.0.3.0/24")
+slice_.add_l2network("net4", (("router2", "nic2"), ("server1", "nic1")), "10.0.4.0/24")
+slice_.add_l2network("net5", (("router2", "nic3"), ("server2", "nic1")), "10.0.5.0/24")
+
+# --- 2. submit ---------------------------------------------------------------------
+
+network = slice_.submit(seed=11)
+print(f"slice '{slice_.name}' is up: {len(network.nodes)} nodes, {len(network.links)} links")
+
+# --- 3. enable forwarding / static routes ("from and to all subnets") -----------------
+
+r1, r2 = network.nodes["router1"], network.nodes["router2"]
+subnets = {name: Subnet(f"10.0.{i + 1}.0/24") for i, name in
+           enumerate(("net1", "net2", "net3", "net4", "net5"))}
+r1.add_route(subnets["net1"], r1.interfaces["nic1"])
+r1.add_route(subnets["net2"], r1.interfaces["nic2"])
+for dst in ("net3", "net4", "net5"):
+    r1.add_route(subnets[dst], r1.interfaces["nic3"])
+r2.add_route(subnets["net4"], r2.interfaces["nic2"])
+r2.add_route(subnets["net5"], r2.interfaces["nic3"])
+for dst in ("net1", "net2", "net3"):
+    r2.add_route(subnets[dst], r2.interfaces["nic1"])
+
+# --- 4. shape the bottleneck with tc --------------------------------------------------
+
+bottleneck_bw = mbps(20)  # a scaled tier so the packet engine runs quickly
+rtt_ns = seconds(0.062)
+buffer_bytes = 2 * bdp_bytes(bottleneck_bw, rtt_ns)
+
+# Reduce the r1->r2 link to the experiment rate (the tbf/rate part of tc).
+bottleneck = network.links["router1->router2"]
+bottleneck.rate_bps = bottleneck_bw
+
+tc = TrafficControl(rng=network.rng.stream("aqm"))
+tc.qdisc_replace(r1.interfaces["nic3"], "fq_codel", limit_bytes=buffer_bytes, mtu_bytes=1500)
+print(tc.history[-1])
+
+# --- 5. run the transfer ----------------------------------------------------------------
+
+conns = [
+    open_connection(network.nodes["client1"], network.nodes["server1"],
+                    make_cca("bbrv2", network.rng.stream("cca")), mss=1500),
+    open_connection(network.nodes["client2"], network.nodes["server2"],
+                    make_cca("cubic", network.rng.stream("cca")), mss=1500),
+]
+for conn in conns:
+    conn.start()
+network.run(seconds(20))
+
+print("\nresults after 20 s:")
+for conn, label in zip(conns, ("bbrv2 ", "cubic ")):
+    rate = conn.receiver.bytes_received * 8 / 20
+    print(f"  {label}: {format_rate(rate):>12s}  retransmits={conn.retransmits}")
+total = sum(c.receiver.bytes_received for c in conns) * 8 / 20
+print(f"  total : {format_rate(total)} of {format_rate(bottleneck_bw)}")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: run one cell of the paper's study and print the outcome.
+
+BBRv1 competes with CUBIC over the paper's dumbbell (62 ms RTT) through a
+FIFO bottleneck sized at 2 x BDP — the configuration right around the
+equilibrium point of Figure 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.units import format_rate, mbps
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        cca_pair=("bbrv1", "cubic"),
+        aqm="fifo",
+        buffer_bdp=2.0,
+        bottleneck_bw_bps=mbps(100),
+        scale=5.0,          # packet engine at 20 Mbps effective: runs in ~10 s
+        duration_s=30.0,
+        warmup_s=5.0,
+        mss_bytes=1500,
+        flows_per_node=1,
+        seed=1,
+    )
+    print(f"running {config.label()} on the packet engine ...")
+    result = run_experiment(config)
+
+    print()
+    print(f"engine            : {result.engine}")
+    for sender in result.senders:
+        print(
+            f"  {sender.node} ({sender.cca:<5s}): "
+            f"{format_rate(sender.throughput_bps):>12s}   retransmits={sender.retransmits}"
+        )
+    print(f"Jain fairness     : {result.jain_index:.3f}")
+    print(f"link utilization  : {result.link_utilization:.3f}")
+    print(f"bottleneck drops  : {result.bottleneck_drops}")
+    print(f"simulated events  : {result.events_processed:,}")
+    print(f"wallclock         : {result.wallclock_s:.1f} s")
+
+    print()
+    print("Try the same cell at 16 x BDP (CUBIC should take over),")
+    print("or aqm='red' (CUBIC should starve) — see the paper's Figures 2-5.")
+
+
+if __name__ == "__main__":
+    main()

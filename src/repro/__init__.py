@@ -1,0 +1,32 @@
+"""repro — reproduction of "Elephants Sharing the Highway" (SC-W 2023).
+
+A from-scratch packet-level network simulator (discrete-event engine,
+dumbbell testbed, Linux-style TCP with pluggable congestion control and
+AQM disciplines) plus a fast fluid-model engine, an iperf3-style traffic
+generator, and the full experiment/analysis pipeline regenerating every
+table and figure of the paper.
+
+Quickstart::
+
+    from repro import run_experiment, ExperimentConfig
+
+    result = run_experiment(ExperimentConfig(
+        cca_pair=("bbrv1", "cubic"), aqm="fifo",
+        buffer_bdp=2.0, bottleneck_bw_bps=20e6, seed=1,
+    ))
+    print(result.jain_index, result.link_utilization)
+"""
+
+from repro._version import __version__
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.fairness import jain_index
+from repro.metrics.summary import ExperimentResult
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "jain_index",
+]

@@ -1,0 +1,151 @@
+"""Result aggregation.
+
+A :class:`ResultSet` wraps a list of :class:`ExperimentResult` records and
+provides the grouping/averaging the paper applies: repetitions are
+averaged per cell, and cells can be further averaged across buffers and
+bandwidths (Table 3's Avg(...) columns).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.summary import ExperimentResult
+
+CellKey = Tuple[Tuple[str, str], str, float, float]  # (pair, aqm, buffer, bw)
+
+
+def cell_key(result: ExperimentResult) -> CellKey:
+    """The (pair, aqm, buffer, bandwidth) grid coordinates of a result."""
+    cfg = result.config
+    return (
+        tuple(cfg["cca_pair"]),
+        cfg["aqm"],
+        float(cfg["buffer_bdp"]),
+        float(cfg["bottleneck_bw_bps"]),
+    )
+
+
+def _mean_std(values: List[float]) -> Tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, var**0.5
+
+
+@dataclass
+class CellStats:
+    """Per-cell averages (and sample stddevs) over repetitions."""
+
+    key: CellKey
+    runs: int
+    jain_index: float
+    link_utilization: float
+    total_retransmits: float
+    sender1_bps: float
+    sender2_bps: float
+    jain_index_std: float = 0.0
+    link_utilization_std: float = 0.0
+    total_retransmits_std: float = 0.0
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return self.key[0]
+
+    @property
+    def aqm(self) -> str:
+        return self.key[1]
+
+    @property
+    def buffer_bdp(self) -> float:
+        return self.key[2]
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.key[3]
+
+
+class ResultSet:
+    """A queryable collection of experiment results."""
+
+    def __init__(self, results: Iterable[ExperimentResult]):
+        self.results: List[ExperimentResult] = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def filter(self, **conditions) -> "ResultSet":
+        """Keep results whose config matches every condition exactly.
+
+        ``cca_pair`` may be given as a tuple/list; other values compare
+        with ``==`` against the stored config entry.
+        """
+
+        def match(r: ExperimentResult) -> bool:
+            for k, v in conditions.items():
+                got = r.config.get(k)
+                if k == "cca_pair":
+                    if tuple(got) != tuple(v):
+                        return False
+                elif got != v:
+                    return False
+            return True
+
+        return ResultSet(r for r in self.results if match(r))
+
+    def cells(self) -> Dict[CellKey, CellStats]:
+        """Average repetitions within each (pair, aqm, buffer, bw) cell."""
+        grouped: Dict[CellKey, List[ExperimentResult]] = defaultdict(list)
+        for r in self.results:
+            grouped[cell_key(r)].append(r)
+        out: Dict[CellKey, CellStats] = {}
+        for key, runs in grouped.items():
+            n = len(runs)
+            jain_mean, jain_std = _mean_std([r.jain_index for r in runs])
+            util_mean, util_std = _mean_std([r.link_utilization for r in runs])
+            retx_mean, retx_std = _mean_std([float(r.total_retransmits) for r in runs])
+            out[key] = CellStats(
+                key=key,
+                runs=n,
+                jain_index=jain_mean,
+                link_utilization=util_mean,
+                total_retransmits=retx_mean,
+                sender1_bps=sum(r.senders[0].throughput_bps for r in runs) / n,
+                sender2_bps=sum(r.senders[1].throughput_bps for r in runs) / n,
+                jain_index_std=jain_std,
+                link_utilization_std=util_std,
+                total_retransmits_std=retx_std,
+            )
+        return out
+
+    def mean(
+        self,
+        value: Callable[[CellStats], float],
+        *,
+        where: Optional[Callable[[CellStats], bool]] = None,
+    ) -> float:
+        """Average a per-cell statistic over (a filtered subset of) cells."""
+        cells = [c for c in self.cells().values() if where is None or where(c)]
+        if not cells:
+            raise ValueError("no cells match the aggregation filter")
+        return sum(value(c) for c in cells) / len(cells)
+
+    def buffers(self) -> List[float]:
+        """Distinct buffer sizes (BDP multiples) present, sorted."""
+        return sorted({float(r.config["buffer_bdp"]) for r in self.results})
+
+    def bandwidths(self) -> List[float]:
+        """Distinct bottleneck bandwidths present, sorted."""
+        return sorted({float(r.config["bottleneck_bw_bps"]) for r in self.results})
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """Distinct CCA pairs present, sorted."""
+        return sorted({tuple(r.config["cca_pair"]) for r in self.results})
+
+    def aqms(self) -> List[str]:
+        """Distinct AQM names present, sorted."""
+        return sorted({r.config["aqm"] for r in self.results})

@@ -1,0 +1,79 @@
+"""Short-term dynamics: per-interval fairness and convergence time.
+
+The paper's introduction notes that "short-term dynamics of competing
+high-speed TCP flows can have strong impacts on their long-term fairness"
+(citing Molnar et al.).  Given a run sampled with ``sample_interval_s``,
+these helpers compute the per-interval sender shares, the Jain-index time
+series, and the *convergence time* — when fairness first reaches and then
+holds a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.fairness import jain_index
+from repro.metrics.summary import ExperimentResult
+
+
+def sender_interval_series(result: ExperimentResult) -> Dict[str, List[float]]:
+    """Aggregate a sampled run's per-flow series into per-sender series."""
+    series = result.extra.get("series_bps")
+    if not series:
+        raise ValueError("result was not sampled (set sample_interval_s)")
+    flow_owner = {f"flow{f.flow_id}": f.sender_node for f in result.flows}
+    out: Dict[str, List[float]] = {}
+    for flow_name, values in series.items():
+        node = flow_owner.get(flow_name)
+        if node is None:
+            continue
+        acc = out.setdefault(node, [0.0] * len(values))
+        for i, v in enumerate(values):
+            acc[i] += v
+    return out
+
+
+def jain_series(result: ExperimentResult) -> List[float]:
+    """Per-interval Jain index over the sender aggregates."""
+    per_sender = sender_interval_series(result)
+    nodes = sorted(per_sender)
+    length = min(len(per_sender[n]) for n in nodes)
+    return [
+        jain_index([per_sender[n][i] for n in nodes]) for i in range(length)
+    ]
+
+
+def convergence_time_s(
+    result: ExperimentResult,
+    *,
+    threshold: float = 0.9,
+    hold_intervals: int = 3,
+) -> Optional[float]:
+    """First time (seconds) the Jain series reaches ``threshold`` and holds
+    it for ``hold_intervals`` consecutive samples; None if it never does."""
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if hold_intervals < 1:
+        raise ValueError(f"hold_intervals must be >= 1, got {hold_intervals}")
+    series = jain_series(result)
+    interval_s = float(result.extra.get("interval_s", 1.0))
+    run = 0
+    for i, j in enumerate(series):
+        run = run + 1 if j >= threshold else 0
+        if run >= hold_intervals:
+            return (i - hold_intervals + 2) * interval_s
+    return None
+
+
+def fairness_half_life_s(result: ExperimentResult) -> Optional[float]:
+    """Time until the unfairness gap halves: J reaching (1 + J0) / 2,
+    where J0 is the first interval's index.  None if it never halves."""
+    series = jain_series(result)
+    if not series:
+        return None
+    target = (1.0 + series[0]) / 2.0
+    interval_s = float(result.extra.get("interval_s", 1.0))
+    for i, j in enumerate(series):
+        if j >= target:
+            return (i + 1) * interval_s
+    return None

@@ -1,0 +1,159 @@
+"""Per-figure data-series builders.
+
+Each ``figN_series`` function reduces a :class:`ResultSet` to exactly the
+series the corresponding paper figure plots.  The benches print these and
+EXPERIMENTS.md records them; plotting is intentionally left to the caller
+(series are plain dicts of lists).
+
+- Figure 2 — per-sender throughput vs buffer size, FIFO, inter-CCA.
+- Figure 3 — Jain index vs bandwidth at 2 and 16 BDP, FIFO (inter+intra).
+- Figure 4 — like Fig 2 with RED.
+- Figure 5 — like Fig 3 with RED.
+- Figure 6 — like Fig 3 with FQ_CODEL.
+- Figure 7 — link utilization, intra-CCA, per AQM at 2 and 16 BDP.
+- Figure 8 — retransmissions, intra-CCA, per AQM at 2 and 16 BDP.
+
+Figures 4/5/6 reuse the Fig-2/Fig-3 builders with a different ``aqm``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.aggregate import ResultSet
+from repro.units import format_rate
+
+InterSeries = Dict[str, Dict[str, Dict[str, List[float]]]]
+
+
+def fig2_series(results: ResultSet, *, aqm: str = "fifo") -> InterSeries:
+    """Per-sender throughput vs buffer size for each inter-CCA pair and BW.
+
+    Returns ``{pair_label: {bw_label: {"buffers": [...], "cca1_bps": [...],
+    "cca2_bps": [...]}}}`` — one panel per (pair, bw), matching the paper's
+    (a)-(t) grid.
+    """
+    out: InterSeries = {}
+    cells = results.filter(aqm=aqm).cells()
+    keys = sorted(cells)
+    for key in keys:
+        (cca1, cca2), _, buf, bw = key
+        if cca1 == cca2:
+            continue
+        stats = cells[key]
+        pair_label = f"{cca1}-vs-{cca2}"
+        bw_label = format_rate(bw)
+        panel = out.setdefault(pair_label, {}).setdefault(
+            bw_label, {"buffers": [], "cca1_bps": [], "cca2_bps": []}
+        )
+        panel["buffers"].append(buf)
+        panel["cca1_bps"].append(stats.sender1_bps)
+        panel["cca2_bps"].append(stats.sender2_bps)
+    return out
+
+
+def fig4_series(results: ResultSet) -> InterSeries:
+    """Figure 4 = Figure 2 with RED."""
+    return fig2_series(results, aqm="red")
+
+
+def fig3_series(
+    results: ResultSet, *, aqm: str = "fifo", buffers: Tuple[float, float] = (2.0, 16.0)
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    """Jain index vs bandwidth at the two spotlight buffer sizes.
+
+    Returns ``{"inter"|"intra": {buffer_label: {pair_label: [J per bw],
+    "bandwidths": [...]}}}``.
+    """
+    cells = results.filter(aqm=aqm).cells()
+    bandwidths = sorted({k[3] for k in cells})
+    out: Dict[str, Dict[str, Dict[str, List[float]]]] = {"inter": {}, "intra": {}}
+    for buf in buffers:
+        buf_label = f"{buf:g}bdp"
+        for kind in ("inter", "intra"):
+            out[kind][buf_label] = {"bandwidths": [bw for bw in bandwidths]}
+        pairs = sorted({k[0] for k in cells})
+        for pair in pairs:
+            kind = "intra" if pair[0] == pair[1] else "inter"
+            series = []
+            for bw in bandwidths:
+                stats = cells.get((pair, aqm, buf, bw))
+                series.append(stats.jain_index if stats else float("nan"))
+            out[kind][buf_label][f"{pair[0]}-vs-{pair[1]}"] = series
+    return out
+
+
+def fig5_series(results: ResultSet, **kw) -> Dict:
+    """Figure 5 = Figure 3 with RED."""
+    return fig3_series(results, aqm="red", **kw)
+
+
+def fig6_series(results: ResultSet, **kw) -> Dict:
+    """Figure 6 = Figure 3 with FQ_CODEL."""
+    return fig3_series(results, aqm="fq_codel", **kw)
+
+
+def _intra_metric_series(
+    results: ResultSet, metric: str, buffers: Tuple[float, float]
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    cells = results.cells()
+    bandwidths = sorted({k[3] for k in cells})
+    aqms = sorted({k[1] for k in cells})
+    out: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for aqm in aqms:
+        out[aqm] = {}
+        for buf in buffers:
+            buf_label = f"{buf:g}bdp"
+            panel: Dict[str, List[float]] = {"bandwidths": [bw for bw in bandwidths]}
+            pairs = sorted({k[0] for k in cells if k[0][0] == k[0][1]})
+            for pair in pairs:
+                series = []
+                for bw in bandwidths:
+                    stats = cells.get((pair, aqm, buf, bw))
+                    series.append(getattr(stats, metric) if stats else float("nan"))
+                panel[pair[0]] = series
+            out[aqm][buf_label] = panel
+    return out
+
+
+def fig7_series(
+    results: ResultSet, *, buffers: Tuple[float, float] = (2.0, 16.0)
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    """Intra-CCA link utilization per AQM: ``{aqm: {buf: {cca: [phi per bw]}}}``."""
+    return _intra_metric_series(results, "link_utilization", buffers)
+
+
+def fig8_series(
+    results: ResultSet, *, buffers: Tuple[float, float] = (2.0, 16.0)
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    """Intra-CCA retransmissions per AQM: ``{aqm: {buf: {cca: [retx per bw]}}}``."""
+    return _intra_metric_series(results, "total_retransmits", buffers)
+
+
+def equilibrium_points(
+    series: InterSeries, pair_label: str
+) -> Dict[str, float]:
+    """The buffer size where CCA1's advantage over CUBIC flips (Fig 2's
+    "equilibrium point"), per bandwidth panel.
+
+    Linear interpolation between the last buffer where CCA1 leads and the
+    first where CCA2 does.  ``inf`` if CCA1 never loses the lead, ``0`` if
+    it never has it.
+    """
+    out: Dict[str, float] = {}
+    for bw_label, panel in series[pair_label].items():
+        buffers = panel["buffers"]
+        gaps = [a - b for a, b in zip(panel["cca1_bps"], panel["cca2_bps"])]
+        if gaps[0] <= 0:
+            out[bw_label] = 0.0
+            continue
+        crossing = None
+        for i in range(1, len(gaps)):
+            if gaps[i] <= 0:
+                # Interpolate between buffers[i-1] (lead) and buffers[i].
+                g0, g1 = gaps[i - 1], gaps[i]
+                frac = g0 / (g0 - g1) if g0 != g1 else 0.0
+                crossing = buffers[i - 1] + frac * (buffers[i] - buffers[i - 1])
+                break
+        out[bw_label] = crossing if crossing is not None else float("inf")
+    return out

@@ -1,0 +1,68 @@
+"""Parsing iperf3 JSON documents (ours or the real tool's).
+
+The paper publishes raw iperf3 logs plus parsing code; this module is that
+parsing code for the simulator's logs — and it sticks to fields the real
+``iperf3 --json`` output also carries, so it works on genuine logs too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+@dataclass
+class IperfSummary:
+    """What one iperf3 run achieved."""
+
+    host: str
+    congestion: str
+    num_streams: int
+    duration_s: float
+    total_bytes: int
+    throughput_bps: float
+    retransmits: int
+    interval_bps: List[float] = field(default_factory=list)
+
+
+def parse_iperf_doc(doc: Dict[str, Any]) -> IperfSummary:
+    """Reduce one iperf3 JSON document to an :class:`IperfSummary`."""
+    try:
+        start = doc["start"]
+        end = doc["end"]
+        test = start.get("test_start", {})
+        sum_recv = end["sum_received"]
+        sum_sent = end.get("sum_sent", {})
+    except KeyError as exc:
+        raise ValueError(f"malformed iperf3 document: missing {exc}") from None
+    intervals = [
+        float(iv["sum"]["bits_per_second"]) for iv in doc.get("intervals", []) if "sum" in iv
+    ]
+    return IperfSummary(
+        host=str(start.get("connecting_to", {}).get("host", "?")),
+        congestion=str(test.get("congestion", "unknown")),
+        num_streams=int(test.get("num_streams", 1)),
+        duration_s=float(test.get("duration", 0.0)),
+        total_bytes=int(sum_recv["bytes"]),
+        throughput_bps=float(sum_recv["bits_per_second"]),
+        retransmits=int(sum_sent.get("retransmits", 0)),
+        interval_bps=intervals,
+    )
+
+
+def summarize_docs(docs: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate many per-process documents into per-host sender totals.
+
+    The paper's per-sender throughput is the sum over the node's iperf3
+    processes; this is that reduction.
+    """
+    per_host: Dict[str, Dict[str, float]] = {}
+    for doc in docs:
+        s = parse_iperf_doc(doc)
+        agg = per_host.setdefault(
+            s.host, {"throughput_bps": 0.0, "retransmits": 0, "streams": 0}
+        )
+        agg["throughput_bps"] += s.throughput_bps
+        agg["retransmits"] += s.retransmits
+        agg["streams"] += s.num_streams
+    return per_host

@@ -1,0 +1,62 @@
+"""Unicode sparklines for terminal reports.
+
+Reports and examples embed small time series (per-interval throughput,
+queue backlog); :func:`sparkline` renders them as a one-line bar chart,
+the closest a text report gets to the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render ``values`` as a bar-per-sample string.
+
+    ``lo``/``hi`` pin the scale (defaults: data min/max); ``width``
+    downsamples long series by averaging fixed-size buckets.  NaNs render
+    as spaces.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if width is not None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if len(data) > width:
+            bucket = len(data) / width
+            data = [
+                _mean(data[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))])
+                for i in range(width)
+            ]
+    finite = [v for v in data if not math.isnan(v)]
+    if not finite:
+        return " " * len(data)
+    lo_v = lo if lo is not None else min(finite)
+    hi_v = hi if hi is not None else max(finite)
+    if hi_v <= lo_v:
+        return BARS[0] * len(data)
+    span = hi_v - lo_v
+    out = []
+    for v in data:
+        if math.isnan(v):
+            out.append(" ")
+            continue
+        frac = (v - lo_v) / span
+        idx = min(len(BARS) - 1, max(0, int(frac * len(BARS))))
+        out.append(BARS[idx])
+    return "".join(out)
+
+
+def _mean(chunk: Sequence[float]) -> float:
+    finite = [v for v in chunk if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else float("nan")

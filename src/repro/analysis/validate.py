@@ -1,0 +1,244 @@
+"""Automated shape validation against the paper's qualitative claims.
+
+``validate_claims`` takes a :class:`~repro.analysis.aggregate.ResultSet`
+(any slice of the grid) and evaluates every paper claim that the data can
+speak to, returning one :class:`ClaimResult` per claim — the machine-
+readable version of DESIGN.md §4's shape-target list.  Claims whose
+required cells are absent report ``skipped`` rather than failing, so the
+validator works on partial sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.aggregate import CellStats, ResultSet
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: Optional[bool]  # None = skipped (insufficient data)
+    detail: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        return self.passed is None
+
+
+class _Checker:
+    """Helper exposing cell lookups with a 'skip' escape hatch."""
+
+    class Missing(Exception):
+        pass
+
+    def __init__(self, results: ResultSet):
+        self.cells = results.cells()
+        self.bandwidths = sorted({k[3] for k in self.cells})
+        self.buffers = sorted({k[2] for k in self.cells})
+
+    def cell(self, pair: Tuple[str, str], aqm: str, buf: float, bw: float) -> CellStats:
+        stats = self.cells.get((pair, aqm, buf, bw))
+        if stats is None:
+            raise _Checker.Missing()
+        return stats
+
+    def cells_where(self, **conditions) -> List[CellStats]:
+        out = []
+        for (pair, aqm, buf, bw), stats in self.cells.items():
+            if conditions.get("pair") not in (None, pair):
+                continue
+            if conditions.get("aqm") not in (None, aqm):
+                continue
+            if conditions.get("buf") not in (None, buf):
+                continue
+            if conditions.get("bw") not in (None, bw):
+                continue
+            out.append(stats)
+        if not out:
+            raise _Checker.Missing()
+        return out
+
+
+def _claim_fifo_equilibrium(c: _Checker) -> Tuple[bool, str]:
+    """BBRv1 beats CUBIC in the smallest FIFO buffer, loses in the largest."""
+    small_buf, large_buf = c.buffers[0], c.buffers[-1]
+    if not (small_buf <= 1.0 and large_buf >= 8.0):
+        raise _Checker.Missing()
+    oks, details = [], []
+    for bw in c.bandwidths:
+        small = c.cell(("bbrv1", "cubic"), "fifo", small_buf, bw)
+        large = c.cell(("bbrv1", "cubic"), "fifo", large_buf, bw)
+        ok = small.sender1_bps > small.sender2_bps and large.sender2_bps > large.sender1_bps
+        oks.append(ok)
+        details.append(f"{bw / 1e6:.0f}Mbps:{'ok' if ok else 'FLIPPED'}")
+    return all(oks), " ".join(details)
+
+
+def _claim_red_starves_cubic(c: _Checker) -> Tuple[bool, str]:
+    """Under RED, BBRv1 takes > 2x CUBIC's share everywhere."""
+    cells = c.cells_where(pair=("bbrv1", "cubic"), aqm="red")
+    bad = [x for x in cells if x.sender1_bps <= 2 * x.sender2_bps]
+    return not bad, f"{len(cells) - len(bad)}/{len(cells)} cells dominated"
+
+
+def _claim_red_worst_fairness(c: _Checker) -> Tuple[bool, str]:
+    """Mean J(BBRv1 vs CUBIC) is lower under RED than under FIFO/FQ."""
+    means = {}
+    for aqm in ("red", "fifo", "fq_codel"):
+        cells = c.cells_where(pair=("bbrv1", "cubic"), aqm=aqm)
+        means[aqm] = sum(x.jain_index for x in cells) / len(cells)
+    ok = means["red"] <= min(means["fifo"], means["fq_codel"]) + 1e-9
+    return ok, " ".join(f"{k}={v:.3f}" for k, v in means.items())
+
+
+def _claim_fq_codel_fair(c: _Checker) -> Tuple[bool, str]:
+    """FQ_CODEL: mean J > 0.9 for every pair."""
+    cells = c.cells_where(aqm="fq_codel")
+    per_pair: Dict[Tuple[str, str], List[float]] = {}
+    for x in cells:
+        per_pair.setdefault(x.pair, []).append(x.jain_index)
+    bad = {p: sum(v) / len(v) for p, v in per_pair.items() if sum(v) / len(v) <= 0.9}
+    return not bad, f"{len(per_pair) - len(bad)}/{len(per_pair)} pairs fair" + (
+        f"; worst {bad}" if bad else ""
+    )
+
+
+def _claim_fifo_full_utilization(c: _Checker) -> Tuple[bool, str]:
+    """FIFO lets every CCA fill the link (intra-CCA).
+
+    Mean utilization per (pair, bandwidth) must exceed 0.85 and no single
+    cell may fall under 0.75 (short runs make the smallest-buffer cells a
+    little noisy).
+    """
+    cells = [x for x in c.cells_where(aqm="fifo") if x.pair[0] == x.pair[1]]
+    if not cells:
+        raise _Checker.Missing()
+    groups: Dict[Tuple, List[float]] = {}
+    for x in cells:
+        groups.setdefault((x.pair, x.bandwidth_bps), []).append(x.link_utilization)
+    mean_bad = {k: sum(v) / len(v) for k, v in groups.items() if sum(v) / len(v) <= 0.85}
+    cell_bad = [x for x in cells if x.link_utilization <= 0.75]
+    ok = not mean_bad and not cell_bad
+    return ok, (
+        f"{len(groups) - len(mean_bad)}/{len(groups)} group means full; "
+        f"{len(cells) - len(cell_bad)}/{len(cells)} cells above floor"
+    )
+
+
+def _claim_red_high_bw_degradation(c: _Checker) -> Tuple[bool, str]:
+    """RED's loss-based utilization at the top tier trails the bottom tier."""
+    lo_bw, hi_bw = c.bandwidths[0], c.bandwidths[-1]
+    if hi_bw < 10 * lo_bw:
+        raise _Checker.Missing()
+    oks = []
+    for cca in ("reno", "cubic"):
+        lo = c.cells_where(pair=(cca, cca), aqm="red", bw=lo_bw)
+        hi = c.cells_where(pair=(cca, cca), aqm="red", bw=hi_bw)
+        lo_phi = sum(x.link_utilization for x in lo) / len(lo)
+        hi_phi = sum(x.link_utilization for x in hi) / len(hi)
+        oks.append(hi_phi < lo_phi + 0.02)
+    return all(oks), f"checked reno/cubic {lo_bw / 1e6:.0f}->{hi_bw / 1e6:.0f} Mbps"
+
+
+def _claim_retx_ordering(c: _Checker) -> Tuple[bool, str]:
+    """BBRv1's retransmissions exceed every other CCA's, per AQM (intra)."""
+    oks, details = [], []
+    for aqm in ("fifo", "red", "fq_codel"):
+        try:
+            bbr1 = c.cells_where(pair=("bbrv1", "bbrv1"), aqm=aqm)
+        except _Checker.Missing:
+            continue
+        bbr1_retx = sum(x.total_retransmits for x in bbr1) / len(bbr1)
+        for cca in ("bbrv2", "htcp", "reno", "cubic"):
+            try:
+                other = c.cells_where(pair=(cca, cca), aqm=aqm)
+            except _Checker.Missing:
+                continue
+            other_retx = sum(x.total_retransmits for x in other) / len(other)
+            ok = bbr1_retx > other_retx
+            oks.append(ok)
+            if not ok:
+                details.append(f"{aqm}:{cca} {other_retx:.0f} >= bbrv1 {bbr1_retx:.0f}")
+    if not oks:
+        raise _Checker.Missing()
+    return all(oks), "; ".join(details) if details else f"{len(oks)} comparisons hold"
+
+
+def _claim_retx_grow_with_bw(c: _Checker) -> Tuple[bool, str]:
+    """RED/FQ_CODEL retransmissions at the top tier exceed the bottom tier."""
+    lo_bw, hi_bw = c.bandwidths[0], c.bandwidths[-1]
+    if hi_bw < 10 * lo_bw:
+        raise _Checker.Missing()
+    oks = []
+    for aqm in ("red", "fq_codel"):
+        for cca in ("cubic", "reno"):
+            lo = c.cells_where(pair=(cca, cca), aqm=aqm, bw=lo_bw)
+            hi = c.cells_where(pair=(cca, cca), aqm=aqm, bw=hi_bw)
+            oks.append(
+                sum(x.total_retransmits for x in hi) > sum(x.total_retransmits for x in lo)
+            )
+    return all(oks), f"{sum(oks)}/{len(oks)} (aqm x cca) growth checks hold"
+
+
+def _claim_intra_cca_fair(c: _Checker) -> Tuple[bool, str]:
+    """Intra-CCA pairs (other than BBRv1 under RED) share fairly."""
+    cells = [
+        x
+        for x in c.cells_where()
+        if x.pair[0] == x.pair[1] and not (x.pair[0] == "bbrv1" and x.aqm == "red")
+    ]
+    if not cells:
+        raise _Checker.Missing()
+    per_key: Dict[Tuple, List[float]] = {}
+    for x in cells:
+        per_key.setdefault((x.pair[0], x.aqm), []).append(x.jain_index)
+    bad = {k: sum(v) / len(v) for k, v in per_key.items() if sum(v) / len(v) <= 0.85}
+    return not bad, f"worst offenders: {bad}" if bad else f"{len(per_key)} (cca, aqm) groups fair"
+
+
+CLAIMS: List[Tuple[str, str, Callable[[_Checker], Tuple[bool, str]]]] = [
+    ("fifo-equilibrium", "FIFO: BBRv1 wins small buffers, CUBIC wins large ones", _claim_fifo_equilibrium),
+    ("red-starves-cubic", "RED: BBRv1 dominates CUBIC at every cell", _claim_red_starves_cubic),
+    ("red-worst-fairness", "RED gives the worst BBRv1-vs-CUBIC fairness", _claim_red_worst_fairness),
+    ("fq-codel-fair", "FQ_CODEL: J ~ 1 for every pair", _claim_fq_codel_fair),
+    ("fifo-full-utilization", "FIFO reaches (near-)full utilization", _claim_fifo_full_utilization),
+    ("red-high-bw-degradation", "RED utilization degrades at high bandwidth", _claim_red_high_bw_degradation),
+    ("retx-ordering", "BBRv1 retransmits more than every other CCA", _claim_retx_ordering),
+    ("retx-grow-with-bw", "RED/FQ_CODEL retransmissions grow with bandwidth", _claim_retx_grow_with_bw),
+    ("intra-cca-fair", "Intra-CCA sharing is fair (excl. BBRv1+RED)", _claim_intra_cca_fair),
+]
+
+
+def validate_claims(results: ResultSet) -> List[ClaimResult]:
+    """Evaluate every claim the result set has data for."""
+    checker = _Checker(results)
+    out: List[ClaimResult] = []
+    for claim_id, description, fn in CLAIMS:
+        try:
+            passed, detail = fn(checker)
+        except _Checker.Missing:
+            out.append(ClaimResult(claim_id, description, None, "insufficient data"))
+            continue
+        out.append(ClaimResult(claim_id, description, passed, detail))
+    return out
+
+
+def render_claims(claims: List[ClaimResult]) -> str:
+    """ASCII report: one line per claim."""
+    lines = []
+    for c in claims:
+        status = "SKIP" if c.skipped else ("PASS" if c.passed else "FAIL")
+        lines.append(f"[{status}] {c.claim_id:<24s} {c.description}")
+        if c.detail:
+            lines.append(f"       {c.detail}")
+    counts = (
+        sum(1 for c in claims if c.passed is True),
+        sum(1 for c in claims if c.passed is False),
+        sum(1 for c in claims if c.skipped),
+    )
+    lines.append(f"\n{counts[0]} passed, {counts[1]} failed, {counts[2]} skipped")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Active Queue Management disciplines under study: FIFO, RED, FQ_CoDel.
+
+Plain CoDel is included as the building block of FQ_CoDel.  All disciplines
+share the :class:`~repro.aqm.base.QueueDiscipline` interface consumed by
+:class:`repro.net.interface.Interface`.
+"""
+
+from repro.aqm.base import QueueDiscipline, QueueStats
+from repro.aqm.codel import CoDelQueue
+from repro.aqm.fifo import FifoQueue
+from repro.aqm.fq_codel import FqCoDelQueue
+from repro.aqm.pie import PieQueue
+from repro.aqm.red import RedQueue
+from repro.aqm.registry import AQM_NAMES, make_aqm
+
+__all__ = [
+    "QueueDiscipline",
+    "QueueStats",
+    "FifoQueue",
+    "RedQueue",
+    "CoDelQueue",
+    "FqCoDelQueue",
+    "PieQueue",
+    "make_aqm",
+    "AQM_NAMES",
+]

@@ -1,0 +1,104 @@
+"""Queue-discipline interface.
+
+An interface's egress buffer is a :class:`QueueDiscipline`.  The contract:
+
+- ``enqueue(pkt, now)`` returns True if the packet was accepted.  A False
+  return means the discipline dropped it *at enqueue time* (tail drop,
+  RED's probabilistic drop, FQ_CoDel's fat-flow eviction) and already
+  accounted for it in :attr:`stats`.
+- ``dequeue(now)`` returns the next packet to serialize, or ``None`` when
+  the queue is empty.  Disciplines may drop packets internally here too
+  (CoDel drops at dequeue time based on sojourn).
+- ``ecn_mode`` — when True the discipline marks ECT packets (sets
+  ``pkt.ecn_ce``) instead of dropping them where the algorithm allows.
+
+Buffer limits are expressed in **bytes**, matching how the paper sizes
+queues (k x BDP bytes via `tc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters every discipline maintains."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped_enqueue: int = 0
+    dropped_dequeue: int = 0
+    ecn_marked: int = 0
+    bytes_enqueued: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        return self.dropped_enqueue + self.dropped_dequeue
+
+
+class QueueDiscipline:
+    """Abstract base.  Subclasses implement enqueue/dequeue."""
+
+    def __init__(self, limit_bytes: int, *, ecn_mode: bool = False):
+        if limit_bytes <= 0:
+            raise ValueError(f"queue limit must be positive, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        self.ecn_mode = ecn_mode
+        self.bytes_queued = 0
+        self.packets_queued = 0
+        self.stats = QueueStats()
+
+    # -- required API -----------------------------------------------------------
+
+    def enqueue(self, pkt: Packet, now: int) -> bool:
+        """Accept or drop an arriving packet; True = accepted."""
+        raise NotImplementedError
+
+    def dequeue(self, now: int) -> Optional[Packet]:
+        """Pop the next packet to serialize, or None when empty."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _accept(self, pkt: Packet, now: int) -> None:
+        pkt.enqueue_time = now
+        self.bytes_queued += pkt.size
+        self.packets_queued += 1
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += pkt.size
+
+    def _account_dequeue(self, pkt: Packet) -> None:
+        self.bytes_queued -= pkt.size
+        self.packets_queued -= 1
+        self.stats.dequeued += 1
+
+    def _drop_enqueue(self, pkt: Packet) -> None:
+        self.stats.dropped_enqueue += 1
+        self.stats.bytes_dropped += pkt.size
+
+    def _drop_dequeue(self, pkt: Packet) -> None:
+        # Packet was queued; remove its accounting and record the drop.
+        self.bytes_queued -= pkt.size
+        self.packets_queued -= 1
+        self.stats.dropped_dequeue += 1
+        self.stats.bytes_dropped += pkt.size
+
+    def _try_mark(self, pkt: Packet) -> bool:
+        """ECN-mark instead of dropping, when enabled and the packet is ECT."""
+        if self.ecn_mode and pkt.ecn_ect:
+            pkt.ecn_ce = True
+            self.stats.ecn_marked += 1
+            return True
+        return False
+
+    @property
+    def is_empty(self) -> bool:
+        return self.packets_queued == 0
+
+    def __len__(self) -> int:
+        return self.packets_queued

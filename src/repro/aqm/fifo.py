@@ -1,0 +1,39 @@
+"""FIFO / drop-tail: the paper's baseline AQM.
+
+Packets are accepted until the byte limit is reached, then arriving packets
+are dropped.  No dequeue-time logic, no per-flow state — exactly the
+``pfifo``/``bfifo`` behaviour the paper configures with `tc`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.aqm.base import QueueDiscipline
+from repro.net.packet import Packet
+
+
+class FifoQueue(QueueDiscipline):
+    """Byte-limited drop-tail queue."""
+
+    def __init__(self, limit_bytes: int, *, ecn_mode: bool = False):
+        super().__init__(limit_bytes, ecn_mode=ecn_mode)
+        self._queue: deque[Packet] = deque()
+
+    def enqueue(self, pkt: Packet, now: int) -> bool:
+        """Accept unless the byte limit would be exceeded."""
+        if self.bytes_queued + pkt.size > self.limit_bytes:
+            self._drop_enqueue(pkt)
+            return False
+        self._accept(pkt, now)
+        self._queue.append(pkt)
+        return True
+
+    def dequeue(self, now: int) -> Optional[Packet]:
+        """Pop in arrival order."""
+        if not self._queue:
+            return None
+        pkt = self._queue.popleft()
+        self._account_dequeue(pkt)
+        return pkt

@@ -1,0 +1,26 @@
+"""Congestion-control algorithms under study.
+
+Reno, CUBIC, HTCP, BBRv1, and BBRv2 behind one plugin interface
+(:class:`repro.cca.base.CongestionControl`).  Use
+:func:`repro.cca.registry.make_cca` to build one by its paper name.
+"""
+
+from repro.cca.base import AckEvent, CongestionControl
+from repro.cca.bbrv1 import BbrV1
+from repro.cca.bbrv2 import BbrV2
+from repro.cca.cubic import Cubic
+from repro.cca.htcp import HTcp
+from repro.cca.registry import CCA_NAMES, make_cca
+from repro.cca.reno import Reno
+
+__all__ = [
+    "CongestionControl",
+    "AckEvent",
+    "Reno",
+    "Cubic",
+    "HTcp",
+    "BbrV1",
+    "BbrV2",
+    "make_cca",
+    "CCA_NAMES",
+]

@@ -1,0 +1,81 @@
+"""Shared BBR machinery: windowed max/min filters.
+
+BBR's bottleneck-bandwidth estimate is a windowed maximum of delivery-rate
+samples (window measured in packet-timed rounds); its propagation-delay
+estimate is a windowed minimum of RTT samples (window measured in wall
+time).  Both are implemented as monotonic deques: O(1) amortized update,
+exact sliding-window extreme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class WindowedMax:
+    """Sliding-window maximum keyed by an integer tick (e.g. round count)."""
+
+    __slots__ = ("window", "_samples")
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._samples: Deque[Tuple[int, float]] = deque()
+
+    def update(self, value: float, tick: int) -> None:
+        """Insert a sample taken at integer tick ``tick``."""
+        samples = self._samples
+        # Expire out-of-window entries from the front.
+        while samples and samples[0][0] <= tick - self.window:
+            samples.popleft()
+        # Monotonic: strip entries dominated by the new value.
+        while samples and samples[-1][1] <= value:
+            samples.pop()
+        samples.append((tick, value))
+
+    def get(self, tick: Optional[int] = None) -> Optional[float]:
+        """Window max (expiring entries older than ``tick`` first)."""
+        samples = self._samples
+        if tick is not None:
+            while samples and samples[0][0] <= tick - self.window:
+                samples.popleft()
+        return samples[0][1] if samples else None
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._samples.clear()
+
+
+class WindowedMin:
+    """Sliding-window minimum keyed by time (ns)."""
+
+    __slots__ = ("window_ns", "_samples")
+
+    def __init__(self, window_ns: int):
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+        self._samples: Deque[Tuple[int, int]] = deque()
+
+    def update(self, value: int, now_ns: int) -> None:
+        """Insert a sample taken at time ``now_ns``."""
+        samples = self._samples
+        while samples and samples[0][0] <= now_ns - self.window_ns:
+            samples.popleft()
+        while samples and samples[-1][1] >= value:
+            samples.pop()
+        samples.append((now_ns, value))
+
+    def get(self, now_ns: Optional[int] = None) -> Optional[int]:
+        """Window min (the last sample never expires entirely)."""
+        samples = self._samples
+        if now_ns is not None:
+            while len(samples) > 1 and samples[0][0] <= now_ns - self.window_ns:
+                samples.popleft()
+        return samples[0][1] if samples else None
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._samples.clear()

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+    repro run    --cca1 bbrv1 --cca2 cubic --aqm fifo --buffer 2 --bw 100M
+    repro sweep  --preset scaled-des --out results.jsonl --jobs 4
+    repro report --results results.jsonl --what table3
+    repro matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.figures import (
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+)
+from repro.analysis.report import (
+    render_inter_panels,
+    render_intra_metric_panels,
+    render_jain_panels,
+)
+from repro.analysis.table3 import build_table3, render_table3
+from repro.analysis.validate import render_claims, validate_claims
+from repro.experiments.campaign import print_progress, run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.matrix import full_matrix
+from repro.experiments.presets import PRESETS, get_preset
+from repro.experiments.runner import run_experiment
+from repro.experiments.storage import ResultStore
+from repro.units import format_rate
+
+
+def parse_rate(text: str) -> float:
+    """Parse '100M', '25G', '500000000' into bits/second."""
+    text = text.strip()
+    multiplier = 1.0
+    if text and text[-1].upper() in "KMG":
+        multiplier = {"K": 1e3, "M": 1e6, "G": 1e9}[text[-1].upper()]
+        text = text[:-1]
+    try:
+        return float(text) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse rate {text!r}") from None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        cca_pair=(args.cca1, args.cca2),
+        aqm=args.aqm,
+        buffer_bdp=args.buffer,
+        bottleneck_bw_bps=args.bw,
+        duration_s=args.duration,
+        mss_bytes=args.mss,
+        seed=args.seed,
+        engine=args.engine,
+        scale=args.scale,
+        flows_per_node=args.flows,
+    )
+    result = run_experiment(cfg)
+    print(f"config      : {cfg.label()}")
+    print(f"engine      : {result.engine}")
+    for s in result.senders:
+        print(f"  {s.node} ({s.cca}): {format_rate(s.throughput_bps)}  retx={s.retransmits}")
+    print(f"jain index  : {result.jain_index:.4f}")
+    print(f"utilization : {result.link_utilization:.4f}")
+    print(f"retransmits : {result.total_retransmits}")
+    print(f"drops       : {result.bottleneck_drops}")
+    print(f"wallclock   : {result.wallclock_s:.2f}s")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = get_preset(args.preset)
+    if args.limit:
+        configs = configs[: args.limit]
+    store = ResultStore(args.out) if args.out else None
+    results = run_campaign(
+        configs,
+        store=store,
+        jobs=args.jobs,
+        resume=not args.no_resume,
+        progress=print_progress if not args.quiet else None,
+    )
+    print(f"completed {len(results)} runs")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = ResultSet(ResultStore(args.results).load())
+    if len(results) == 0:
+        print(f"no results in {args.results}", file=sys.stderr)
+        return 1
+    what = args.what
+    if what == "table3":
+        print(render_table3(build_table3(results)))
+    elif what in ("fig2", "fig4"):
+        series = fig2_series(results) if what == "fig2" else fig4_series(results)
+        print(render_inter_panels(series))
+    elif what in ("fig3", "fig5", "fig6"):
+        builder = {"fig3": fig3_series, "fig5": fig5_series, "fig6": fig6_series}[what]
+        print(render_jain_panels(builder(results)))
+    elif what == "fig7":
+        print(render_intra_metric_panels(fig7_series(results)))
+    elif what == "fig8":
+        print(render_intra_metric_panels(fig8_series(results), fmt="{:>10.0f}"))
+    elif what == "claims":
+        claims = validate_claims(results)
+        print(render_claims(claims))
+        if any(c.passed is False for c in claims):
+            return 2
+    elif what == "all":
+        from repro.analysis.summary_report import full_report
+
+        print(full_report(results))
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(what)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.dataset import flows_table, intervals_table, runs_table, write_csv
+
+    results = ResultSet(ResultStore(args.results).load())
+    if len(results) == 0:
+        print(f"no results in {args.results}", file=sys.stderr)
+        return 1
+    builder = {"runs": runs_table, "flows": flows_table, "intervals": intervals_table}[args.table]
+    rows = builder(results)
+    if not rows:
+        print(f"no {args.table} rows available in {args.results}", file=sys.stderr)
+        return 1
+    path = write_csv(rows, args.out)
+    print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def _cmd_export_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.export_figures import export_all_figures
+
+    results = ResultSet(ResultStore(args.results).load())
+    if len(results) == 0:
+        print(f"no results in {args.results}", file=sys.stderr)
+        return 1
+    written = export_all_figures(results, args.out_dir)
+    for fig, path in sorted(written.items()):
+        print(f"{fig}: {path}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    configs = full_matrix()
+    print(f"full grid: {len(configs)} configurations (paper: 810)")
+    print("presets:")
+    for name, preset in PRESETS.items():
+        print(f"  {name:<12s} {preset.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Elephants Sharing the Highway' (SC-W 2023)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a single experiment cell")
+    p_run.add_argument("--cca1", default="bbrv1")
+    p_run.add_argument("--cca2", default="cubic")
+    p_run.add_argument("--aqm", default="fifo", choices=["fifo", "red", "fq_codel", "codel", "pie"])
+    p_run.add_argument("--buffer", type=float, default=2.0, help="queue length in BDP multiples")
+    p_run.add_argument("--bw", type=parse_rate, default=100e6, help="bottleneck rate, e.g. 100M, 25G")
+    p_run.add_argument("--duration", type=float, default=30.0)
+    p_run.add_argument("--mss", type=int, default=8900)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--engine", default="packet", choices=["packet", "fluid"])
+    p_run.add_argument("--scale", type=float, default=1.0, help="divide all link rates by this")
+    p_run.add_argument("--flows", type=int, default=None, help="flows per sender node (default: Table 2)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a preset campaign")
+    p_sweep.add_argument("--preset", default="paper-fluid", choices=sorted(PRESETS))
+    p_sweep.add_argument("--out", default="results.jsonl")
+    p_sweep.add_argument("--jobs", type=int, default=1)
+    p_sweep.add_argument("--limit", type=int, default=0, help="run only the first N configs")
+    p_sweep.add_argument("--no-resume", action="store_true")
+    p_sweep.add_argument("--quiet", action="store_true")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser("report", help="render tables/figures from stored results")
+    p_report.add_argument("--results", default="results.jsonl")
+    p_report.add_argument(
+        "--what",
+        default="table3",
+        choices=["table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "claims", "all"],
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_export = sub.add_parser("export", help="export results as ML-ready CSV tables")
+    p_export.add_argument("--results", default="results.jsonl")
+    p_export.add_argument("--table", default="runs", choices=["runs", "flows", "intervals"])
+    p_export.add_argument("--out", default="dataset.csv")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_figs = sub.add_parser("export-figures", help="write fig2..fig8 series as CSV files")
+    p_figs.add_argument("--results", default="results.jsonl")
+    p_figs.add_argument("--out-dir", default="figures")
+    p_figs.set_defaults(func=_cmd_export_figures)
+
+    p_matrix = sub.add_parser("matrix", help="describe the experiment grid and presets")
+    p_matrix.set_defaults(func=_cmd_matrix)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

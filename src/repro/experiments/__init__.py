@@ -1,0 +1,16 @@
+"""Experiment configuration, the 810-cell grid, runners and campaign driver."""
+
+from repro.experiments.config import ExperimentConfig, FlowPlan, flow_plan
+from repro.experiments.matrix import full_matrix
+from repro.experiments.presets import PRESETS, get_preset
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "FlowPlan",
+    "flow_plan",
+    "full_matrix",
+    "run_experiment",
+    "PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,154 @@
+"""Experiment configuration (paper Tables 1 & 2).
+
+An :class:`ExperimentConfig` pins one cell of the study: the CCA pair
+(sender node 1's algorithm vs sender node 2's), the AQM, the buffer size
+in BDP multiples, and the bottleneck bandwidth — plus run mechanics
+(duration, seed, engine, scale).
+
+:func:`flow_plan` reproduces Table 2's iperf3 scaling: the number of
+iperf3 processes per node and parallel streams per process for each
+bottleneck tier (flow counts are keyed to the *paper* bandwidth even when
+the run itself is rate-scaled, so the flow-count/BW relationship the
+paper studies is preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cca.registry import canonical_cca_name
+from repro.units import gbps, mbps
+
+#: Paper Table 1 columns.
+PAPER_BANDWIDTHS_BPS: Tuple[float, ...] = (mbps(100), mbps(500), gbps(1), gbps(10), gbps(25))
+PAPER_BUFFER_BDPS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+PAPER_AQMS: Tuple[str, ...] = ("fifo", "fq_codel", "red")
+PAPER_CCA_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("bbrv1", "cubic"),
+    ("bbrv2", "cubic"),
+    ("htcp", "cubic"),
+    ("reno", "cubic"),
+    ("cubic", "cubic"),
+    ("bbrv1", "bbrv1"),
+    ("bbrv2", "bbrv2"),
+    ("htcp", "htcp"),
+    ("reno", "reno"),
+)
+PAPER_DURATION_S = 200.0
+PAPER_REPETITIONS = 5
+
+
+@dataclass(frozen=True)
+class FlowPlan:
+    """Table 2 row: iperf3 processes per node x parallel streams each."""
+
+    processes_per_node: int
+    streams_per_process: int
+
+    @property
+    def flows_per_node(self) -> int:
+        return self.processes_per_node * self.streams_per_process
+
+    @property
+    def total_flows(self) -> int:
+        return 2 * self.flows_per_node
+
+
+#: Table 2, keyed by bottleneck bandwidth.
+PAPER_FLOW_PLANS: Dict[float, FlowPlan] = {
+    mbps(100): FlowPlan(1, 1),
+    mbps(500): FlowPlan(5, 1),
+    gbps(1): FlowPlan(10, 1),
+    gbps(10): FlowPlan(10, 10),
+    gbps(25): FlowPlan(25, 10),
+}
+
+
+def flow_plan(bottleneck_bw_bps: float) -> FlowPlan:
+    """The Table 2 plan for a tier (nearest tier for off-grid bandwidths)."""
+    if bottleneck_bw_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    exact = PAPER_FLOW_PLANS.get(bottleneck_bw_bps)
+    if exact is not None:
+        return exact
+    nearest = min(PAPER_FLOW_PLANS, key=lambda bw: abs(bw - bottleneck_bw_bps) / bw)
+    return PAPER_FLOW_PLANS[nearest]
+
+
+@dataclass
+class ExperimentConfig:
+    """One cell of the study grid (x one repetition via ``seed``)."""
+
+    cca_pair: Tuple[str, str]
+    aqm: str = "fifo"
+    buffer_bdp: float = 2.0
+    bottleneck_bw_bps: float = mbps(100)
+    duration_s: float = PAPER_DURATION_S
+    mss_bytes: int = 8900
+    seed: int = 0
+    engine: str = "packet"  # "packet" | "fluid"
+    scale: float = 1.0
+    #: Override Table 2 (None = derive from the *unscaled* bandwidth).
+    flows_per_node: Optional[int] = None
+    warmup_s: float = 0.0
+    ecn_mode: bool = False
+    aqm_params: Dict[str, Any] = field(default_factory=dict)
+    delay_multiplier: float = 1.0
+    #: Per-sender access-delay stretch (packet engine; RTT unfairness).
+    client_delay_multipliers: Tuple[float, float] = (1.0, 1.0)
+    trunk_loss_rate: float = 0.0
+    sample_interval_s: Optional[float] = None
+    #: Sample the bottleneck queue (backlog/drops/RED avg) at this cadence
+    #: (packet engine only; the paper's "detailed router logs" future work).
+    queue_monitor_interval_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.cca_pair = (
+            canonical_cca_name(self.cca_pair[0]),
+            canonical_cca_name(self.cca_pair[1]),
+        )
+        if self.aqm not in ("fifo", "red", "fq_codel", "codel", "pie"):
+            raise ValueError(f"unknown AQM {self.aqm!r}")
+        if self.engine not in ("packet", "fluid"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup_s < 0 or self.warmup_s >= self.duration_s:
+            raise ValueError("warmup must be in [0, duration)")
+        if self.flows_per_node is not None and self.flows_per_node < 1:
+            raise ValueError("flows_per_node must be >= 1")
+
+    @property
+    def is_intra_cca(self) -> bool:
+        """Both sender nodes run the same algorithm (intra-CCA experiment)."""
+        return self.cca_pair[0] == self.cca_pair[1]
+
+    @property
+    def plan(self) -> FlowPlan:
+        if self.flows_per_node is not None:
+            return FlowPlan(self.flows_per_node, 1)
+        return flow_plan(self.bottleneck_bw_bps)
+
+    def label(self) -> str:
+        """Compact id used in result stores and reports."""
+        from repro.units import format_rate
+
+        pair = f"{self.cca_pair[0]}-vs-{self.cca_pair[1]}"
+        rate = format_rate(self.bottleneck_bw_bps).replace(" ", "")
+        return f"{pair}_{self.aqm}_{self.buffer_bdp:g}bdp_{rate}_seed{self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (tuples become lists); inverse of from_dict."""
+        d = asdict(self)
+        d["cca_pair"] = list(self.cca_pair)
+        d["client_delay_multipliers"] = list(self.client_delay_multipliers)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentConfig":
+        d = dict(d)
+        d["cca_pair"] = tuple(d["cca_pair"])
+        if "client_delay_multipliers" in d:
+            d["client_delay_multipliers"] = tuple(d["client_delay_multipliers"])
+        return cls(**d)

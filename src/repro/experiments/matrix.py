@@ -1,0 +1,71 @@
+"""The full study grid (paper Table 1): 9 x 3 x 6 x 5 = 810 configurations.
+
+``full_matrix`` enumerates every cell (optionally x repetitions with
+distinct seeds); the figure/table benches slice it with the ``where``
+filters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    PAPER_AQMS,
+    PAPER_BANDWIDTHS_BPS,
+    PAPER_BUFFER_BDPS,
+    PAPER_CCA_PAIRS,
+    PAPER_DURATION_S,
+    ExperimentConfig,
+)
+
+
+def full_matrix(
+    *,
+    cca_pairs: Sequence[Tuple[str, str]] = PAPER_CCA_PAIRS,
+    aqms: Sequence[str] = PAPER_AQMS,
+    buffer_bdps: Sequence[float] = PAPER_BUFFER_BDPS,
+    bandwidths_bps: Sequence[float] = PAPER_BANDWIDTHS_BPS,
+    repetitions: int = 1,
+    base_seed: int = 1,
+    duration_s: float = PAPER_DURATION_S,
+    engine: str = "packet",
+    scale: float = 1.0,
+    mss_bytes: int = 8900,
+    where: Optional[Callable[[ExperimentConfig], bool]] = None,
+    **overrides,
+) -> List[ExperimentConfig]:
+    """Enumerate the grid.  Seeds are unique per (cell, repetition)."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    configs: List[ExperimentConfig] = []
+    cell = 0
+    for pair in cca_pairs:
+        for aqm in aqms:
+            for bdp in buffer_bdps:
+                for bw in bandwidths_bps:
+                    cell += 1
+                    for rep in range(repetitions):
+                        cfg = ExperimentConfig(
+                            cca_pair=pair,
+                            aqm=aqm,
+                            buffer_bdp=bdp,
+                            bottleneck_bw_bps=bw,
+                            duration_s=duration_s,
+                            seed=base_seed + cell * 1000 + rep,
+                            engine=engine,
+                            scale=scale,
+                            mss_bytes=mss_bytes,
+                            **overrides,
+                        )
+                        if where is None or where(cfg):
+                            configs.append(cfg)
+    return configs
+
+
+def iter_cells() -> Iterator[Tuple[Tuple[str, str], str, float, float]]:
+    """Iterate the raw (pair, aqm, buffer, bandwidth) tuples of Table 1."""
+    for pair in PAPER_CCA_PAIRS:
+        for aqm in PAPER_AQMS:
+            for bdp in PAPER_BUFFER_BDPS:
+                for bw in PAPER_BANDWIDTHS_BPS:
+                    yield (pair, aqm, bdp, bw)

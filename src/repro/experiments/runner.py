@@ -1,0 +1,186 @@
+"""Run one experiment configuration and produce an :class:`ExperimentResult`.
+
+The packet engine builds the paper's dumbbell, opens the Table 2 flow
+complement (client1 -> server1 with ``cca_pair[0]``, client2 -> server2
+with ``cca_pair[1]``), runs the clock for ``duration_s`` of simulated
+time, and aggregates per-flow counters into per-sender statistics, Jain's
+index, link utilization, and retransmission totals.  The fluid engine is
+dispatched to :mod:`repro.fluid.runner`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.cca.registry import make_cca
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.fairness import jain_index
+from repro.metrics.queue_monitor import QueueMonitor
+from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
+from repro.metrics.timeseries import ThroughputSampler
+from repro.metrics.utilization import link_utilization
+from repro.tcp.connection import Connection, open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import milliseconds, seconds
+
+#: Start jitter span for flow launch, mimicking near-simultaneous iperf3
+#: process spawns (and desynchronizing slow-start among parallel streams).
+START_JITTER_NS = milliseconds(100)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one configuration with the engine it names."""
+    if config.engine == "fluid":
+        from repro.fluid.runner import run_fluid_experiment
+
+        return run_fluid_experiment(config)
+    return run_packet_experiment(config)
+
+
+def run_packet_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Packet-level (discrete-event) execution of one configuration."""
+    wall_start = time.perf_counter()
+    dumbbell = build_dumbbell(
+        DumbbellConfig(
+            bottleneck_bw_bps=config.bottleneck_bw_bps,
+            buffer_bdp=config.buffer_bdp,
+            aqm=config.aqm,
+            mss_bytes=config.mss_bytes,
+            scale=config.scale,
+            seed=config.seed,
+            ecn_mode=config.ecn_mode,
+            aqm_params=dict(config.aqm_params),
+            delay_multiplier=config.delay_multiplier,
+            client_delay_multipliers=config.client_delay_multipliers,
+            trunk_loss_rate=config.trunk_loss_rate,
+        )
+    )
+    net = dumbbell.network
+    start_rng = net.rng.stream("flow-start")
+    cca_rng = net.rng.stream("cca")
+
+    plan = config.plan
+    connections: List[List[Connection]] = [[], []]
+    for node_idx, cca_name in enumerate(config.cca_pair):
+        client = dumbbell.clients[node_idx]
+        server = dumbbell.servers[node_idx]
+        for _ in range(plan.flows_per_node):
+            conn = open_connection(
+                client,
+                server,
+                make_cca(cca_name, cca_rng),
+                mss=config.mss_bytes,
+                ecn_enabled=config.ecn_mode,
+            )
+            conn.start(delay_ns=int(start_rng.uniform(0, START_JITTER_NS)))
+            connections[node_idx].append(conn)
+
+    # Snapshot byte counters at the warmup boundary so excluded-warmup
+    # throughput only counts bytes delivered inside the measured window.
+    warmup_bytes: dict = {}
+    if config.warmup_s > 0:
+        def _snapshot() -> None:
+            for conns in connections:
+                for conn in conns:
+                    warmup_bytes[conn.flow_id] = conn.receiver.bytes_received
+
+        net.sim.schedule(seconds(config.warmup_s), _snapshot)
+
+    sampler = None
+    if config.sample_interval_s:
+        sampler = ThroughputSampler(net.sim, seconds(config.sample_interval_s))
+        for node_idx, conns in enumerate(connections):
+            for conn in conns:
+                sampler.track(
+                    f"flow{conn.flow_id}",
+                    lambda r=conn.receiver: r.bytes_received,
+                )
+        sampler.start()
+
+    queue_monitor = None
+    if config.queue_monitor_interval_s:
+        queue_monitor = QueueMonitor(
+            net.sim, dumbbell.bottleneck_qdisc, seconds(config.queue_monitor_interval_s)
+        )
+        queue_monitor.start()
+
+    net.run(seconds(config.duration_s))
+    for conns in connections:
+        for conn in conns:
+            conn.stop()
+
+    return _collect(
+        config, dumbbell, connections, sampler, queue_monitor, warmup_bytes, wall_start
+    )
+
+
+def _collect(
+    config, dumbbell, connections, sampler, queue_monitor, warmup_bytes, wall_start
+) -> ExperimentResult:
+    measured_s = config.duration_s - config.warmup_s
+    flows: List[FlowStats] = []
+    senders: List[SenderStats] = []
+    for node_idx, conns in enumerate(connections):
+        node_name = dumbbell.clients[node_idx].name
+        cca_name = config.cca_pair[node_idx]
+        node_bytes = 0
+        node_retx = 0
+        for conn in conns:
+            rx = conn.receiver.bytes_received - warmup_bytes.get(conn.flow_id, 0)
+            node_bytes += rx
+            node_retx += conn.sender.retransmits
+            flows.append(
+                FlowStats(
+                    flow_id=conn.flow_id,
+                    sender_node=node_name,
+                    cca=cca_name,
+                    throughput_bps=rx * 8 / measured_s,
+                    bytes_received=rx,
+                    segments_sent=conn.sender.segments_sent,
+                    retransmits=conn.sender.retransmits,
+                    rto_count=conn.sender.rto_count,
+                    fast_recoveries=conn.sender.fast_recoveries,
+                )
+            )
+        senders.append(
+            SenderStats(
+                node=node_name,
+                cca=cca_name,
+                throughput_bps=node_bytes * 8 / measured_s,
+                retransmits=node_retx,
+                flows=len(conns),
+            )
+        )
+
+    throughputs = [s.throughput_bps for s in senders]
+    bottleneck_bps = dumbbell.config.scaled_bottleneck_bps
+    qstats = dumbbell.bottleneck_qdisc.stats
+    extra = {}
+    if sampler is not None:
+        extra["interval_s"] = config.sample_interval_s
+        extra["series_bps"] = {k: list(v) for k, v in sampler.series.items()}
+    if queue_monitor is not None:
+        extra["queue_trace"] = queue_monitor.trace.to_dict()
+        extra["queue_occupancy"] = queue_monitor.trace.occupancy(
+            dumbbell.bottleneck_qdisc.limit_bytes
+        )
+    # Per-flow fairness (n = all flows) alongside the paper's per-sender
+    # index — the "scaling capability" measure of contribution #2.
+    extra["flow_jain_index"] = jain_index([f.throughput_bps for f in flows])
+
+    return ExperimentResult(
+        config=config.to_dict(),
+        senders=senders,
+        flows=flows,
+        jain_index=jain_index(throughputs),
+        link_utilization=link_utilization(throughputs, bottleneck_bps),
+        total_retransmits=sum(s.retransmits for s in senders),
+        total_throughput_bps=sum(throughputs),
+        bottleneck_drops=qstats.dropped_total,
+        duration_s=measured_s,
+        engine="packet",
+        events_processed=dumbbell.sim.events_processed,
+        wallclock_s=time.perf_counter() - wall_start,
+        extra=extra,
+    )

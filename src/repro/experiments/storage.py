@@ -1,0 +1,57 @@
+"""JSONL result store.
+
+One line per :class:`ExperimentResult`; append-only, so interrupted
+campaigns resume by skipping configs whose label is already present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Set, Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.summary import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+class ResultStore:
+    """Append/load experiment results on disk."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, result: ExperimentResult) -> None:
+        """Append one result as a JSON line (flushed immediately)."""
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result.to_dict(), sort_keys=True))
+            fh.write("\n")
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield ExperimentResult.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise ValueError(f"{self.path}:{lineno}: corrupt result line ({exc})") from None
+
+    def load(self) -> List[ExperimentResult]:
+        """Read every stored result into memory."""
+        return list(self)
+
+    def completed_labels(self) -> Set[str]:
+        """Labels of configs already present (for campaign resume)."""
+        labels: Set[str] = set()
+        for result in self:
+            labels.add(ExperimentConfig.from_dict(result.config).label())
+        return labels
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)

@@ -1,0 +1,19 @@
+"""Fluid-model engine.
+
+A per-RTT difference-equation integrator over flow send rates and the
+bottleneck queue.  It applies the same congestion-control decision rules
+(slow start, CUBIC curve, HTCP alpha/beta, BBR state machines with the
+2xBDP inflight cap and BBRv2's 2 % loss threshold) and the same AQM drop
+laws (tail drop, RED's EWMA ramp, FQ_CoDel's per-flow CoDel) as the
+packet engine, but at mean-field granularity — which makes the paper's
+10/25 Gbps tiers (tens of millions of packets per run) tractable in pure
+Python/NumPy.
+
+Cross-validated against the packet engine on the low-bandwidth tiers in
+``tests/integration/test_engine_agreement.py``.
+"""
+
+from repro.fluid.model import FluidSimulation
+from repro.fluid.runner import run_fluid_experiment
+
+__all__ = ["FluidSimulation", "run_fluid_experiment"]

@@ -1,0 +1,320 @@
+"""AQM drop laws for the fluid engine.
+
+Each discipline advances one integration step at a time: it takes the
+per-flow arrival vector (packets, may be fractional), applies its drop
+law, serves up to ``capacity * dt`` packets, and returns what each flow
+had delivered and dropped.  Backlogs are per-flow even for the shared
+FIFO/RED queue (processor-sharing approximation of FIFO order, the
+standard fluid treatment), which is what lets a buffer-filling CUBIC
+crowd out an inflight-capped BBR exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def waterfill(supply: np.ndarray, cap: float) -> np.ndarray:
+    """Max-min fair allocation of ``cap`` across ``supply`` demands."""
+    total = float(supply.sum())
+    if total <= cap:
+        return supply.copy()
+    order = np.sort(supply)
+    n = len(order)
+    csum = np.concatenate(([0.0], np.cumsum(order)))
+    remaining = n - np.arange(n)
+    theta = (cap - csum[:-1]) / remaining
+    ok = theta <= order
+    if not ok.any():
+        theta_star = theta[-1]
+    else:
+        theta_star = theta[np.argmax(ok)]
+    return np.minimum(supply, theta_star)
+
+
+class FluidAqm:
+    """Base: byte/packet accounting shared by all disciplines."""
+
+    def __init__(self, limit_pkts: float, capacity_pps: float, n_flows: int):
+        if limit_pkts <= 0 or capacity_pps <= 0 or n_flows <= 0:
+            raise ValueError("limit, capacity, and flow count must be positive")
+        self.limit = float(limit_pkts)
+        self.capacity = float(capacity_pps)
+        self.n = n_flows
+        self.backlog = np.zeros(n_flows)
+        self.total_dropped = 0.0
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance one dt: returns (delivered, dropped) per flow."""
+        raise NotImplementedError
+
+    def flow_delay_s(self) -> np.ndarray:
+        """Queueing delay currently experienced by each flow's packets."""
+        raise NotImplementedError
+
+    # -- shared single-queue service -----------------------------------------------
+
+    def _serve_shared(self, accepted: np.ndarray, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Processor-sharing service + tail drop to the shared limit."""
+        supply = self.backlog + accepted
+        total = float(supply.sum())
+        serve = min(total, self.capacity * dt)
+        served = supply * (serve / total) if total > 0 else np.zeros(self.n)
+        backlog = supply - served
+        excess = float(backlog.sum()) - self.limit
+        tail_drops = np.zeros(self.n)
+        if excess > 1e-12:
+            # Tail drop hits the newest arrivals, proportionally.
+            weights = np.minimum(accepted, backlog)
+            wsum = float(weights.sum())
+            if wsum > 0:
+                tail_drops = np.minimum(backlog, excess * weights / wsum)
+            else:
+                tail_drops = backlog * (excess / float(backlog.sum()))
+            backlog = backlog - tail_drops
+        self.backlog = backlog
+        self.total_dropped += float(tail_drops.sum())
+        return served, tail_drops
+
+
+class FluidFifo(FluidAqm):
+    """Drop-tail: no early drops; overflow is tail-dropped."""
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        return self._serve_shared(arrivals, dt)
+
+    def flow_delay_s(self) -> np.ndarray:
+        delay = float(self.backlog.sum()) / self.capacity
+        return np.full(self.n, delay)
+
+
+class FluidRed(FluidAqm):
+    """RED's EWMA ramp applied to (Poisson-sampled) early drops."""
+
+    def __init__(
+        self,
+        limit_pkts: float,
+        capacity_pps: float,
+        n_flows: int,
+        rng: np.random.Generator,
+        *,
+        min_th: Optional[float] = None,
+        max_th: Optional[float] = None,
+        max_p: float = 0.02,
+        weight: float = 0.002,
+        gentle: bool = True,
+    ):
+        super().__init__(limit_pkts, capacity_pps, n_flows)
+        self.rng = rng
+        # Fixed classic-tc thresholds (30/90 packets), clamped to the buffer
+        # — matching repro.aqm.red.RedQueue (see the note there).
+        if min_th is not None:
+            self.min_th = float(min_th)
+        else:
+            self.min_th = max(1.0, min(30.0, limit_pkts / 3.0))
+        if max_th is not None:
+            self.max_th = float(max_th)
+        else:
+            self.max_th = max(self.min_th + 1.0, min(90.0, limit_pkts * 0.75))
+        self.max_p = max_p
+        self.weight = weight
+        self.gentle = gentle
+        self.avg = 0.0
+
+    def _drop_probability(self) -> float:
+        if self.avg < self.min_th:
+            return 0.0
+        if self.avg < self.max_th:
+            return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        if self.gentle and self.avg < 2 * self.max_th:
+            return self.max_p + (1 - self.max_p) * (self.avg - self.max_th) / self.max_th
+        return 1.0
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        n_arr = float(arrivals.sum())
+        # Per-packet EWMA folded over this step's arrivals.
+        if n_arr > 0:
+            w_eff = 1.0 - (1.0 - self.weight) ** n_arr
+            self.avg += w_eff * (float(self.backlog.sum()) - self.avg)
+        else:
+            # Idle decay toward the (empty) instantaneous queue.
+            decay = 1.0 - (1.0 - self.weight) ** (self.capacity * dt)
+            self.avg += decay * (float(self.backlog.sum()) - self.avg)
+        p = self._drop_probability()
+        if p > 0:
+            # Floyd/Jacobson count-uniformization spaces drops uniformly over
+            # [1, 1/p_b] packets, i.e. an effective rate of ~2*p_b.
+            p_eff = min(1.0, 2.0 * p)
+            early = np.minimum(arrivals, self.rng.poisson(arrivals * p_eff).astype(float))
+        else:
+            early = np.zeros(self.n)
+        self.total_dropped += float(early.sum())
+        served, tail = self._serve_shared(arrivals - early, dt)
+        return served, early + tail
+
+    def flow_delay_s(self) -> np.ndarray:
+        delay = float(self.backlog.sum()) / self.capacity
+        return np.full(self.n, delay)
+
+
+class FluidFqCodel(FluidAqm):
+    """Per-flow fair queueing with an approximate CoDel controller per flow.
+
+    Service is max-min fair (the DRR fluid limit).  Each flow's sojourn is
+    its backlog over its fair-share rate; once it has exceeded ``target``
+    for ``interval``, the flow enters dropping mode and sheds packets at
+    the CoDel control-law rate sqrt(count)/interval, escalating while the
+    sojourn stays high.
+    """
+
+    TARGET_S = 0.005
+    INTERVAL_S = 0.100
+
+    def __init__(self, limit_pkts: float, capacity_pps: float, n_flows: int, rng=None):
+        super().__init__(limit_pkts, capacity_pps, n_flows)
+        self.above_since = np.full(n_flows, -1.0)
+        self.count = np.zeros(n_flows)
+        self.drop_credit = np.zeros(n_flows)
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        supply = self.backlog + arrivals
+        served = waterfill(supply, self.capacity * dt)
+        backlog = supply - served
+
+        active = backlog > 1e-9
+        n_active = max(1, int(active.sum()))
+        share_pps = self.capacity / n_active
+        sojourn = backlog / share_pps
+
+        above = (sojourn > self.TARGET_S) & (backlog > 1.0)
+        fresh = above & (self.above_since < 0)
+        self.above_since[fresh] = now_s
+        self.above_since[~above] = -1.0
+        # CoDel count relaxes when the queue comes back under target.
+        self.count[~above] = np.floor(self.count[~above] / 2.0)
+        self.drop_credit[~above] = 0.0
+
+        dropping = above & (now_s - self.above_since >= self.INTERVAL_S)
+        drops = np.zeros(self.n)
+        if dropping.any():
+            rate = np.sqrt(self.count[dropping] + 1.0) / self.INTERVAL_S
+            self.drop_credit[dropping] += rate * dt
+            d = np.floor(self.drop_credit[dropping])
+            self.drop_credit[dropping] -= d
+            d = np.minimum(d, backlog[dropping])
+            drops[dropping] = d
+            self.count[dropping] += d
+            backlog[dropping] -= d
+
+        # Shared memory limit: evict from the fattest flows.
+        excess = float(backlog.sum()) - self.limit
+        if excess > 1e-12:
+            order = np.argsort(backlog)[::-1]
+            for idx in order:
+                take = min(backlog[idx] - self.limit / self.n, excess)
+                if take <= 0:
+                    break
+                take = min(take, backlog[idx])
+                backlog[idx] -= take
+                drops[idx] += take
+                excess -= take
+                if excess <= 1e-12:
+                    break
+
+        self.backlog = backlog
+        self.total_dropped += float(drops.sum())
+        return served, drops
+
+    def flow_delay_s(self) -> np.ndarray:
+        active = self.backlog > 1e-9
+        n_active = max(1, int(active.sum()))
+        share_pps = self.capacity / n_active
+        return self.backlog / share_pps
+
+
+class FluidPie(FluidAqm):
+    """PIE's PI controller over the shared queue (mean-field form).
+
+    The drop probability integrates the queueing-delay error at the RFC's
+    15 ms cadence with the same magnitude-scaled gains as
+    :class:`repro.aqm.pie.PieQueue`.
+    """
+
+    TARGET_S = 0.015
+    T_UPDATE_S = 0.015
+    ALPHA = 0.125
+    BETA = 1.25
+
+    def __init__(self, limit_pkts: float, capacity_pps: float, n_flows: int, rng: np.random.Generator):
+        super().__init__(limit_pkts, capacity_pps, n_flows)
+        if rng is None:
+            raise ValueError("fluid PIE needs an rng")
+        self.rng = rng
+        self.drop_prob = 0.0
+        self.qdelay_old_s = 0.0
+        self._since_update_s = 0.0
+
+    def _scale(self) -> float:
+        p = self.drop_prob
+        for threshold, scale in (
+            (0.000001, 1 / 2048), (0.00001, 1 / 512), (0.0001, 1 / 128),
+            (0.001, 1 / 32), (0.01, 1 / 8), (0.1, 1 / 2),
+        ):
+            if p < threshold:
+                return scale
+        return 1.0
+
+    def _update(self) -> None:
+        qdelay = float(self.backlog.sum()) / self.capacity
+        delta = self._scale() * (
+            self.ALPHA * (qdelay - self.TARGET_S)
+            + self.BETA * (qdelay - self.qdelay_old_s)
+        )
+        self.drop_prob = min(1.0, max(0.0, self.drop_prob + delta))
+        if qdelay == 0.0 and self.qdelay_old_s == 0.0:
+            self.drop_prob *= 0.98
+        self.qdelay_old_s = qdelay
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        self._since_update_s += dt
+        while self._since_update_s >= self.T_UPDATE_S:
+            self._since_update_s -= self.T_UPDATE_S
+            self._update()
+        if self.drop_prob > 0:
+            early = np.minimum(arrivals, self.rng.poisson(arrivals * self.drop_prob).astype(float))
+        else:
+            early = np.zeros(self.n)
+        self.total_dropped += float(early.sum())
+        served, tail = self._serve_shared(arrivals - early, dt)
+        return served, early + tail
+
+    def flow_delay_s(self) -> np.ndarray:
+        delay = float(self.backlog.sum()) / self.capacity
+        return np.full(self.n, delay)
+
+
+def make_fluid_aqm(
+    name: str,
+    limit_pkts: float,
+    capacity_pps: float,
+    n_flows: int,
+    rng: Optional[np.random.Generator] = None,
+    **params,
+) -> FluidAqm:
+    """Factory mirroring :func:`repro.aqm.registry.make_aqm`."""
+    key = name.lower()
+    if key == "fifo":
+        return FluidFifo(limit_pkts, capacity_pps, n_flows)
+    if key == "red":
+        if rng is None:
+            raise ValueError("fluid RED needs an rng")
+        return FluidRed(limit_pkts, capacity_pps, n_flows, rng, **params)
+    if key in ("fq_codel", "codel"):
+        return FluidFqCodel(limit_pkts, capacity_pps, n_flows, rng)
+    if key == "pie":
+        if rng is None:
+            raise ValueError("fluid PIE needs an rng")
+        return FluidPie(limit_pkts, capacity_pps, n_flows, rng)
+    raise ValueError(f"unknown AQM {name!r}")

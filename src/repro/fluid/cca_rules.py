@@ -1,0 +1,444 @@
+"""Per-flow congestion-control rules for the fluid engine.
+
+Each flow owns one rule object.  The engine calls
+:meth:`FluidCca.round_update` once per (effective) RTT with what happened
+during that round — segments delivered, segments dropped, the measured
+round RTT — and the rule updates the flow's *window* (segments) or
+*pacing rate + inflight cap* (BBR family).  The engine converts windows
+to send rates each integration step.
+
+The constants match the packet-engine implementations in
+:mod:`repro.cca` so the two engines model the same algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+INIT_CWND = 10.0
+MIN_CWND = 2.0
+
+
+class RoundInfo:
+    """What one flow experienced during one RTT-long round."""
+
+    __slots__ = ("now_s", "rtt_s", "base_rtt_s", "delivered", "lost", "delivery_rate_pps", "inflight")
+
+    def __init__(self, now_s, rtt_s, base_rtt_s, delivered, lost, delivery_rate_pps, inflight):
+        self.now_s = now_s
+        self.rtt_s = rtt_s
+        self.base_rtt_s = base_rtt_s
+        self.delivered = delivered
+        self.lost = lost
+        self.delivery_rate_pps = delivery_rate_pps
+        self.inflight = inflight
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.delivered + self.lost
+        return self.lost / total if total > 0 else 0.0
+
+
+class FluidCca:
+    """Base class: a window-based flow with slow start."""
+
+    name = "base"
+    #: BBR-family rules pace instead of being window-limited.
+    rate_based = False
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.cwnd = INIT_CWND
+        self.ssthresh = float("inf")
+        self.pacing_pps: Optional[float] = None
+        self.inflight_cap = float("inf")
+        self.rng = rng
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def round_update(self, info: RoundInfo) -> None:
+        """Fold one RTT-long round's outcome into the flow state."""
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _slow_start_round(self, info: RoundInfo) -> None:
+        """Double per round up to ssthresh (classic slow start)."""
+        self.cwnd = min(self.cwnd * 2.0, max(self.ssthresh, self.cwnd))
+        if self.cwnd > self.ssthresh:
+            self.cwnd = self.ssthresh
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+
+class FluidReno(FluidCca):
+    """AIMD: slow-start doubling, +1/round, halve on loss."""
+
+    name = "reno"
+    BETA = 0.5
+
+    def round_update(self, info: RoundInfo) -> None:
+        if info.lost > 0:
+            self.ssthresh = max(self.cwnd * self.BETA, MIN_CWND)
+            self.cwnd = self.ssthresh
+        elif self.in_slow_start:
+            self._slow_start_round(info)
+        else:
+            self.cwnd += 1.0
+
+
+class FluidCubic(FluidCca):
+    """Cubic curve with fast convergence and a HyStart-style exit."""
+
+    name = "cubic"
+    C = 0.4
+    BETA = 0.7
+    HYSTART_ETA_MIN_S = 0.004
+    HYSTART_ETA_MAX_S = 0.016
+
+    def __init__(self, rng=None):
+        super().__init__(rng)
+        self.w_max = 0.0
+        self.epoch_start_s: Optional[float] = None
+        self.k = 0.0
+        self.origin = 0.0
+        self.w_est = 0.0
+
+    def round_update(self, info: RoundInfo) -> None:
+        if info.lost > 0:
+            if self.cwnd < self.w_max:
+                self.w_max = self.cwnd * (2.0 - self.BETA) / 2.0
+            else:
+                self.w_max = self.cwnd
+            self.ssthresh = max(self.cwnd * self.BETA, MIN_CWND)
+            self.cwnd = self.ssthresh
+            self.epoch_start_s = None
+            return
+        if self.in_slow_start:
+            # HyStart: leave slow start once queueing delay builds.
+            eta = min(self.HYSTART_ETA_MAX_S, max(self.HYSTART_ETA_MIN_S, info.base_rtt_s / 8))
+            if info.rtt_s >= info.base_rtt_s + eta and self.cwnd >= 16:
+                self.ssthresh = self.cwnd
+            else:
+                self._slow_start_round(info)
+                return
+        if self.epoch_start_s is None:
+            self.epoch_start_s = info.now_s
+            if self.cwnd < self.w_max:
+                self.k = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+                self.origin = self.w_max
+            else:
+                self.k = 0.0
+                self.origin = self.cwnd
+            self.w_est = self.cwnd
+        t = info.now_s - self.epoch_start_s + info.rtt_s
+        target = self.origin + self.C * (t - self.k) ** 3
+        if target > self.cwnd:
+            # Converge toward the cubic target over roughly one RTT.
+            self.cwnd += (target - self.cwnd)
+        else:
+            self.cwnd += 0.01
+        # TCP-friendly floor.
+        self.w_est += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        if self.w_est > self.cwnd:
+            self.cwnd = self.w_est
+
+
+class FluidHTcp(FluidCca):
+    """Elapsed-time alpha, adaptive beta, Linux bandwidth switch."""
+
+    name = "htcp"
+    DELTA_L_S = 1.0
+    BETA_MIN, BETA_MAX = 0.5, 0.8
+
+    def __init__(self, rng=None):
+        super().__init__(rng)
+        self.last_congestion_s: Optional[float] = None
+        self.rtt_min_s = float("inf")
+        self.rtt_max_s = 0.0
+        self.beta = self.BETA_MIN
+        # Bandwidth switch (Linux default), as in repro.cca.htcp.
+        self.max_bw = 0.0
+        self.old_max_bw = 0.0
+        self.modeswitch = False
+
+    def _alpha(self, now_s: float) -> float:
+        if self.last_congestion_s is None:
+            return 1.0
+        dt = now_s - self.last_congestion_s
+        if dt <= self.DELTA_L_S:
+            return 1.0
+        x = dt - self.DELTA_L_S
+        return 2.0 * (1.0 - self.beta) * (1.0 + 10.0 * x + (x / 2.0) ** 2)
+
+    def _update_beta(self) -> None:
+        max_bw, old_max_bw = self.max_bw, self.old_max_bw
+        self.old_max_bw = max_bw
+        self.max_bw = 0.0
+        if not (4 * old_max_bw <= 5 * max_bw <= 6 * old_max_bw):
+            self.beta = self.BETA_MIN
+            self.modeswitch = False
+            return
+        if self.modeswitch and self.rtt_max_s > 0 and math.isfinite(self.rtt_min_s):
+            self.beta = min(self.BETA_MAX, max(self.BETA_MIN, self.rtt_min_s / self.rtt_max_s))
+        else:
+            self.beta = self.BETA_MIN
+            self.modeswitch = True
+
+    def round_update(self, info: RoundInfo) -> None:
+        self.rtt_min_s = min(self.rtt_min_s, info.rtt_s)
+        self.rtt_max_s = max(self.rtt_max_s, info.rtt_s)
+        self.max_bw = max(self.max_bw, info.delivery_rate_pps)
+        if info.lost > 0:
+            self._update_beta()
+            self.ssthresh = max(self.cwnd * self.beta, MIN_CWND)
+            self.cwnd = self.ssthresh
+            self.last_congestion_s = info.now_s
+            self.rtt_min_s = float("inf")
+            self.rtt_max_s = 0.0
+        elif self.in_slow_start:
+            self._slow_start_round(info)
+        else:
+            self.cwnd += self._alpha(info.now_s)
+
+
+class _BwMaxFilter:
+    """Windowed max over the last N rounds (list-based; N is small)."""
+
+    def __init__(self, window_rounds: int = 10):
+        self.window = window_rounds
+        self.samples: list = []  # (round_idx, value)
+        self.round_idx = 0
+
+    def update(self, value: float) -> None:
+        self.round_idx += 1
+        self.samples.append((self.round_idx, value))
+        self.samples = [(r, v) for r, v in self.samples if r > self.round_idx - self.window]
+
+    def get(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+
+class FluidBbrV1(FluidCca):
+    """BBRv1 mean-field rules: bw max-filter, gain cycle, 2xBDP cap."""
+
+    name = "bbrv1"
+    rate_based = True
+    HIGH_GAIN = 2.885
+    CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    CWND_GAIN = 2.0
+    PROBE_RTT_INTERVAL_S = 10.0
+    PROBE_RTT_DURATION_S = 0.2
+
+    def __init__(self, rng=None):
+        super().__init__(rng)
+        self.state = "STARTUP"
+        self.bw_filter = _BwMaxFilter()
+        self.min_rtt_s = float("inf")
+        self.min_rtt_stamp_s = 0.0
+        self.full_bw = 0.0
+        self.full_bw_count = 0
+        self.cycle_index = 2
+        self.cycle_stamp_s = 0.0
+        self.probe_rtt_until_s: Optional[float] = None
+        self.pacing_pps = None  # engine treats None as "unmodelled yet"
+        self.rate_floor_pps = INIT_CWND / 0.1
+
+    def _bdp(self) -> float:
+        bw = self.bw_filter.get()
+        if bw <= 0 or not math.isfinite(self.min_rtt_s):
+            return INIT_CWND
+        return bw * self.min_rtt_s
+
+    def round_update(self, info: RoundInfo) -> None:
+        now = info.now_s
+        # Rigid loss response: sustained heavy loss occasionally drives real
+        # BBRv1 into retransmission timeouts that crater its rate (paper
+        # §5.2, RED intra-CCA).  Model as a rare collapse under heavy loss.
+        if (
+            info.loss_rate > 0.4
+            and self.rng is not None
+            and self.rng.random() < 0.03
+        ):
+            self.on_rto_like_collapse(now)
+        if info.rtt_s < self.min_rtt_s:
+            self.min_rtt_s = info.rtt_s
+            self.min_rtt_stamp_s = now
+        if info.delivery_rate_pps > 0:
+            self.bw_filter.update(info.delivery_rate_pps)
+        bw = self.bw_filter.get()
+
+        if self.state == "STARTUP":
+            if bw >= self.full_bw * 1.25:
+                self.full_bw = bw
+                self.full_bw_count = 0
+            else:
+                self.full_bw_count += 1
+            if self.full_bw_count >= 3:
+                self.state = "DRAIN"
+        if self.state == "DRAIN":
+            if info.inflight <= self._bdp():
+                self.state = "PROBE_BW"
+                self.cycle_index = int(self.rng.integers(2, 8)) if self.rng is not None else 2
+                self.cycle_stamp_s = now
+        if self.state == "PROBE_BW":
+            if now - self.cycle_stamp_s > max(self.min_rtt_s, 1e-3):
+                self.cycle_index = (self.cycle_index + 1) % len(self.CYCLE)
+                self.cycle_stamp_s = now
+            if now - self.min_rtt_stamp_s > self.PROBE_RTT_INTERVAL_S:
+                self.state = "PROBE_RTT"
+                self.probe_rtt_until_s = now + self.PROBE_RTT_DURATION_S
+        if self.state == "PROBE_RTT":
+            if self.probe_rtt_until_s is not None and now >= self.probe_rtt_until_s:
+                self.min_rtt_stamp_s = now
+                self.state = "PROBE_BW"
+                self.cycle_stamp_s = now
+
+        # Outputs.
+        if self.state == "STARTUP":
+            gain, cap_gain = self.HIGH_GAIN, self.HIGH_GAIN
+        elif self.state == "DRAIN":
+            gain, cap_gain = 1.0 / self.HIGH_GAIN, self.HIGH_GAIN
+        elif self.state == "PROBE_RTT":
+            gain, cap_gain = 1.0, 0.5
+        else:
+            gain, cap_gain = self.CYCLE[self.cycle_index], self.CWND_GAIN
+        if bw > 0:
+            self.pacing_pps = max(self.rate_floor_pps, gain * bw)
+            self.inflight_cap = max(4.0, cap_gain * self._bdp())
+        else:
+            # No model yet: keep ramping like slow start.
+            self.pacing_pps = None
+            self.cwnd = min(self.cwnd * 2.0, 1e9)
+
+    def on_rto_like_collapse(self, now_s: float) -> None:
+        """Model the paper's intermittent BBRv1 RTO crashes under RED.
+
+        The rate craters, then recovers through a fresh STARTUP (slow-start
+        restart), as after a real retransmission timeout.
+        """
+        self.full_bw = 0.0
+        self.full_bw_count = 0
+        self.bw_filter.samples = [(self.bw_filter.round_idx, self.rate_floor_pps)]
+        self.pacing_pps = self.rate_floor_pps
+        self.state = "STARTUP"
+
+
+class FluidBbrV2(FluidBbrV1):
+    """BBRv2 rules: inflight_hi with the 2% loss threshold + probe cycle."""
+
+    name = "bbrv2"
+    LOSS_THRESH = 0.02
+    BETA = 0.7
+    HEADROOM = 0.15
+    PROBE_RTT_INTERVAL_S = 5.0
+    CRUISE_S = 2.5
+
+    def __init__(self, rng=None):
+        super().__init__(rng)
+        self.inflight_hi = float("inf")
+        self.phase = "DOWN"
+        self.phase_stamp_s = 0.0
+
+    def round_update(self, info: RoundInfo) -> None:
+        now = info.now_s
+        if info.rtt_s < self.min_rtt_s:
+            self.min_rtt_s = info.rtt_s
+            self.min_rtt_stamp_s = now
+        if info.delivery_rate_pps > 0:
+            self.bw_filter.update(info.delivery_rate_pps)
+        bw = self.bw_filter.get()
+        bdp = self._bdp()
+
+        high_loss = info.loss_rate >= self.LOSS_THRESH and info.lost >= 2
+        if high_loss:
+            base = self.inflight_hi if math.isfinite(self.inflight_hi) else max(info.inflight, bdp)
+            self.inflight_hi = max(4.0, min(base, max(info.inflight, 4.0)) * self.BETA)
+
+        if self.state == "STARTUP":
+            if bw >= self.full_bw * 1.25:
+                self.full_bw = bw
+                self.full_bw_count = 0
+            else:
+                self.full_bw_count += 1
+            if self.full_bw_count >= 3 or high_loss:
+                self.state = "DRAIN"
+        if self.state == "DRAIN":
+            if info.inflight <= bdp:
+                self.state = "PROBE_BW"
+                self.phase = "DOWN"
+                self.phase_stamp_s = now
+        if self.state == "PROBE_BW":
+            if self.phase == "DOWN":
+                bound = self.inflight_hi * (1 - self.HEADROOM) if math.isfinite(self.inflight_hi) else float("inf")
+                if info.inflight <= max(4.0, min(bdp, bound)):
+                    self.phase = "CRUISE"
+                    self.phase_stamp_s = now + (
+                        float(self.rng.uniform(-0.5, 0.5)) if self.rng is not None else 0.0
+                    )
+            elif self.phase == "CRUISE":
+                if now - self.phase_stamp_s > self.CRUISE_S:
+                    self.phase = "UP"
+                    self.phase_stamp_s = now
+            elif self.phase == "UP":
+                if math.isfinite(self.inflight_hi) and not high_loss:
+                    # Slow-start-pace bound growth, as in the packet engine.
+                    self.inflight_hi += max(1.0, info.delivered)
+                if high_loss or now - self.phase_stamp_s > 4 * max(self.min_rtt_s, 1e-3):
+                    self.phase = "DOWN"
+                    self.phase_stamp_s = now
+            if now - self.min_rtt_stamp_s > self.PROBE_RTT_INTERVAL_S:
+                self.state = "PROBE_RTT"
+                self.probe_rtt_until_s = now + self.PROBE_RTT_DURATION_S
+        if self.state == "PROBE_RTT":
+            if self.probe_rtt_until_s is not None and now >= self.probe_rtt_until_s:
+                self.min_rtt_stamp_s = now
+                self.state = "PROBE_BW"
+                self.phase = "DOWN"
+                self.phase_stamp_s = now
+
+        if self.state == "STARTUP":
+            gain, cap_gain = 2.77, 2.0
+        elif self.state == "DRAIN":
+            gain, cap_gain = 1.0 / 2.77, 2.0
+        elif self.state == "PROBE_RTT":
+            gain, cap_gain = 1.0, 0.5
+        elif self.phase == "DOWN":
+            gain, cap_gain = 0.9, 2.0
+        elif self.phase == "UP":
+            gain, cap_gain = 1.25, 2.0
+        else:
+            gain, cap_gain = 1.0, 2.0
+
+        if bw > 0:
+            self.pacing_pps = max(self.rate_floor_pps, gain * bw)
+            cap = max(4.0, cap_gain * bdp)
+            if math.isfinite(self.inflight_hi):
+                hi = self.inflight_hi
+                if self.phase == "CRUISE" and self.state == "PROBE_BW":
+                    hi *= 1 - self.HEADROOM
+                cap = min(cap, max(4.0, hi))
+            self.inflight_cap = cap
+        else:
+            self.pacing_pps = None
+            self.cwnd = min(self.cwnd * 2.0, 1e9)
+
+
+FLUID_CCAS = {
+    "reno": FluidReno,
+    "cubic": FluidCubic,
+    "htcp": FluidHTcp,
+    "bbrv1": FluidBbrV1,
+    "bbrv2": FluidBbrV2,
+}
+
+
+def make_fluid_cca(name: str, rng: Optional[np.random.Generator] = None) -> FluidCca:
+    """Instantiate the fluid rule set for the CCA called ``name``."""
+    from repro.cca.registry import canonical_cca_name
+
+    return FLUID_CCAS[canonical_cca_name(name)](rng)

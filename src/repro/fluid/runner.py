@@ -1,0 +1,127 @@
+"""Run an :class:`~repro.experiments.config.ExperimentConfig` on the fluid engine.
+
+Produces the same :class:`~repro.metrics.summary.ExperimentResult` record
+as the packet runner, so the analysis layer is engine-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.fluid.aqm_rules import make_fluid_aqm
+from repro.fluid.cca_rules import make_fluid_cca
+from repro.fluid.model import FluidSimulation
+from repro.metrics.fairness import jain_index
+from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
+from repro.metrics.utilization import link_utilization
+from repro.sim.rng import RngStreams
+from repro.testbed.sites import PAPER_RTT_NS
+from repro.units import bdp_bytes
+
+
+def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one configuration on the fluid engine."""
+    wall_start = time.perf_counter()
+    rngs = RngStreams(config.seed)
+
+    # Geometry (same numbers the dumbbell builder computes).
+    rtt_ns = int(PAPER_RTT_NS * config.delay_multiplier)
+    base_rtt_s = rtt_ns / 1e9
+    capacity_bps = config.bottleneck_bw_bps / config.scale
+    capacity_pps = capacity_bps / (8 * config.mss_bytes)
+    bdp_b = bdp_bytes(capacity_bps, rtt_ns)
+    limit_pkts = max(1.0, config.buffer_bdp * bdp_b / config.mss_bytes)
+
+    plan = config.plan
+    per_node = plan.flows_per_node
+    n_flows = 2 * per_node
+    node_of = np.repeat([0, 1], per_node)
+
+    cca_rng = rngs.stream("cca")
+    flows = [
+        make_fluid_cca(config.cca_pair[node_of[i]], cca_rng) for i in range(n_flows)
+    ]
+    start_rng = rngs.stream("flow-start")
+    starts = start_rng.uniform(0.0, 0.1, size=n_flows)
+
+    aqm = make_fluid_aqm(
+        config.aqm,
+        limit_pkts,
+        capacity_pps,
+        n_flows,
+        rng=rngs.stream("aqm"),
+        **config.aqm_params,
+    )
+    sim = FluidSimulation(
+        capacity_pps=capacity_pps,
+        base_rtt_s=base_rtt_s,
+        aqm=aqm,
+        flows=flows,
+        start_times_s=starts,
+        arrival_rng=rngs.stream("arrivals"),
+    )
+    if config.warmup_s > 0:
+        sim.run(config.warmup_s)
+        warmup_delivered = sim.delivered_total.copy()
+        sim.run(config.duration_s - config.warmup_s)
+    else:
+        warmup_delivered = np.zeros(n_flows)
+        sim.run(config.duration_s)
+
+    measured_s = config.duration_s - config.warmup_s
+    delivered_window = sim.delivered_total - warmup_delivered
+    thr_pps = delivered_window / measured_s
+    thr_bps = thr_pps * 8 * config.mss_bytes
+    retx = sim.dropped_total  # every dropped segment is retransmitted once
+
+    flow_stats: List[FlowStats] = []
+    senders: List[SenderStats] = []
+    for node_idx in range(2):
+        mask = node_of == node_idx
+        node_name = f"client{node_idx + 1}"
+        cca_name = config.cca_pair[node_idx]
+        for i in np.nonzero(mask)[0]:
+            flow_stats.append(
+                FlowStats(
+                    flow_id=int(i),
+                    sender_node=node_name,
+                    cca=cca_name,
+                    throughput_bps=float(thr_bps[i]),
+                    bytes_received=int(delivered_window[i] * config.mss_bytes),
+                    segments_sent=int(sim.delivered_total[i] + sim.dropped_total[i]),
+                    retransmits=int(round(retx[i])),
+                    rto_count=0,
+                    fast_recoveries=0,
+                )
+            )
+        senders.append(
+            SenderStats(
+                node=node_name,
+                cca=cca_name,
+                throughput_bps=float(thr_bps[mask].sum()),
+                retransmits=int(round(retx[mask].sum())),
+                flows=int(mask.sum()),
+            )
+        )
+
+    throughputs = [s.throughput_bps for s in senders]
+    extra = {"flow_jain_index": jain_index([f.throughput_bps for f in flow_stats])}
+    return ExperimentResult(
+        config=config.to_dict(),
+        senders=senders,
+        flows=flow_stats,
+        jain_index=jain_index(throughputs),
+        link_utilization=link_utilization(throughputs, capacity_bps),
+        total_retransmits=sum(s.retransmits for s in senders),
+        total_throughput_bps=sum(throughputs),
+        bottleneck_drops=int(round(aqm.total_dropped)),
+        duration_s=measured_s,
+        engine="fluid",
+        events_processed=0,
+        wallclock_s=time.perf_counter() - wall_start,
+        extra=extra,
+    )

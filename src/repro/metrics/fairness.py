@@ -1,0 +1,27 @@
+"""Jain's fairness index (paper Equation 2).
+
+``J = (sum S_i)^2 / (n * sum S_i^2)`` over per-sender throughputs.  The
+paper evaluates the *per-sender* index with n = 2 (each sender node's
+aggregate throughput), which :func:`jain_index` handles as the general
+n-ary case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index in [1/n, 1]; 1.0 for an empty/all-zero input."""
+    n = len(throughputs)
+    if n == 0:
+        return 1.0
+    for s in throughputs:
+        if s < 0:
+            raise ValueError(f"throughputs must be non-negative, got {s}")
+    total = float(sum(throughputs))
+    sum_sq = float(sum(s * s for s in throughputs))
+    if total == 0.0 or sum_sq == 0.0:
+        # All zero (or subnormal enough to underflow): degenerate but equal.
+        return 1.0
+    return total * total / (n * sum_sq)

@@ -1,0 +1,111 @@
+"""Router queue telemetry.
+
+The paper's future work: "capture detailed router logs to gain a clearer
+understanding of internal parameters and their impact on performance".
+:class:`QueueMonitor` does that for the simulated bottleneck: it samples
+the qdisc's backlog (bytes and packets), cumulative drops, ECN marks, and
+— when the discipline exposes one — the RED average queue, on a fixed
+simulated-time cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoided at runtime
+    from repro.aqm.base import QueueDiscipline
+
+
+@dataclass
+class QueueSample:
+    """One telemetry point."""
+
+    time_ns: int
+    backlog_bytes: int
+    backlog_packets: int
+    drops_total: int
+    ecn_marks: int
+    red_avg_bytes: float = float("nan")
+
+
+@dataclass
+class QueueTrace:
+    """The collected series plus summary statistics."""
+
+    samples: List[QueueSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def max_backlog_bytes(self) -> int:
+        return max((s.backlog_bytes for s in self.samples), default=0)
+
+    @property
+    def mean_backlog_bytes(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.backlog_bytes for s in self.samples) / len(self.samples)
+
+    def occupancy(self, limit_bytes: int) -> float:
+        """Mean backlog as a fraction of the configured limit."""
+        if limit_bytes <= 0:
+            raise ValueError("limit must be positive")
+        return self.mean_backlog_bytes / limit_bytes
+
+    def drop_intervals(self) -> List[int]:
+        """Per-interval drop deltas (len == len(samples))."""
+        out: List[int] = []
+        prev = 0
+        for s in self.samples:
+            out.append(s.drops_total - prev)
+            prev = s.drops_total
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Column-oriented JSON-ready form of the trace."""
+        return {
+            "time_ns": [s.time_ns for s in self.samples],
+            "backlog_bytes": [s.backlog_bytes for s in self.samples],
+            "backlog_packets": [s.backlog_packets for s in self.samples],
+            "drops_total": [s.drops_total for s in self.samples],
+            "ecn_marks": [s.ecn_marks for s in self.samples],
+            "red_avg_bytes": [s.red_avg_bytes for s in self.samples],
+        }
+
+
+class QueueMonitor:
+    """Samples one queue discipline on a fixed cadence."""
+
+    def __init__(self, sim: Simulator, qdisc: "QueueDiscipline", interval_ns: int):
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.qdisc = qdisc
+        self.interval_ns = interval_ns
+        self.trace = QueueTrace()
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (first sample lands one interval from now)."""
+        if self._running:
+            raise RuntimeError("monitor already started")
+        self._running = True
+        self.sim.schedule(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        q = self.qdisc
+        self.trace.samples.append(
+            QueueSample(
+                time_ns=self.sim.now,
+                backlog_bytes=q.bytes_queued,
+                backlog_packets=q.packets_queued,
+                drops_total=q.stats.dropped_total,
+                ecn_marks=q.stats.ecn_marked,
+                red_avg_bytes=float(getattr(q, "avg", float("nan"))),
+            )
+        )
+        self.sim.schedule(self.interval_ns, self._tick)

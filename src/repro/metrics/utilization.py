@@ -1,0 +1,19 @@
+"""Overall link utilization (paper Equation 3).
+
+``phi = sum(T_i) / beta_tau`` — total achieved throughput over the
+bottleneck capacity.  1.0 means the bottleneck was saturated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def link_utilization(throughputs_bps: Sequence[float], bottleneck_bps: float) -> float:
+    """Normalized total throughput (may slightly exceed 1.0 only by rounding)."""
+    if bottleneck_bps <= 0:
+        raise ValueError(f"bottleneck capacity must be positive, got {bottleneck_bps}")
+    total = float(sum(throughputs_bps))
+    if total < 0:
+        raise ValueError("throughputs must be non-negative")
+    return total / bottleneck_bps

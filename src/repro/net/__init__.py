@@ -1,0 +1,21 @@
+"""Network substrate: packets, links, interfaces, nodes, routing, topologies."""
+
+from repro.net.address import IPv4Address, Subnet
+from repro.net.link import Link
+from repro.net.interface import Interface
+from repro.net.node import Host, Node, Router
+from repro.net.packet import ACK_SIZE_BYTES, Packet
+from repro.net.topology import Network
+
+__all__ = [
+    "IPv4Address",
+    "Subnet",
+    "Link",
+    "Interface",
+    "Node",
+    "Host",
+    "Router",
+    "Packet",
+    "ACK_SIZE_BYTES",
+    "Network",
+]

@@ -1,0 +1,116 @@
+"""Minimal IPv4-style addressing.
+
+The paper applies its own Layer-3 plan with 5 subnets over FABRIC's L2
+service and installs static routes on the two routers.  We mirror that:
+addresses are 32-bit integers with dotted-quad parsing/formatting, and
+:class:`Subnet` supports containment tests used by the static routing
+tables in :mod:`repro.net.routing`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class IPv4Address:
+    """An immutable 32-bit address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if isinstance(value, IPv4Address):
+            self.value = value.value
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"address out of range: {value}")
+            self.value = value
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 address: {value!r}")
+            acc = 0
+            for p in parts:
+                octet = int(p)
+                if not 0 <= octet <= 255:
+                    raise ValueError(f"malformed IPv4 address: {value!r}")
+                acc = (acc << 8) | octet
+            self.value = acc
+        else:
+            raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IPv4Address):
+            return self.value == other.value
+        if isinstance(other, str):
+            return self.value == IPv4Address(other).value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+
+class Subnet:
+    """A CIDR prefix, e.g. ``Subnet('10.0.1.0/24')``."""
+
+    __slots__ = ("network", "prefix_len", "_mask")
+
+    def __init__(self, cidr: str):
+        try:
+            addr_text, plen_text = cidr.split("/")
+        except ValueError:
+            raise ValueError(f"malformed CIDR: {cidr!r}") from None
+        self.prefix_len = int(plen_text)
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {cidr!r}")
+        self._mask = (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF if self.prefix_len else 0
+        base = IPv4Address(addr_text).value
+        self.network = base & self._mask
+
+    def __contains__(self, addr) -> bool:
+        return (IPv4Address(addr).value & self._mask) == self.network
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Usable host addresses (network+1 .. broadcast-1 for /<=30)."""
+        size = 1 << (32 - self.prefix_len)
+        if size <= 2:
+            yield IPv4Address(self.network)
+            return
+        for off in range(1, size - 1):
+            yield IPv4Address(self.network + off)
+
+    def address(self, host_index: int) -> IPv4Address:
+        """The ``host_index``-th usable host address (1-based, like .1, .2 ...)."""
+        size = 1 << (32 - self.prefix_len)
+        if not 1 <= host_index <= max(1, size - 2):
+            raise ValueError(f"host index {host_index} out of range for /{self.prefix_len}")
+        return IPv4Address(self.network + host_index)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Subnet):
+            return self.network == other.network and self.prefix_len == other.prefix_len
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.prefix_len))
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self.network)}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"Subnet('{self}')"

@@ -1,0 +1,81 @@
+"""Network interfaces: the glue between nodes, queues, and links.
+
+An :class:`Interface` owns one egress :class:`~repro.aqm.base.QueueDiscipline`
+and one outbound :class:`~repro.net.link.Link`.  Arriving packets always go
+through the discipline (so CoDel sees a truthful enqueue timestamp even
+when the link is idle) and a dequeue loop keeps the link busy whenever the
+queue is non-empty — the standard qdisc/driver split in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.aqm.base import QueueDiscipline
+from repro.net.address import IPv4Address
+from repro.net.link import Link
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class Interface:
+    """One attachment point of a node."""
+
+    __slots__ = ("node", "name", "address", "link", "qdisc", "peer", "_busy")
+
+    def __init__(self, node: "Node", name: str, address: Optional[IPv4Address] = None):
+        self.node = node
+        self.name = name
+        self.address = address
+        self.link: Optional[Link] = None
+        self.qdisc: Optional[QueueDiscipline] = None
+        self.peer: Optional["Interface"] = None
+        self._busy = False
+
+    def attach(self, link: Link, peer: "Interface", qdisc: QueueDiscipline) -> None:
+        """Wire this interface to its outbound link / far-end interface."""
+        self.link = link
+        self.peer = peer
+        self.qdisc = qdisc
+
+    def set_qdisc(self, qdisc: QueueDiscipline) -> None:
+        """Replace the egress discipline (the `tc qdisc replace` analogue).
+
+        Only allowed while the queue is idle — experiments reconfigure
+        between runs, never mid-transfer.
+        """
+        if self.qdisc is not None and not self.qdisc.is_empty:
+            raise RuntimeError(f"cannot replace a non-empty qdisc on {self}")
+        self.qdisc = qdisc
+
+    # -- datapath -----------------------------------------------------------------
+
+    def send(self, pkt: Packet) -> None:
+        """Egress entry point: enqueue, then kick the transmit loop."""
+        if self.link is None or self.qdisc is None:
+            raise RuntimeError(f"interface {self} is not attached")
+        now = self.node.sim.now
+        if self.qdisc.enqueue(pkt, now) and not self._busy:
+            self._pump()
+
+    def _pump(self) -> None:
+        pkt = self.qdisc.dequeue(self.node.sim.now)
+        if pkt is None:
+            self._busy = False
+            return
+        self._busy = True
+        self.link.transmit(pkt, self._pump)
+
+    def deliver(self, pkt: Packet) -> None:
+        """Ingress: a packet arrived from the link; hand it to the node."""
+        self.node.receive(pkt, self)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def __repr__(self) -> str:  # pragma: no cover
+        addr = f" {self.address}" if self.address is not None else ""
+        return f"<Interface {self.node.name}:{self.name}{addr}>"

@@ -1,0 +1,91 @@
+"""Unidirectional point-to-point links.
+
+A :class:`Link` models serialization (``size * 8 / rate``) followed by
+propagation delay.  The owning :class:`~repro.net.interface.Interface`
+drives it: the link itself is just the timing + delivery piece, plus an
+optional random-loss process used by the anomaly-injection experiments the
+paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.units import tx_time_ns
+
+
+class Link:
+    """One direction of a cable: fixed rate, fixed propagation delay."""
+
+    __slots__ = (
+        "sim",
+        "rate_bps",
+        "delay_ns",
+        "deliver",
+        "name",
+        "loss_rate",
+        "_loss_rng",
+        "bytes_delivered",
+        "packets_delivered",
+        "packets_lost",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay_ns: int,
+        deliver: Callable[[Packet], None],
+        *,
+        name: str = "",
+        loss_rate: float = 0.0,
+        loss_rng: Optional[np.random.Generator] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay_ns < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay_ns}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("a loss_rng is required when loss_rate > 0")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.deliver = deliver
+        self.name = name
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self.bytes_delivered = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+
+    def tx_time(self, pkt: Packet) -> int:
+        """Serialization delay for ``pkt`` in nanoseconds."""
+        return tx_time_ns(pkt.size, self.rate_bps)
+
+    def transmit(self, pkt: Packet, on_tx_done: Callable[[], None]) -> None:
+        """Serialize ``pkt``, then propagate it to the far end.
+
+        ``on_tx_done`` fires when the last bit leaves the local interface
+        (i.e. when the interface may start the next packet); delivery at the
+        peer happens ``delay_ns`` later.
+        """
+        tx = self.tx_time(pkt)
+        self.sim.schedule(tx, self._tx_done, pkt, on_tx_done)
+
+    def _tx_done(self, pkt: Packet, on_tx_done: Callable[[], None]) -> None:
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            self.packets_lost += 1
+        else:
+            self.sim.schedule(self.delay_ns, self._deliver, pkt)
+        on_tx_done()
+
+    def _deliver(self, pkt: Packet) -> None:
+        self.bytes_delivered += pkt.size
+        self.packets_delivered += 1
+        self.deliver(pkt)

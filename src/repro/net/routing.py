@@ -1,0 +1,49 @@
+"""Static routing tables with longest-prefix match.
+
+The paper installs static routes between its five subnets on the two
+routing nodes; :class:`RoutingTable` is that mechanism.  Lookups are
+longest-prefix-match with an exact-address result cache, since the
+simulator routes every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.address import IPv4Address, Subnet
+from repro.net.interface import Interface
+
+
+class RoutingTable:
+    """Destination-subnet -> egress-interface mapping."""
+
+    def __init__(self) -> None:
+        # Sorted by prefix length, longest first, for first-match-wins LPM.
+        self._routes: List[Tuple[Subnet, Interface]] = []
+        self._cache: Dict[int, Interface] = {}
+
+    def add_route(self, subnet: Subnet, via: Interface) -> None:
+        """Install a route.  Re-adding a subnet replaces the old entry."""
+        self._routes = [(s, i) for (s, i) in self._routes if s != subnet]
+        self._routes.append((subnet, via))
+        self._routes.sort(key=lambda entry: entry[0].prefix_len, reverse=True)
+        self._cache.clear()
+
+    def lookup(self, dst: IPv4Address) -> Optional[Interface]:
+        """Longest-prefix match; None when no route covers ``dst``."""
+        key = int(dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        for subnet, iface in self._routes:
+            if dst in subnet:
+                self._cache[key] = iface
+                return iface
+        return None
+
+    @property
+    def routes(self) -> List[Tuple[Subnet, Interface]]:
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)

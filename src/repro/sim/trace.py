@@ -1,0 +1,52 @@
+"""Lightweight tracing hooks.
+
+The data path calls ``tracer.record(kind, time_ns, **fields)`` at interesting
+points (enqueue drops, retransmissions, state transitions).  The default
+:class:`NullTracer` makes these calls nearly free; tests and debugging swap
+in a recording :class:`Tracer`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+
+class NullTracer:
+    """Discards everything.  Used in production runs."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(self, kind: str, time_ns: int, **fields: Any) -> None:
+        """No-op."""
+
+
+class Tracer:
+    """Records every event as ``(kind, time_ns, fields)`` tuples."""
+
+    __slots__ = ("events", "counts")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, int, Dict[str, Any]]] = []
+        self.counts: Counter = Counter()
+
+    def record(self, kind: str, time_ns: int, **fields: Any) -> None:
+        """Append one event and bump its kind counter."""
+        self.events.append((kind, time_ns, fields))
+        self.counts[kind] += 1
+
+    def of_kind(self, kind: str) -> List[Tuple[str, int, Dict[str, Any]]]:
+        """All recorded events of one kind, in time order."""
+        return [ev for ev in self.events if ev[0] == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events and counters."""
+        self.events.clear()
+        self.counts.clear()
+
+
+NULL_TRACER = NullTracer()

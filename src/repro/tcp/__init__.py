@@ -1,0 +1,15 @@
+"""From-scratch TCP data-transfer machinery.
+
+Sequencing is in segments (fixed-MSS jumbo packets, per the paper), with
+cumulative + selective acknowledgements, SACK-based loss recovery
+(RFC 6675-style pipe accounting), RFC 6298 RTO estimation with exponential
+backoff, BBR-style delivery-rate sampling, and optional packet pacing.
+Congestion control is pluggable via :mod:`repro.cca`.
+"""
+
+from repro.tcp.connection import Connection, open_connection
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.sender import TcpSender
+
+__all__ = ["Connection", "open_connection", "TcpSender", "TcpReceiver", "RttEstimator"]

@@ -1,0 +1,98 @@
+"""Connection facade: wire a sender and a receiver across the network.
+
+``open_connection`` registers a :class:`~repro.tcp.sender.TcpSender` on the
+source host and a :class:`~repro.tcp.receiver.TcpReceiver` on the
+destination host under the same flow id, each transmitting through its
+host's primary interface — the simulator analogue of an iperf3
+client/server pair establishing one stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.cca.base import CongestionControl
+from repro.net.node import Host
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+_flow_ids = itertools.count(1)
+
+
+def next_flow_id() -> int:
+    """Globally unique flow id (process-wide counter)."""
+    return next(_flow_ids)
+
+
+class Connection:
+    """A unidirectional data transfer: sender host -> receiver host."""
+
+    def __init__(self, flow_id: int, sender: TcpSender, receiver: TcpReceiver):
+        self.flow_id = flow_id
+        self.sender = sender
+        self.receiver = receiver
+
+    def start(self, delay_ns: int = 0) -> None:
+        """Begin transmitting ``delay_ns`` from now."""
+        self.sender.start(delay_ns)
+
+    def stop(self) -> None:
+        """Stop the sender (in-flight data may still drain)."""
+        self.sender.stop()
+
+    @property
+    def bytes_received(self) -> int:
+        return self.receiver.bytes_received
+
+    @property
+    def retransmits(self) -> int:
+        return self.sender.retransmits
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Connection flow={self.flow_id}>"
+
+
+def open_connection(
+    src: Host,
+    dst: Host,
+    cca: CongestionControl,
+    *,
+    mss: int,
+    flow_id: Optional[int] = None,
+    total_segments: Optional[int] = None,
+    ecn_enabled: bool = False,
+    ack_every: int = 1,
+) -> Connection:
+    """Create and register a sender/receiver pair between two hosts."""
+    if src.sim is not dst.sim:
+        raise ValueError("source and destination must share a simulator")
+    fid = flow_id if flow_id is not None else next_flow_id()
+    src_iface = src.primary_interface()
+    dst_iface = dst.primary_interface()
+    if src_iface.address is None or dst_iface.address is None:
+        raise ValueError("both endpoints need addressed interfaces")
+
+    sender = TcpSender(
+        src.sim,
+        fid,
+        src_iface.address,
+        dst_iface.address,
+        src_iface.send,
+        cca,
+        mss=mss,
+        total_segments=total_segments,
+        ecn_enabled=ecn_enabled,
+    )
+    receiver = TcpReceiver(
+        fid,
+        dst_iface.address,
+        src_iface.address,
+        dst_iface.send,
+        lambda: dst.sim.now,
+        mss=mss,
+        ack_every=ack_every,
+    )
+    src.register_endpoint(fid, sender)
+    dst.register_endpoint(fid, receiver)
+    return Connection(fid, sender, receiver)

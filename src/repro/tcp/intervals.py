@@ -1,0 +1,78 @@
+"""Sorted, coalescing integer interval set.
+
+Used by the TCP receiver to track out-of-order segments: each arriving
+segment either extends an existing ``[start, end)`` range or opens a new
+one, and ranges merge automatically.  Lookups and insertions are
+O(log n) via :mod:`bisect` over the sorted start list.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+
+class IntervalSet:
+    """A set of disjoint half-open integer ranges ``[start, end)``."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    @property
+    def total(self) -> int:
+        """Total integers covered."""
+        return sum(e - s for s, e in self)
+
+    def __contains__(self, value: int) -> bool:
+        idx = bisect.bisect_right(self._starts, value) - 1
+        return idx >= 0 and value < self._ends[idx]
+
+    def add(self, value: int) -> Tuple[int, int]:
+        """Insert a single integer; returns the (possibly merged) range it landed in."""
+        return self.add_range(value, value + 1)
+
+    def add_range(self, start: int, end: int) -> Tuple[int, int]:
+        """Insert ``[start, end)``; returns the containing coalesced range."""
+        if start >= end:
+            raise ValueError(f"empty range [{start}, {end})")
+        starts, ends = self._starts, self._ends
+        # Find all existing ranges overlapping or adjacent to [start, end).
+        lo = bisect.bisect_left(ends, start)  # first range with end >= start
+        hi = bisect.bisect_right(starts, end)  # first range with start > end
+        if lo < hi:
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+            del starts[lo:hi]
+            del ends[lo:hi]
+        starts.insert(lo, start)
+        ends.insert(lo, end)
+        return (start, end)
+
+    def first(self) -> Optional[Tuple[int, int]]:
+        """The lowest range, or None if empty."""
+        if not self._starts:
+            return None
+        return (self._starts[0], self._ends[0])
+
+    def pop_first_if_starts_at(self, value: int) -> Optional[Tuple[int, int]]:
+        """Remove and return the first range iff it starts exactly at ``value``."""
+        if self._starts and self._starts[0] == value:
+            return (self._starts.pop(0), self._ends.pop(0))
+        return None
+
+    def range_containing(self, value: int) -> Optional[Tuple[int, int]]:
+        """The range covering ``value``, or None."""
+        idx = bisect.bisect_right(self._starts, value) - 1
+        if idx >= 0 and value < self._ends[idx]:
+            return (self._starts[idx], self._ends[idx])
+        return None

@@ -1,0 +1,107 @@
+"""Delivery-rate estimation (the BBR rate-sampling draft).
+
+Each transmitted segment snapshots the connection's ``delivered`` counter
+and timestamps; when the segment is (s)acked, the delivered delta over the
+elapsed interval gives an unbiased per-ACK bandwidth sample.  Samples taken
+while the sender was application-limited are flagged so BBR's max filter
+can ignore them.
+
+Rates are expressed in **segments per second** — with fixed-MSS flows this
+is bandwidth divided by a constant, and it keeps the BBR arithmetic in the
+same unit as cwnd.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SegmentSendState:
+    """Per-segment snapshot taken at transmission time."""
+
+    __slots__ = ("sent_time", "delivered", "delivered_time", "first_sent_time", "app_limited")
+
+    def __init__(self, sent_time: int, delivered: int, delivered_time: int, first_sent_time: int, app_limited: bool):
+        self.sent_time = sent_time
+        self.delivered = delivered
+        self.delivered_time = delivered_time
+        self.first_sent_time = first_sent_time
+        self.app_limited = app_limited
+
+
+class RateSample:
+    """The per-ACK outcome handed to the congestion controller."""
+
+    __slots__ = ("delivery_rate_pps", "is_app_limited", "interval_ns", "delivered", "prior_delivered")
+
+    def __init__(self, delivery_rate_pps: float, is_app_limited: bool, interval_ns: int, delivered: int, prior_delivered: int):
+        self.delivery_rate_pps = delivery_rate_pps
+        self.is_app_limited = is_app_limited
+        self.interval_ns = interval_ns
+        self.delivered = delivered
+        self.prior_delivered = prior_delivered
+
+
+class RateSampler:
+    """Connection-level delivery accounting."""
+
+    __slots__ = (
+        "delivered",
+        "delivered_time",
+        "first_sent_time",
+        "app_limited_until",
+        "_best",
+    )
+
+    def __init__(self) -> None:
+        self.delivered = 0  # total segments delivered (cumulative + SACK)
+        self.delivered_time = 0
+        self.first_sent_time = 0
+        # delivered-count watermark below which samples are app-limited
+        self.app_limited_until = 0
+        self._best: Optional[SegmentSendState] = None
+
+    def on_send(self, now: int, inflight: int, app_limited: bool) -> SegmentSendState:
+        """Snapshot state onto an outgoing segment."""
+        if inflight == 0:
+            self.first_sent_time = now
+            self.delivered_time = now
+        if app_limited:
+            self.app_limited_until = self.delivered + inflight + 1
+        return SegmentSendState(
+            sent_time=now,
+            delivered=self.delivered,
+            delivered_time=self.delivered_time,
+            first_sent_time=self.first_sent_time,
+            app_limited=self.delivered < self.app_limited_until,
+        )
+
+    def on_segment_delivered(self, now: int, seg: SegmentSendState) -> None:
+        """Account one newly delivered segment (called per seg, before finish)."""
+        self.delivered += 1
+        self.delivered_time = now
+        # Track the most-recently-sent delivered segment for this ACK.
+        if self._best is None or seg.delivered > self._best.delivered:
+            self._best = seg
+
+    def finish_ack(self, now: int) -> Optional[RateSample]:
+        """Produce the rate sample for the ACK just processed (if any)."""
+        seg = self._best
+        self._best = None
+        if seg is None:
+            return None
+        self.first_sent_time = seg.sent_time
+        send_elapsed = seg.sent_time - seg.first_sent_time
+        ack_elapsed = now - seg.delivered_time
+        interval = max(send_elapsed, ack_elapsed)
+        delivered_delta = self.delivered - seg.delivered
+        if interval <= 0 or delivered_delta <= 0:
+            return None
+        rate = delivered_delta * 1e9 / interval
+        return RateSample(
+            delivery_rate_pps=rate,
+            is_app_limited=seg.app_limited,
+            interval_ns=interval,
+            delivered=self.delivered,
+            prior_delivered=seg.delivered,
+        )

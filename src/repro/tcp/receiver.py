@@ -1,0 +1,137 @@
+"""The TCP receiver: reassembly and acknowledgement generation.
+
+Sends one ACK per arriving data segment (the high-throughput behaviour:
+Linux effectively quick-acks bulk flows when SACK blocks are present; a
+``ack_every`` knob provides classic delayed ACKs).  Each ACK carries:
+
+- the cumulative acknowledgement (next expected segment),
+- up to 3 SACK blocks, most recently touched ranges first (RFC 2018),
+- a timestamp echo of the data segment's send time (RTT sampling), and
+- the ECN echo when the segment arrived CE-marked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.packet import MAX_SACK_BLOCKS, Packet, make_ack_packet
+from repro.tcp.intervals import IntervalSet
+
+
+class TcpReceiver:
+    """One flow's receive side."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        local_addr,
+        remote_addr,
+        send_fn: Callable[[Packet], None],
+        clock: Callable[[], int],
+        *,
+        mss: int,
+        ack_every: int = 1,
+    ):
+        if ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        self.flow_id = flow_id
+        self.local_addr = local_addr
+        self.remote_addr = remote_addr
+        self.send_fn = send_fn
+        self.clock = clock
+        self.mss = mss
+        self.ack_every = ack_every
+
+        self.rcv_nxt = 0
+        self._ooo = IntervalSet()
+        # Ranges ordered by recency for SACK block selection.
+        self._recent_ranges: List[Tuple[int, int]] = []
+        self._unacked_segments = 0
+
+        # Counters for metrics / iperf-style reporting.
+        self.segments_received = 0
+        self.bytes_received = 0  # unique goodput bytes
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+
+    # -- ingress -----------------------------------------------------------------
+
+    def handle_packet(self, pkt: Packet) -> None:
+        """Consume one arriving data segment and emit the matching ACK."""
+        if pkt.is_ack:
+            return  # receivers only consume data
+        self.segments_received += 1
+        seq = pkt.seq
+        new_data = False
+        if seq == self.rcv_nxt:
+            new_data = True
+            self.rcv_nxt += 1
+            # Drain any contiguous out-of-order run.
+            drained = self._ooo.pop_first_if_starts_at(self.rcv_nxt)
+            if drained is not None:
+                self.rcv_nxt = drained[1]
+                self._forget_range(drained)
+        elif seq > self.rcv_nxt:
+            if seq in self._ooo:
+                self.duplicate_segments += 1
+            else:
+                new_data = True
+                merged = self._ooo.add(seq)
+                self._remember_range(merged)
+        else:
+            self.duplicate_segments += 1
+
+        if new_data:
+            self.bytes_received += pkt.size
+
+        self._unacked_segments += 1
+        # Always ACK immediately on out-of-order data (fast-retransmit food)
+        # or when the delayed-ACK quota is reached.
+        if seq != self.rcv_nxt - 1 or self._ooo or self._unacked_segments >= self.ack_every:
+            self._send_ack(pkt)
+
+    # -- SACK block bookkeeping -----------------------------------------------------
+
+    def _remember_range(self, rng: Tuple[int, int]) -> None:
+        # Drop stale versions of overlapping ranges, then push to front.
+        self._recent_ranges = [
+            r for r in self._recent_ranges if r[1] < rng[0] or r[0] > rng[1]
+        ]
+        self._recent_ranges.insert(0, rng)
+        del self._recent_ranges[8:]  # keep a short history
+
+    def _forget_range(self, rng: Tuple[int, int]) -> None:
+        self._recent_ranges = [
+            r for r in self._recent_ranges if not (rng[0] <= r[0] and r[1] <= rng[1])
+        ]
+
+    def _sack_blocks(self) -> Tuple[Tuple[int, int], ...]:
+        blocks: List[Tuple[int, int]] = []
+        for rng in self._recent_ranges:
+            live = self._ooo.range_containing(rng[0])
+            if live is not None and live not in blocks:
+                blocks.append(live)
+            if len(blocks) >= MAX_SACK_BLOCKS:
+                break
+        return tuple(blocks)
+
+    # -- egress ------------------------------------------------------------------
+
+    def _send_ack(self, data_pkt: Packet) -> None:
+        self._unacked_segments = 0
+        ack = make_ack_packet(
+            self.flow_id,
+            self.local_addr,
+            self.remote_addr,
+            self.rcv_nxt,
+            self.clock(),
+            sacks=self._sack_blocks(),
+            ts_echo=data_pkt.send_time,
+            ecn_echo=data_pkt.ecn_ce,
+        )
+        self.acks_sent += 1
+        self.send_fn(ack)
+
+    @property
+    def out_of_order_segments(self) -> int:
+        return self._ooo.total

@@ -1,0 +1,296 @@
+"""The TCP sender: window management, loss recovery, pacing, retransmission.
+
+State machine (Linux naming): OPEN -> RECOVERY on SACK-detected loss (one
+congestion event per episode, RFC 6675 pipe-gated (re)transmissions) and
+-> LOSS on retransmission timeout (everything un-SACKed presumed lost,
+exponential RTO backoff).  Both exit once the pre-episode ``snd_nxt`` is
+cumulatively acknowledged.
+
+Transmission gate: ``scoreboard.pipe < floor(cca.cwnd)``, plus a pacing
+release clock when the congestion controller requests pacing (BBR).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cca.base import AckEvent, CongestionControl
+from repro.net.packet import Packet, make_data_packet
+from repro.sim.engine import Event, Simulator
+from repro.tcp.rate_sample import RateSampler
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.sack import Scoreboard
+
+OPEN, RECOVERY, LOSS = "OPEN", "RECOVERY", "LOSS"
+
+
+class TcpSender:
+    """One flow's send side, pumping an unbounded (iperf-style) byte source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        local_addr,
+        remote_addr,
+        send_fn: Callable[[Packet], None],
+        cca: CongestionControl,
+        *,
+        mss: int,
+        total_segments: Optional[int] = None,
+        ecn_enabled: bool = False,
+    ):
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.local_addr = local_addr
+        self.remote_addr = remote_addr
+        self.send_fn = send_fn
+        self.cca = cca
+        self.mss = mss
+        self.total_segments = total_segments
+        self.ecn_enabled = ecn_enabled
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.state = OPEN
+        self.recovery_point = -1
+
+        self.scoreboard = Scoreboard()
+        self.rtt = RttEstimator()
+        self.rate_sampler = RateSampler()
+
+        # Packet-timed round trips (BBR's clock).
+        self.round_count = 0
+        self._round_end_seq = 0
+
+        # Pacing release clock.
+        self._pacing_next_ns = 0
+        self._pacing_event: Optional[Event] = None
+
+        self._rto_event: Optional[Event] = None
+        self._started = False
+        self._stopped = False
+
+        # Counters surfaced to metrics / iperf logs.
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.rto_count = 0
+        self.fast_recoveries = 0
+        self.bytes_sent = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, delay_ns: int = 0) -> None:
+        """Begin transmitting ``delay_ns`` from now."""
+        if self._started:
+            raise RuntimeError(f"flow {self.flow_id} already started")
+        self._started = True
+        self.sim.schedule(delay_ns, self._begin)
+
+    def _begin(self) -> None:
+        if not self._stopped:
+            self.try_send()
+
+    def stop(self) -> None:
+        """Stop sending new data (in-flight data may still be acked)."""
+        self._stopped = True
+        if self._pacing_event is not None:
+            self._pacing_event.cancel()
+            self._pacing_event = None
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    @property
+    def done(self) -> bool:
+        """All requested data acknowledged (finite transfers only)."""
+        return self.total_segments is not None and self.snd_una >= self.total_segments
+
+    # -- ACK ingestion ------------------------------------------------------------
+
+    def handle_packet(self, pkt: Packet) -> None:
+        """Process one arriving ACK: scoreboard, RTT, CCA, transmission."""
+        if not pkt.is_ack or self._stopped:
+            return
+        now = self.sim.now
+        sampler = self.rate_sampler
+        newly_acked = 0
+
+        if pkt.ack > self.snd_una:
+            delivered_states = self.scoreboard.cumulative_ack(self.snd_una, pkt.ack)
+            newly_acked = pkt.ack - self.snd_una
+            for st in delivered_states:
+                sampler.on_segment_delivered(now, st)
+            self.snd_una = pkt.ack
+            self._restart_rto()
+            if self.state != OPEN and self.snd_una >= self.recovery_point:
+                self.state = OPEN
+
+        newly_sacked_states = self.scoreboard.apply_sacks(pkt.sacks, self.snd_una, self.snd_nxt)
+        for st in newly_sacked_states:
+            sampler.on_segment_delivered(now, st)
+        newly_sacked = len(newly_sacked_states)
+
+        if pkt.ts_echo >= 0:
+            rtt_sample = now - pkt.ts_echo
+            if rtt_sample > 0:
+                self.rtt.on_sample(rtt_sample)
+
+        newly_lost = self.scoreboard.mark_losses(self.snd_una)
+        if newly_lost and self.state == OPEN:
+            self.state = RECOVERY
+            self.recovery_point = self.snd_nxt
+            self.fast_recoveries += 1
+            self.cca.on_congestion_event(now)
+
+        round_start = False
+        if self.snd_una >= self._round_end_seq:
+            self.round_count += 1
+            self._round_end_seq = self.snd_nxt
+            round_start = True
+
+        sample = sampler.finish_ack(now)
+        ev = AckEvent(
+            now_ns=now,
+            newly_acked=newly_acked,
+            newly_sacked=newly_sacked,
+            newly_lost=newly_lost,
+            rtt_ns=self.rtt.latest_rtt_ns,
+            min_rtt_ns=self.rtt.min_rtt_ns,
+            srtt_ns=self.rtt.srtt_ns,
+            delivery_rate_pps=sample.delivery_rate_pps if sample else None,
+            is_app_limited=sample.is_app_limited if sample else False,
+            inflight=self.scoreboard.pipe,
+            round_start=round_start,
+            round_count=self.round_count,
+            # LOSS (post-RTO) slow start must grow the window; only fast
+            # recovery freezes growth.
+            in_recovery=self.state == RECOVERY,
+            total_delivered=sampler.delivered,
+        )
+        self.cca.on_ack(ev)
+        if pkt.ecn_echo:
+            self.cca.on_ecn(now)
+
+        if self.scoreboard.pipe == 0 and self.snd_una >= self.snd_nxt and self._rto_event is not None:
+            # Nothing outstanding: quiesce the timer.
+            self._rto_event.cancel()
+            self._rto_event = None
+        self.try_send()
+
+    # -- transmission ------------------------------------------------------------
+
+    def _cwnd_limit(self) -> int:
+        return max(1, int(self.cca.cwnd))
+
+    def _has_new_data(self) -> bool:
+        if self._stopped:
+            return False
+        if self.total_segments is None:
+            return True
+        return self.snd_nxt < self.total_segments
+
+    def try_send(self) -> None:
+        """Transmit while the window (and pacing clock) allow."""
+        if self._stopped:
+            return
+        now = self.sim.now
+        pacing_rate = self.cca.pacing_rate_pps
+        while True:
+            if self.scoreboard.pipe >= self._cwnd_limit():
+                return
+            retx_seq = self.scoreboard.next_retx(self.snd_una)
+            if retx_seq is None and not self._has_new_data():
+                return
+            if pacing_rate is not None and pacing_rate > 0:
+                if now < self._pacing_next_ns:
+                    self._arm_pacing_timer()
+                    # Re-queue the retransmission we peeled off.
+                    if retx_seq is not None:
+                        self.scoreboard.requeue_retx(retx_seq)
+                    return
+                gap_ns = int(1e9 / pacing_rate)
+                base = self._pacing_next_ns if self._pacing_next_ns > now - gap_ns else now
+                self._pacing_next_ns = base + gap_ns
+            if retx_seq is not None:
+                self._transmit(retx_seq, is_retx=True)
+            else:
+                self._transmit(self.snd_nxt, is_retx=False)
+                self.snd_nxt += 1
+
+    def _transmit(self, seq: int, *, is_retx: bool) -> None:
+        now = self.sim.now
+        app_limited = (
+            self.total_segments is not None
+            and not is_retx
+            and seq >= self.total_segments - 1
+        )
+        send_state = self.rate_sampler.on_send(now, self.scoreboard.pipe, app_limited)
+        if is_retx:
+            self.scoreboard.register_retx(seq, send_state)
+            self.retransmits += 1
+        else:
+            self.scoreboard.register_send(seq, send_state)
+        pkt = make_data_packet(
+            self.flow_id,
+            self.local_addr,
+            self.remote_addr,
+            seq,
+            self.mss,
+            now,
+            is_retx=is_retx,
+            ecn_ect=self.ecn_enabled,
+        )
+        self.segments_sent += 1
+        self.bytes_sent += self.mss
+        if self._rto_event is None:
+            self._restart_rto()
+        self.cca.on_sent(now, self.scoreboard.pipe)
+        self.send_fn(pkt)
+
+    def _arm_pacing_timer(self) -> None:
+        if self._pacing_event is not None and not self._pacing_event.cancelled:
+            return
+        delay = max(0, self._pacing_next_ns - self.sim.now)
+        self._pacing_event = self.sim.schedule(delay, self._pacing_fire)
+
+    def _pacing_fire(self) -> None:
+        self._pacing_event = None
+        self.try_send()
+
+    # -- RTO ---------------------------------------------------------------------
+
+    def _restart_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule(self.rtt.rto_ns, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self._stopped or (self.scoreboard.pipe == 0 and self.snd_una >= self.snd_nxt):
+            return
+        self.rto_count += 1
+        self.rtt.on_backoff()
+        self.scoreboard.on_rto(self.snd_una, self.snd_nxt)
+        first_timeout = self.state != LOSS
+        self.state = LOSS
+        self.recovery_point = self.snd_nxt
+        self.cca.on_rto(self.sim.now, first_timeout)
+        # Reset the pacing clock so the retransmission goes out now.
+        self._pacing_next_ns = self.sim.now
+        self._restart_rto()
+        self.try_send()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self.scoreboard.pipe
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TcpSender flow={self.flow_id} una={self.snd_una} nxt={self.snd_nxt} "
+            f"pipe={self.scoreboard.pipe} cwnd={self.cca.cwnd:.1f} {self.state}>"
+        )

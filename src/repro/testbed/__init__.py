@@ -1,0 +1,18 @@
+"""FABRIC-testbed facade: sites, the paper's dumbbell, tc-style config."""
+
+from repro.testbed.dumbbell import Dumbbell, DumbbellConfig, build_dumbbell
+from repro.testbed.fablib import FablibManager, Slice
+from repro.testbed.sites import SITES, Site, path_one_way_delay_ns
+from repro.testbed.tc import TrafficControl
+
+__all__ = [
+    "Site",
+    "SITES",
+    "path_one_way_delay_ns",
+    "Dumbbell",
+    "DumbbellConfig",
+    "build_dumbbell",
+    "TrafficControl",
+    "FablibManager",
+    "Slice",
+]

@@ -1,0 +1,103 @@
+"""Network anomaly injection.
+
+The paper's future work includes observing "performance under network
+anomalies (e.g. variable rates of packet loss)".  This module schedules
+time-varying impairments on simulated links:
+
+- :class:`LossSchedule` — step changes to a link's random loss rate
+  (e.g. a 1 % loss episode between t=30 s and t=60 s);
+- :class:`RateSchedule` — step changes to a link's rate (e.g. a capacity
+  degradation when a LAG member fails).
+
+Both mutate live :class:`~repro.net.link.Link` parameters at their
+scheduled instants; packets already serialized are unaffected, exactly
+as with a real `tc netem`/`tc tbf` change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.link import Link
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scheduled change: at ``time_ns``, apply ``value``."""
+
+    time_ns: int
+    value: float
+
+
+def _validate_steps(steps: Sequence[Step]) -> List[Step]:
+    ordered = sorted(steps, key=lambda s: s.time_ns)
+    for step in ordered:
+        if step.time_ns < 0:
+            raise ValueError(f"step time must be >= 0, got {step.time_ns}")
+    return ordered
+
+
+class LossSchedule:
+    """Drive a link's random loss rate through scheduled episodes."""
+
+    def __init__(self, sim: Simulator, link: Link, steps: Sequence[Step], rng: Optional[np.random.Generator] = None):
+        for step in steps:
+            if not 0.0 <= step.value < 1.0:
+                raise ValueError(f"loss rate must be in [0, 1), got {step.value}")
+        self.sim = sim
+        self.link = link
+        self.steps = _validate_steps(steps)
+        self.applied: List[Tuple[int, float]] = []
+        if rng is not None and link._loss_rng is None:
+            link._loss_rng = rng
+        if any(s.value > 0 for s in self.steps) and link._loss_rng is None:
+            raise ValueError("link has no loss RNG; pass rng=...")
+        for step in self.steps:
+            sim.schedule_at(max(step.time_ns, sim.now), self._apply, step.value)
+
+    def _apply(self, loss_rate: float) -> None:
+        self.link.loss_rate = loss_rate
+        self.applied.append((self.sim.now, loss_rate))
+
+
+class RateSchedule:
+    """Drive a link's rate through scheduled capacity changes."""
+
+    def __init__(self, sim: Simulator, link: Link, steps: Sequence[Step]):
+        for step in steps:
+            if step.value <= 0:
+                raise ValueError(f"rate must be positive, got {step.value}")
+        self.sim = sim
+        self.link = link
+        self.steps = _validate_steps(steps)
+        self.applied: List[Tuple[int, float]] = []
+        for step in self.steps:
+            sim.schedule_at(max(step.time_ns, sim.now), self._apply, step.value)
+
+    def _apply(self, rate_bps: float) -> None:
+        self.link.rate_bps = rate_bps
+        self.applied.append((self.sim.now, rate_bps))
+
+
+def loss_episode(
+    sim: Simulator,
+    link: Link,
+    *,
+    start_ns: int,
+    end_ns: int,
+    loss_rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> LossSchedule:
+    """Convenience: one loss episode of ``loss_rate`` over [start, end)."""
+    if end_ns <= start_ns:
+        raise ValueError("episode end must come after its start")
+    return LossSchedule(
+        sim,
+        link,
+        [Step(start_ns, loss_rate), Step(end_ns, 0.0)],
+        rng=rng,
+    )

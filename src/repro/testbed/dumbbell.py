@@ -1,0 +1,206 @@
+"""The paper's dumbbell topology (Figure 1).
+
+Six nodes over four sites: two traffic-generating clients at Clemson, a
+router in Washington, a router at NCSA, and two servers at TACC.  Five
+/24 subnets, static routes on both routers, 25 Gbps NICs on the end
+hosts, 100 Gbps on the router trunk — and the bottleneck (rate, AQM,
+queue length) configured on router1's egress toward router2, exactly
+where the paper applies `tc`.
+
+``scale`` divides every link rate (not delays), which shrinks
+BDP-in-packets proportionally across all tiers — the knob the scaled DES
+presets use to keep packet-level runs tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aqm.base import QueueDiscipline
+from repro.net.address import Subnet
+from repro.net.node import Host, Router
+from repro.net.topology import Network
+from repro.testbed.sites import hop_one_way_delay_ns
+from repro.testbed.tc import TrafficControl
+from repro.units import bdp_bytes, gbps
+
+#: The paper's jumbo-frame packet size.
+PAPER_MSS_BYTES = 8900
+#: End-host NIC (Mellanox ConnectX-5, 25 GbE) and router trunk (ConnectX-6, 100 GbE).
+NIC_RATE_BPS = gbps(25)
+TRUNK_RATE_BPS = gbps(100)
+
+SUBNETS = {
+    "client1-r1": Subnet("10.0.1.0/24"),
+    "client2-r1": Subnet("10.0.2.0/24"),
+    "r1-r2": Subnet("10.0.3.0/24"),
+    "r2-server1": Subnet("10.0.4.0/24"),
+    "r2-server2": Subnet("10.0.5.0/24"),
+}
+
+
+@dataclass
+class DumbbellConfig:
+    """Everything needed to stand up one experiment topology."""
+
+    bottleneck_bw_bps: float
+    buffer_bdp: float = 2.0
+    aqm: str = "fifo"
+    mss_bytes: int = PAPER_MSS_BYTES
+    scale: float = 1.0
+    seed: int = 0
+    ecn_mode: bool = False
+    aqm_params: Dict[str, Any] = field(default_factory=dict)
+    #: Extra propagation stretch applied to every hop (RTT ablation).
+    delay_multiplier: float = 1.0
+    #: Per-client stretch of the access-link delay only — gives the two
+    #: sender nodes different end-to-end RTTs (RTT-unfairness ablation).
+    client_delay_multipliers: Tuple[float, float] = (1.0, 1.0)
+    #: Random loss on the trunk (anomaly-injection ablation).
+    trunk_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bottleneck_bw_bps <= 0:
+            raise ValueError("bottleneck bandwidth must be positive")
+        if self.buffer_bdp <= 0:
+            raise ValueError("buffer size (in BDP) must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.delay_multiplier <= 0:
+            raise ValueError("delay multiplier must be positive")
+        if len(self.client_delay_multipliers) != 2 or any(
+            m <= 0 for m in self.client_delay_multipliers
+        ):
+            raise ValueError("client delay multipliers must be two positive factors")
+
+    @property
+    def scaled_bottleneck_bps(self) -> float:
+        return self.bottleneck_bw_bps / self.scale
+
+    @property
+    def rtt_ns(self) -> int:
+        base = 2 * (
+            hop_one_way_delay_ns("CLEM", "WASH")
+            + hop_one_way_delay_ns("WASH", "NCSA")
+            + hop_one_way_delay_ns("NCSA", "TACC")
+        )
+        return int(base * self.delay_multiplier)
+
+    @property
+    def bdp_bytes(self) -> int:
+        """BDP of the (scaled) bottleneck over the full-path RTT (paper eq. 1)."""
+        return bdp_bytes(self.scaled_bottleneck_bps, self.rtt_ns)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return max(self.mss_bytes, int(self.buffer_bdp * self.bdp_bytes))
+
+
+@dataclass
+class Dumbbell:
+    """The built topology plus handles the runner needs."""
+
+    config: DumbbellConfig
+    network: Network
+    clients: List[Host]
+    servers: List[Host]
+    router1: Router
+    router2: Router
+    bottleneck_qdisc: QueueDiscipline
+    tc: TrafficControl
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    @property
+    def bottleneck_link(self):
+        return self.network.links["router1->router2"]
+
+
+def build_dumbbell(config: DumbbellConfig) -> Dumbbell:
+    """Stand up the 6-node topology with the bottleneck configured."""
+    net = Network(seed=config.seed)
+    client1 = net.add_host("client1")
+    client2 = net.add_host("client2")
+    server1 = net.add_host("server1")
+    server2 = net.add_host("server2")
+    r1 = net.add_router("router1")
+    r2 = net.add_router("router2")
+
+    s = SUBNETS
+    ifaces = {
+        "client1": client1.add_interface("eth0", s["client1-r1"].address(1)),
+        "client2": client2.add_interface("eth0", s["client2-r1"].address(1)),
+        "server1": server1.add_interface("eth0", s["r2-server1"].address(1)),
+        "server2": server2.add_interface("eth0", s["r2-server2"].address(1)),
+        "r1-c1": r1.add_interface("eth1", s["client1-r1"].address(2)),
+        "r1-c2": r1.add_interface("eth2", s["client2-r1"].address(2)),
+        "r1-r2": r1.add_interface("eth0", s["r1-r2"].address(1)),
+        "r2-r1": r2.add_interface("eth0", s["r1-r2"].address(2)),
+        "r2-s1": r2.add_interface("eth1", s["r2-server1"].address(2)),
+        "r2-s2": r2.add_interface("eth2", s["r2-server2"].address(2)),
+    }
+
+    scale = config.scale
+    mult = config.delay_multiplier
+    d_cw = int(hop_one_way_delay_ns("CLEM", "WASH") * mult)
+    d_wn = int(hop_one_way_delay_ns("WASH", "NCSA") * mult)
+    d_nt = int(hop_one_way_delay_ns("NCSA", "TACC") * mult)
+
+    # Access links: client NICs into router1 (per-client delay stretch
+    # implements the RTT-unfairness ablation).
+    m1, m2 = config.client_delay_multipliers
+    net.connect(ifaces["client1"], ifaces["r1-c1"], rate_bps=NIC_RATE_BPS / scale,
+                delay_ns=int(d_cw * m1))
+    net.connect(ifaces["client2"], ifaces["r1-c2"], rate_bps=NIC_RATE_BPS / scale,
+                delay_ns=int(d_cw * m2))
+    # The trunk: shaped to the bottleneck rate in the data direction,
+    # full 100G on the (ACK) return path.
+    net.connect(
+        ifaces["r1-r2"],
+        ifaces["r2-r1"],
+        rate_bps=config.scaled_bottleneck_bps,
+        rate_ba_bps=TRUNK_RATE_BPS / scale,
+        delay_ns=d_wn,
+        loss_rate=config.trunk_loss_rate,
+    )
+    # Server side.
+    net.connect(ifaces["r2-s1"], ifaces["server1"], rate_bps=NIC_RATE_BPS / scale, delay_ns=d_nt)
+    net.connect(ifaces["r2-s2"], ifaces["server2"], rate_bps=NIC_RATE_BPS / scale, delay_ns=d_nt)
+
+    # Static routes ("from and to all subnets").
+    r1.add_route(s["client1-r1"], ifaces["r1-c1"])
+    r1.add_route(s["client2-r1"], ifaces["r1-c2"])
+    r1.add_route(s["r2-server1"], ifaces["r1-r2"])
+    r1.add_route(s["r2-server2"], ifaces["r1-r2"])
+    r1.add_route(s["r1-r2"], ifaces["r1-r2"])
+    r2.add_route(s["r2-server1"], ifaces["r2-s1"])
+    r2.add_route(s["r2-server2"], ifaces["r2-s2"])
+    r2.add_route(s["client1-r1"], ifaces["r2-r1"])
+    r2.add_route(s["client2-r1"], ifaces["r2-r1"])
+    r2.add_route(s["r1-r2"], ifaces["r2-r1"])
+
+    # Bottleneck AQM on router1's egress toward router2 (where the paper
+    # applies `tc`).
+    tc = TrafficControl(rng=net.rng.stream("aqm"))
+    tc.qdisc_replace(
+        ifaces["r1-r2"],
+        config.aqm,
+        limit_bytes=config.buffer_bytes,
+        mtu_bytes=config.mss_bytes,
+        ecn_mode=config.ecn_mode,
+        **config.aqm_params,
+    )
+
+    return Dumbbell(
+        config=config,
+        network=net,
+        clients=[client1, client2],
+        servers=[server1, server2],
+        router1=r1,
+        router2=r2,
+        bottleneck_qdisc=ifaces["r1-r2"].qdisc,
+        tc=tc,
+    )

@@ -1,0 +1,58 @@
+"""FABRIC site metadata for the paper's topology.
+
+The experiment spans four FABRIC sites — Clemson (CLEM), Washington
+(WASH), NCSA, and TACC — with a measured end-to-end RTT of ~62 ms.  The
+per-hop one-way delays below are chosen to sum to 31 ms one-way over the
+CLEM->WASH->NCSA->TACC path while roughly matching geography; the
+end-to-end RTT (the only quantity the paper reports) is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.units import microseconds
+
+
+@dataclass(frozen=True)
+class Site:
+    """One FABRIC site."""
+
+    code: str
+    name: str
+
+
+SITES: Dict[str, Site] = {
+    "CLEM": Site("CLEM", "Clemson University"),
+    "WASH": Site("WASH", "Washington DC"),
+    "NCSA": Site("NCSA", "National Center for Supercomputing Applications"),
+    "TACC": Site("TACC", "Texas Advanced Computing Center"),
+}
+
+# One-way propagation delay per adjacent hop (ns).  Sums to 31 ms.
+HOP_DELAYS_NS: Dict[Tuple[str, str], int] = {
+    ("CLEM", "WASH"): microseconds(7_000),
+    ("WASH", "NCSA"): microseconds(9_000),
+    ("NCSA", "TACC"): microseconds(15_000),
+}
+# Symmetric.
+HOP_DELAYS_NS.update({(b, a): d for (a, b), d in list(HOP_DELAYS_NS.items())})
+
+
+def hop_one_way_delay_ns(a: str, b: str) -> int:
+    """One-way delay of the direct hop a<->b."""
+    try:
+        return HOP_DELAYS_NS[(a, b)]
+    except KeyError:
+        raise ValueError(f"no direct hop between {a} and {b}") from None
+
+
+def path_one_way_delay_ns(path: Sequence[str]) -> int:
+    """One-way delay along a multi-hop site path."""
+    return sum(hop_one_way_delay_ns(a, b) for a, b in zip(path, path[1:]))
+
+
+#: The paper's path and its end-to-end RTT (~62 ms).
+PAPER_PATH = ("CLEM", "WASH", "NCSA", "TACC")
+PAPER_RTT_NS = 2 * path_one_way_delay_ns(PAPER_PATH)

@@ -1,0 +1,15 @@
+"""iperf3-style traffic generation and logging."""
+
+from repro.traffic.iperf import Iperf3Client, Iperf3Server, StreamResult
+from repro.traffic.logs import dump_iperf_json, load_iperf_json
+from repro.traffic.mice import MouseRecord, PoissonMice
+
+__all__ = [
+    "Iperf3Server",
+    "Iperf3Client",
+    "StreamResult",
+    "dump_iperf_json",
+    "load_iperf_json",
+    "PoissonMice",
+    "MouseRecord",
+]

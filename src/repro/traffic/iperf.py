@@ -1,0 +1,239 @@
+"""An iperf3-shaped traffic generator.
+
+The paper drives its transfers with iperf3 processes (Table 2: up to 25
+processes per node x 10 parallel streams).  :class:`Iperf3Client` mirrors
+the tool's observable behaviour: one client owns ``parallel`` streams
+(TCP connections with the chosen congestion control), runs for a fixed
+duration, samples per-interval rates, and renders a result dict with the
+same overall shape as ``iperf3 --json`` output (start / intervals / end),
+which :mod:`repro.analysis.parse_iperf` consumes.
+
+A server must be listening on the destination host first — like the real
+tool, a client pointed at a host with no server errors out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cca.registry import canonical_cca_name, make_cca
+from repro.net.node import Host
+from repro.sim.engine import Simulator
+from repro.tcp.connection import Connection, open_connection
+from repro.units import NS_PER_SEC, seconds
+
+IPERF_VERSION_STRING = "iperf 3.7-sim (repro)"
+DEFAULT_INTERVAL_S = 1.0
+
+
+class Iperf3Server:
+    """The listening side; tracks which hosts accept connections."""
+
+    _registry: Dict[int, "Iperf3Server"] = {}
+
+    def __init__(self, host: Host, port: int = 5201):
+        key = (id(host.sim), id(host), port)
+        self.host = host
+        self.port = port
+        self._key = hash(key)
+        if self._key in Iperf3Server._registry:
+            raise RuntimeError(f"a server is already listening on {host.name}:{port}")
+        Iperf3Server._registry[self._key] = self
+
+    def close(self) -> None:
+        """Stop listening (frees the host:port for a new server)."""
+        Iperf3Server._registry.pop(self._key, None)
+
+    @classmethod
+    def is_listening(cls, host: Host, port: int) -> bool:
+        return hash((id(host.sim), id(host), port)) in cls._registry
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        cls._registry.clear()
+
+
+@dataclass
+class StreamResult:
+    """Per-stream totals, mirroring iperf3's end.streams entries."""
+
+    stream_id: int
+    bytes_received: int
+    retransmits: int
+    throughput_bps: float
+    intervals_bps: List[float] = field(default_factory=list)
+
+
+class Iperf3Client:
+    """One iperf3 process: N parallel streams from client to server."""
+
+    def __init__(
+        self,
+        client: Host,
+        server: Host,
+        *,
+        congestion: str = "cubic",
+        parallel: int = 1,
+        duration_s: float = 10.0,
+        mss: int = 1500,
+        port: int = 5201,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        ecn: bool = False,
+        cca_rng=None,
+    ):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if not Iperf3Server.is_listening(server, port):
+            raise ConnectionRefusedError(
+                f"no iperf3 server listening on {server.name}:{port}"
+            )
+        self.client = client
+        self.server = server
+        self.congestion = canonical_cca_name(congestion)
+        self.parallel = parallel
+        self.duration_s = duration_s
+        self.mss = mss
+        self.port = port
+        self.interval_s = interval_s
+        self.ecn = ecn
+        self._cca_rng = cca_rng
+        self.connections: List[Connection] = []
+        self._interval_marks: List[int] = []
+        self._interval_bytes: Dict[int, List[int]] = {}
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self, delay_ns: int = 0) -> None:
+        """Open all streams and schedule interval sampling + shutdown."""
+        if self._started:
+            raise RuntimeError("client already started")
+        self._started = True
+        sim: Simulator = self.client.sim
+        for _ in range(self.parallel):
+            conn = open_connection(
+                self.client,
+                self.server,
+                make_cca(self.congestion, self._cca_rng),
+                mss=self.mss,
+                ecn_enabled=self.ecn,
+            )
+            conn.start(delay_ns)
+            self.connections.append(conn)
+            self._interval_bytes[conn.flow_id] = [0]
+        sim.schedule(delay_ns + seconds(self.interval_s), self._interval_tick)
+        sim.schedule(delay_ns + seconds(self.duration_s), self._finish)
+
+    def _interval_tick(self) -> None:
+        # Note: the final tick shares a timestamp with _finish and may run
+        # after it; it must still record the last interval.
+        self._interval_marks.append(self.client.sim.now)
+        for conn in self.connections:
+            self._interval_bytes[conn.flow_id].append(conn.receiver.bytes_received)
+        if len(self._interval_marks) * self.interval_s < self.duration_s:
+            self.client.sim.schedule(seconds(self.interval_s), self._interval_tick)
+
+    def _finish(self) -> None:
+        for conn in self.connections:
+            conn.stop()
+        self._started = False
+
+    # -- results --------------------------------------------------------------------
+
+    def stream_results(self) -> List[StreamResult]:
+        """Per-stream totals and per-interval rates."""
+        out: List[StreamResult] = []
+        for conn in self.connections:
+            marks = self._interval_bytes[conn.flow_id]
+            intervals = [
+                (b - a) * 8 / self.interval_s for a, b in zip(marks, marks[1:])
+            ]
+            out.append(
+                StreamResult(
+                    stream_id=conn.flow_id,
+                    bytes_received=conn.receiver.bytes_received,
+                    retransmits=conn.sender.retransmits,
+                    throughput_bps=conn.receiver.bytes_received * 8 / self.duration_s,
+                    intervals_bps=intervals,
+                )
+            )
+        return out
+
+    def json_result(self) -> Dict[str, Any]:
+        """An iperf3 ``--json``-shaped result document."""
+        streams = self.stream_results()
+        n_intervals = max((len(s.intervals_bps) for s in streams), default=0)
+        intervals_doc = []
+        for i in range(n_intervals):
+            per_stream = []
+            for s in streams:
+                bps = s.intervals_bps[i] if i < len(s.intervals_bps) else 0.0
+                per_stream.append(
+                    {
+                        "socket": s.stream_id,
+                        "start": i * self.interval_s,
+                        "end": (i + 1) * self.interval_s,
+                        "seconds": self.interval_s,
+                        "bytes": int(bps * self.interval_s / 8),
+                        "bits_per_second": bps,
+                    }
+                )
+            total_bps = sum(p["bits_per_second"] for p in per_stream)
+            intervals_doc.append(
+                {
+                    "streams": per_stream,
+                    "sum": {
+                        "start": i * self.interval_s,
+                        "end": (i + 1) * self.interval_s,
+                        "seconds": self.interval_s,
+                        "bytes": int(total_bps * self.interval_s / 8),
+                        "bits_per_second": total_bps,
+                    },
+                }
+            )
+        total_bytes = sum(s.bytes_received for s in streams)
+        total_retx = sum(s.retransmits for s in streams)
+        return {
+            "start": {
+                "version": IPERF_VERSION_STRING,
+                "test_start": {
+                    "protocol": "TCP",
+                    "num_streams": self.parallel,
+                    "duration": self.duration_s,
+                    "congestion": self.congestion,
+                    "mss": self.mss,
+                },
+                "connecting_to": {"host": self.server.name, "port": self.port},
+            },
+            "intervals": intervals_doc,
+            "end": {
+                "streams": [
+                    {
+                        "sender": {
+                            "socket": s.stream_id,
+                            "bytes": s.bytes_received,
+                            "bits_per_second": s.throughput_bps,
+                            "retransmits": s.retransmits,
+                        },
+                        "receiver": {
+                            "socket": s.stream_id,
+                            "bytes": s.bytes_received,
+                            "bits_per_second": s.throughput_bps,
+                        },
+                    }
+                    for s in streams
+                ],
+                "sum_sent": {
+                    "bytes": total_bytes,
+                    "bits_per_second": total_bytes * 8 / self.duration_s,
+                    "retransmits": total_retx,
+                },
+                "sum_received": {
+                    "bytes": total_bytes,
+                    "bits_per_second": total_bytes * 8 / self.duration_s,
+                },
+            },
+        }

@@ -1,0 +1,34 @@
+"""Reading/writing iperf3-style JSON logs.
+
+The paper publishes its raw iperf3 logs; these helpers produce and consume
+the same document shape so downstream tooling (and
+:mod:`repro.analysis.parse_iperf`) can be exercised against files on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+PathLike = Union[str, Path]
+
+
+def dump_iperf_json(result: Dict[str, Any], path: PathLike) -> Path:
+    """Write one iperf3-shaped result document to ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return p
+
+
+def load_iperf_json(path: PathLike) -> Dict[str, Any]:
+    """Read an iperf3 JSON document, validating its basic shape."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    for key in ("start", "intervals", "end"):
+        if key not in doc:
+            raise ValueError(f"{path}: not an iperf3 JSON document (missing {key!r})")
+    return doc

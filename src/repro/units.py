@@ -1,0 +1,96 @@
+"""Unit helpers shared across the simulator.
+
+All simulator time is kept in **integer nanoseconds** and all link rates in
+**bits per second**.  These helpers make experiment configuration read like
+the paper ("62 ms RTT", "25 Gbps bottleneck", "2 x BDP buffer") while the
+engine internals stay in integer arithmetic.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def seconds(t: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(t * NS_PER_SEC))
+
+
+def milliseconds(t: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(t * NS_PER_MS))
+
+
+def microseconds(t: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(t * NS_PER_US))
+
+
+def to_seconds(t_ns: int) -> float:
+    """Convert integer nanoseconds back to float seconds."""
+    return t_ns / NS_PER_SEC
+
+
+# --- rate ------------------------------------------------------------------
+
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+
+def mbps(rate: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return rate * MBPS
+
+
+def gbps(rate: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return rate * GBPS
+
+
+def tx_time_ns(size_bytes: int, rate_bps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a ``rate_bps`` link, in ns."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return max(1, int(round(size_bytes * 8 * NS_PER_SEC / rate_bps)))
+
+
+# --- bandwidth-delay product (paper eq. 1) -----------------------------------
+
+
+def bdp_bytes(bottleneck_bps: float, rtt_ns: int) -> int:
+    """Bandwidth-delay product in bytes (paper's Equation 1).
+
+    ``BDP = BW_bottleneck * RTT / 8`` with BW in bits/s and RTT in seconds.
+    """
+    if bottleneck_bps <= 0:
+        raise ValueError(f"bottleneck bandwidth must be positive, got {bottleneck_bps}")
+    if rtt_ns <= 0:
+        raise ValueError(f"RTT must be positive, got {rtt_ns}")
+    return max(1, int(round(bottleneck_bps * (rtt_ns / NS_PER_SEC) / 8)))
+
+
+def bdp_packets(bottleneck_bps: float, rtt_ns: int, mtu_bytes: int) -> int:
+    """Bandwidth-delay product expressed in MTU-sized packets (at least 1)."""
+    if mtu_bytes <= 0:
+        raise ValueError(f"MTU must be positive, got {mtu_bytes}")
+    return max(1, bdp_bytes(bottleneck_bps, rtt_ns) // mtu_bytes)
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable rate string used in reports ("25 Gbps", "500 Mbps")."""
+    if rate_bps >= GBPS:
+        value = rate_bps / GBPS
+        unit = "Gbps"
+    elif rate_bps >= MBPS:
+        value = rate_bps / MBPS
+        unit = "Mbps"
+    else:
+        value = rate_bps / KBPS
+        unit = "Kbps"
+    text = f"{value:.10g}"
+    return f"{text} {unit}"

@@ -1,0 +1,64 @@
+"""Unit tests for the ML dataset export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.dataset import flows_table, intervals_table, runs_table, write_csv
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.units import mbps
+from tests.analysis.test_aggregate import make_result
+
+
+def test_runs_table_columns():
+    rows = runs_table(ResultSet([make_result(), make_result(seed=2)]))
+    assert len(rows) == 2
+    row = rows[0]
+    assert row["cca1"] == "cubic" and row["cca2"] == "cubic"
+    assert row["aqm"] == "fifo"
+    assert "jain_index" in row and "link_utilization" in row
+    assert all(not isinstance(v, (list, dict)) for v in row.values())
+
+
+def test_flows_table_expands_per_flow():
+    r = run_packet_experiment(
+        ExperimentConfig(cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(10),
+                         duration_s=4.0, mss_bytes=1500, flows_per_node=2, seed=5)
+    )
+    rows = flows_table(ResultSet([r]))
+    assert len(rows) == 4
+    assert {row["sender_node"] for row in rows} == {"client1", "client2"}
+
+
+def test_intervals_table_requires_sampling():
+    unsampled = run_packet_experiment(
+        ExperimentConfig(cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(10),
+                         duration_s=4.0, mss_bytes=1500, flows_per_node=1, seed=5)
+    )
+    assert intervals_table(ResultSet([unsampled])) == []
+    sampled = run_packet_experiment(
+        ExperimentConfig(cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(10),
+                         duration_s=4.0, mss_bytes=1500, flows_per_node=1, seed=5,
+                         sample_interval_s=1.0)
+    )
+    rows = intervals_table(ResultSet([sampled]))
+    assert len(rows) == 2 * 4  # 2 flows x 4 intervals
+    assert rows[0]["t_start_s"] == 0.0
+    assert rows[3]["interval"] == 3
+
+
+def test_write_csv_roundtrip(tmp_path):
+    rows = runs_table(ResultSet([make_result(), make_result(seed=2)]))
+    path = write_csv(rows, tmp_path / "runs.csv")
+    with path.open() as fh:
+        loaded = list(csv.DictReader(fh))
+    assert len(loaded) == 2
+    assert loaded[0]["cca1"] == "cubic"
+    assert float(loaded[0]["jain_index"]) == pytest.approx(rows[0]["jain_index"])
+
+
+def test_write_csv_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv([], tmp_path / "x.csv")

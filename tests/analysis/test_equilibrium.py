@@ -1,0 +1,48 @@
+"""Unit tests for the Fig-2 equilibrium-point extractor."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import equilibrium_points
+
+
+def _series(buffers, gaps_by_bw):
+    """Build a fig2-style series from per-bw (buffer -> gap) lists."""
+    out = {"x-vs-cubic": {}}
+    for bw, gaps in gaps_by_bw.items():
+        out["x-vs-cubic"][bw] = {
+            "buffers": list(buffers),
+            "cca1_bps": [50 + g / 2 for g in gaps],
+            "cca2_bps": [50 - g / 2 for g in gaps],
+        }
+    return out
+
+
+def test_exact_crossing_interpolated():
+    series = _series([1, 2, 4], {"1 Gbps": [10, -10, -30]})
+    points = equilibrium_points(series, "x-vs-cubic")
+    assert points["1 Gbps"] == pytest.approx(1.5)
+
+
+def test_crossing_at_sample_point():
+    series = _series([1, 2, 4], {"1 Gbps": [10, 0, -5]})
+    points = equilibrium_points(series, "x-vs-cubic")
+    assert points["1 Gbps"] == pytest.approx(2.0)
+
+
+def test_never_loses_lead():
+    series = _series([1, 2, 4], {"1 Gbps": [10, 8, 2]})
+    assert equilibrium_points(series, "x-vs-cubic")["1 Gbps"] == math.inf
+
+
+def test_never_leads():
+    series = _series([1, 2, 4], {"1 Gbps": [-1, -5, -9]})
+    assert equilibrium_points(series, "x-vs-cubic")["1 Gbps"] == 0.0
+
+
+def test_multiple_bandwidths():
+    series = _series([0.5, 2, 8], {"a": [5, -5, -10], "b": [5, 1, -1]})
+    points = equilibrium_points(series, "x-vs-cubic")
+    assert points["a"] == pytest.approx(1.25)
+    assert points["b"] == pytest.approx(5.0)

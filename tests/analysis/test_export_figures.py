@@ -1,0 +1,45 @@
+"""Unit tests for figure CSV export."""
+
+import csv
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.export_figures import export_all_figures
+from tests.analysis.test_figures import _results
+
+
+def _load(path):
+    with path.open() as fh:
+        return list(csv.DictReader(fh))
+
+
+def test_exports_available_figures(tmp_path):
+    written = export_all_figures(_results(), tmp_path)
+    # Fixture has fifo + red only: fig6 (fq_codel) is skipped.
+    assert set(written) == {"fig2", "fig3", "fig4", "fig5", "fig7", "fig8"}
+    for path in written.values():
+        assert path.exists()
+
+
+def test_fig2_rows_long_format(tmp_path):
+    written = export_all_figures(_results(), tmp_path)
+    rows = _load(written["fig2"])
+    assert {"cca1", "cca2", "bandwidth", "buffer_bdp", "cca1_bps", "cca2_bps"} <= set(rows[0])
+    # 1 inter pair x 2 bandwidths x 2 buffers.
+    assert len(rows) == 4
+    assert all(r["cca1"] == "bbrv1" for r in rows)
+
+
+def test_fig7_rows(tmp_path):
+    written = export_all_figures(_results(), tmp_path)
+    rows = _load(written["fig7"])
+    aqms = {r["aqm"] for r in rows}
+    assert aqms == {"fifo", "red"}
+    for r in rows:
+        v = float(r["link_utilization"])
+        assert v != v or 0.0 <= v <= 1.1  # NaN allowed for missing cells
+
+
+def test_jain_rows_cover_inter_and_intra(tmp_path):
+    written = export_all_figures(_results(), tmp_path)
+    rows = _load(written["fig3"])
+    assert {r["kind"] for r in rows} == {"inter", "intra"}

@@ -1,0 +1,86 @@
+"""Unit tests for the per-figure series builders."""
+
+import math
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.figures import (
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+)
+from repro.units import mbps
+from tests.analysis.test_aggregate import make_result
+
+
+def _results():
+    out = []
+    seed = 0
+    for pair in (("bbrv1", "cubic"), ("cubic", "cubic")):
+        for aqm in ("fifo", "red"):
+            for buf in (2.0, 16.0):
+                for bw in (mbps(100), mbps(500)):
+                    seed += 1
+                    out.append(
+                        make_result(pair=pair, aqm=aqm, buf=buf, bw=bw, seed=seed,
+                                    s1=0.6 * bw, s2=0.4 * bw, retx=seed)
+                    )
+    return ResultSet(out)
+
+
+def test_fig2_panels_inter_only():
+    series = fig2_series(_results(), aqm="fifo")
+    assert set(series) == {"bbrv1-vs-cubic"}  # intra pairs excluded
+    panels = series["bbrv1-vs-cubic"]
+    assert set(panels) == {"100 Mbps", "500 Mbps"}
+    panel = panels["100 Mbps"]
+    assert panel["buffers"] == [2.0, 16.0]
+    assert len(panel["cca1_bps"]) == 2
+
+
+def test_fig4_uses_red():
+    series = fig4_series(_results())
+    assert "bbrv1-vs-cubic" in series
+
+
+def test_fig3_inter_intra_split():
+    series = fig3_series(_results(), aqm="fifo")
+    assert "bbrv1-vs-cubic" in series["inter"]["2bdp"]
+    assert "cubic-vs-cubic" in series["intra"]["2bdp"]
+    assert series["inter"]["2bdp"]["bandwidths"] == [mbps(100), mbps(500)]
+    assert len(series["inter"]["16bdp"]["bbrv1-vs-cubic"]) == 2
+
+
+def test_fig5_fig6_aqm_variants():
+    assert fig5_series(_results())["inter"]  # RED exists in fixture
+    fq = fig6_series(_results())
+    # fq_codel absent from fixture -> series exist but values are NaN.
+    for values in fq["inter"]["2bdp"].values():
+        if isinstance(values, list) and values and isinstance(values[0], float):
+            pass  # structure only
+
+
+def test_fig7_intra_utilization():
+    series = fig7_series(_results())
+    assert set(series) == {"fifo", "red"}
+    panel = series["fifo"]["2bdp"]
+    assert "cubic" in panel
+    assert len(panel["cubic"]) == 2
+    assert all(0 <= v <= 1.1 for v in panel["cubic"] if not math.isnan(v))
+
+
+def test_fig8_intra_retransmissions():
+    series = fig8_series(_results())
+    panel = series["red"]["16bdp"]
+    assert "cubic" in panel
+    assert all(v >= 0 for v in panel["cubic"] if not math.isnan(v))
+
+
+def test_missing_cells_become_nan():
+    rs = ResultSet([make_result(pair=("cubic", "cubic"), buf=2.0)])
+    series = fig3_series(rs, buffers=(2.0, 16.0))
+    missing = series["intra"]["16bdp"]["cubic-vs-cubic"]
+    assert all(math.isnan(v) for v in missing)

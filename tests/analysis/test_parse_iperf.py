@@ -1,0 +1,70 @@
+"""Unit tests for iperf3 JSON parsing against the simulator's own logs."""
+
+import pytest
+
+from repro.analysis.parse_iperf import parse_iperf_doc, summarize_docs
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.traffic.iperf import Iperf3Client, Iperf3Server
+from repro.units import mbps, seconds
+
+
+def _run_clients():
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=3)
+    )
+    docs = []
+    clients = []
+    for i in range(2):
+        Iperf3Server(db.servers[i])
+        clients.append(
+            Iperf3Client(db.clients[i], db.servers[i], congestion="cubic",
+                         parallel=2, duration_s=4.0, mss=1500)
+        )
+        clients[-1].start()
+    db.network.run(seconds(5))
+    return [c.json_result() for c in clients]
+
+
+def test_parse_real_simulator_output():
+    docs = _run_clients()
+    summary = parse_iperf_doc(docs[0])
+    assert summary.congestion == "cubic"
+    assert summary.num_streams == 2
+    assert summary.duration_s == 4.0
+    assert summary.total_bytes > 0
+    assert summary.throughput_bps == pytest.approx(summary.total_bytes * 8 / 4.0)
+    assert len(summary.interval_bps) == 4
+
+
+def test_summarize_per_host():
+    docs = _run_clients()
+    per_host = summarize_docs(docs)
+    assert set(per_host) == {"server1", "server2"}
+    for agg in per_host.values():
+        assert agg["streams"] == 2
+        assert agg["throughput_bps"] > 0
+
+
+def test_malformed_document_rejected():
+    with pytest.raises(ValueError):
+        parse_iperf_doc({"start": {}})
+
+
+def test_parse_minimal_real_iperf_shape():
+    """A document shaped like genuine iperf3 output (no sim extras)."""
+    doc = {
+        "start": {"test_start": {"protocol": "TCP", "num_streams": 1, "duration": 10},
+                  "connecting_to": {"host": "dtn01", "port": 5201}},
+        "intervals": [
+            {"sum": {"start": 0, "end": 1, "seconds": 1, "bytes": 125000,
+                     "bits_per_second": 1e6}},
+        ],
+        "end": {
+            "sum_sent": {"bytes": 1250000, "bits_per_second": 1e6, "retransmits": 17},
+            "sum_received": {"bytes": 1250000, "bits_per_second": 1e6},
+        },
+    }
+    s = parse_iperf_doc(doc)
+    assert s.host == "dtn01"
+    assert s.retransmits == 17
+    assert s.interval_bps == [1e6]

@@ -1,0 +1,68 @@
+"""Unit tests for sparkline rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.sparkline import BARS, sparkline
+
+
+def test_monotone_series_monotone_bars():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert s == BARS
+    assert len(s) == 8
+
+
+def test_constant_series_flat():
+    assert sparkline([5, 5, 5]) == BARS[0] * 3
+
+
+def test_empty():
+    assert sparkline([]) == ""
+
+
+def test_nan_renders_space():
+    s = sparkline([0.0, float("nan"), 1.0])
+    assert s[1] == " "
+    assert s[0] == BARS[0]
+    assert s[2] == BARS[-1]
+
+
+def test_all_nan():
+    assert sparkline([float("nan")] * 4) == "    "
+
+
+def test_pinned_scale():
+    s = sparkline([5.0], lo=0.0, hi=10.0)
+    assert s == BARS[4]  # midpoint
+
+
+def test_downsampling_width():
+    s = sparkline(list(range(100)), width=10)
+    assert len(s) == 10
+    # Still monotone after bucket-averaging.
+    assert list(s) == sorted(s, key=BARS.index)
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        sparkline([1, 2], width=0)
+
+
+def test_short_series_not_padded():
+    assert len(sparkline([1, 2, 3], width=10)) == 3
+
+
+def test_aggregate_std_fields():
+    from repro.analysis.aggregate import ResultSet
+    from tests.analysis.test_aggregate import make_result
+
+    rs = ResultSet([
+        make_result(seed=1, jain=0.8, util=0.9, retx=10),
+        make_result(seed=2, jain=1.0, util=0.7, retx=30),
+    ])
+    stats = next(iter(rs.cells().values()))
+    assert stats.jain_index_std == pytest.approx(0.1414, rel=0.01)
+    assert stats.total_retransmits_std == pytest.approx(14.14, rel=0.01)
+    single = ResultSet([make_result(seed=3)]).cells()
+    assert next(iter(single.values())).jain_index_std == 0.0

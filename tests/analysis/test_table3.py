@@ -1,0 +1,69 @@
+"""Unit tests for the Table 3 builder."""
+
+import pytest
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.table3 import PAPER_TABLE3, build_table3, render_table3
+from repro.units import mbps
+from tests.analysis.test_aggregate import make_result
+
+
+def _grid():
+    """A tiny grid: 2 pairs x 1 aqm x 2 buffers, with cubic baseline."""
+    results = []
+    seed = 0
+    for pair, retx in ((("cubic", "cubic"), 10), (("bbrv1", "cubic"), 100)):
+        for buf in (2.0, 16.0):
+            seed += 1
+            results.append(make_result(pair=pair, buf=buf, retx=retx, seed=seed,
+                                       jain=0.9, util=0.95))
+    return ResultSet(results)
+
+
+def test_rr_normalized_against_cubic_baseline():
+    rows = build_table3(_grid())
+    by_key = {r.key: r for r in rows}
+    assert by_key[("cubic", "cubic", "fifo")].avg_rr == pytest.approx(1.0)
+    assert by_key[("bbrv1", "cubic", "fifo")].avg_rr == pytest.approx(10.0)
+
+
+def test_averages_over_cells():
+    rows = build_table3(_grid())
+    row = next(r for r in rows if r.cca1 == "bbrv1")
+    assert row.cells == 2
+    assert row.avg_utilization == pytest.approx(0.95)
+    assert row.avg_jain == pytest.approx(0.9)
+
+
+def test_paper_reference_attached():
+    rows = build_table3(_grid())
+    row = next(r for r in rows if r.cca1 == "bbrv1")
+    assert row.paper == PAPER_TABLE3[("bbrv1", "cubic", "fifo")]
+
+
+def test_zero_baseline_falls_back():
+    results = [
+        make_result(pair=("cubic", "cubic"), retx=0, seed=1),
+        make_result(pair=("reno", "cubic"), retx=5, seed=2),
+    ]
+    rows = build_table3(ResultSet(results))
+    row = next(r for r in rows if r.cca1 == "reno")
+    assert row.avg_rr == pytest.approx(5.0)
+
+
+def test_paper_table_has_27_rows():
+    assert len(PAPER_TABLE3) == 27
+    aqms = {k[2] for k in PAPER_TABLE3}
+    assert aqms == {"fifo", "red", "fq_codel"}
+
+
+def test_render_includes_paper_columns():
+    text = render_table3(build_table3(_grid()))
+    assert "Avg(RR)" in text
+    assert "paper" in text
+    assert "bbrv1 vs cubic" in text
+
+
+def test_render_without_paper():
+    text = render_table3(build_table3(_grid()), show_paper=False)
+    assert "paper" not in text

@@ -1,0 +1,74 @@
+"""Unit tests for the paper-claims validator."""
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.validate import render_claims, validate_claims
+from repro.units import gbps, mbps
+from tests.analysis.test_aggregate import make_result
+
+
+def _paper_consistent_results():
+    """A synthetic result set crafted to satisfy every claim."""
+    out = []
+    seed = 0
+    bandwidths = (mbps(100), gbps(10))
+    for bw in bandwidths:
+        hi = bw == gbps(10)
+        for buf in (0.5, 16.0):
+            seed += 10
+            # BBRv1 vs CUBIC: wins small FIFO buffers, loses large ones;
+            # dominates under RED; fair under FQ.
+            s1, s2 = (0.9 * bw, 0.1 * bw) if buf == 0.5 else (0.2 * bw, 0.8 * bw)
+            out.append(make_result(pair=("bbrv1", "cubic"), aqm="fifo", buf=buf, bw=bw,
+                                   seed=seed + 1, s1=s1, s2=s2, jain=0.7, util=0.99,
+                                   retx=5000 if hi else 500))
+            out.append(make_result(pair=("bbrv1", "cubic"), aqm="red", buf=buf, bw=bw,
+                                   seed=seed + 2, s1=0.9 * bw, s2=0.05 * bw, jain=0.53,
+                                   util=0.9, retx=40000 if hi else 4000))
+            out.append(make_result(pair=("bbrv1", "cubic"), aqm="fq_codel", buf=buf, bw=bw,
+                                   seed=seed + 3, s1=0.5 * bw, s2=0.5 * bw, jain=0.99,
+                                   util=0.95, retx=8000 if hi else 800))
+            for cca, retx in (("bbrv1", 90000), ("bbrv2", 300), ("cubic", 100),
+                              ("reno", 150), ("htcp", 200)):
+                for aqm, util in (("fifo", 0.99), ("red", 0.7 if hi else 0.95),
+                                  ("fq_codel", 0.96)):
+                    seed += 1
+                    out.append(make_result(pair=(cca, cca), aqm=aqm, buf=buf, bw=bw,
+                                           seed=seed, jain=0.99, util=util,
+                                           retx=retx * (10 if hi else 1),
+                                           s1=util * bw / 2, s2=util * bw / 2))
+    return ResultSet(out)
+
+
+def test_all_claims_pass_on_consistent_data():
+    claims = validate_claims(_paper_consistent_results())
+    failed = [c for c in claims if c.passed is False]
+    assert not failed, [c.claim_id + ": " + c.detail for c in failed]
+    assert sum(1 for c in claims if c.passed) >= 8
+
+
+def test_violation_detected():
+    """Flip the FIFO large-buffer outcome: the equilibrium claim must fail."""
+    results = _paper_consistent_results()
+    for r in results.results:
+        cfg = r.config
+        if (tuple(cfg["cca_pair"]) == ("bbrv1", "cubic") and cfg["aqm"] == "fifo"
+                and cfg["buffer_bdp"] == 16.0):
+            r.senders[0].throughput_bps, r.senders[1].throughput_bps = (
+                r.senders[1].throughput_bps, r.senders[0].throughput_bps,
+            )
+    claims = {c.claim_id: c for c in validate_claims(results)}
+    assert claims["fifo-equilibrium"].passed is False
+
+
+def test_insufficient_data_skips():
+    rs = ResultSet([make_result(pair=("cubic", "cubic"), aqm="fifo", buf=2.0)])
+    claims = validate_claims(rs)
+    assert any(c.skipped for c in claims)
+    assert not any(c.passed is False for c in claims)
+
+
+def test_render_claims_text():
+    text = render_claims(validate_claims(_paper_consistent_results()))
+    assert "PASS" in text
+    assert "fifo-equilibrium" in text
+    assert "passed" in text

@@ -1,0 +1,73 @@
+"""Unit tests for CoDel."""
+
+from repro.aqm.codel import CoDelQueue
+from repro.net.packet import make_data_packet
+from repro.units import milliseconds
+
+
+def _pkt(seq=0, size=1000):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_low_sojourn_passes_through():
+    q = CoDelQueue(10**6)
+    for seq in range(10):
+        q.enqueue(_pkt(seq=seq), now=0)
+    out = []
+    # Dequeue almost immediately: sojourn < 5 ms target.
+    for _ in range(10):
+        pkt = q.dequeue(milliseconds(1))
+        out.append(pkt.seq)
+    assert out == list(range(10))
+    assert q.stats.dropped_dequeue == 0
+
+
+def test_persistent_delay_triggers_drops():
+    q = CoDelQueue(10**7)
+    # A standing queue enqueued at t=0, dequeued very slowly.
+    for seq in range(200):
+        q.enqueue(_pkt(seq=seq), now=0)
+    drops_before = q.stats.dropped_dequeue
+    # Dequeue one packet every 20 ms: sojourn far above target for long.
+    t = milliseconds(10)
+    got = 0
+    while True:
+        pkt = q.dequeue(t)
+        if pkt is None:
+            break
+        got += 1
+        t += milliseconds(20)
+    assert q.stats.dropped_dequeue > drops_before
+    assert got + q.stats.dropped_dequeue == 200
+
+
+def test_drop_rate_escalates():
+    """The control-law spacing shrinks as count grows."""
+    q = CoDelQueue(10**7)
+    c = q.controller
+    t0 = 1_000_000_000
+    assert c.control_law(t0, 1) - t0 > c.control_law(t0, 16) - t0
+    assert c.control_law(t0, 4) - t0 == (c.control_law(t0, 1) - t0) // 2
+
+
+def test_byte_limit_tail_drop():
+    q = CoDelQueue(2500)
+    assert q.enqueue(_pkt(0), 0)
+    assert q.enqueue(_pkt(1), 0)
+    assert not q.enqueue(_pkt(2), 0)
+    assert q.stats.dropped_enqueue == 1
+
+
+def test_recovers_after_queue_drains():
+    q = CoDelQueue(10**7)
+    for seq in range(100):
+        q.enqueue(_pkt(seq=seq), now=0)
+    t = milliseconds(200)
+    while q.dequeue(t) is not None:
+        t += milliseconds(30)
+    assert q.controller.dropping is False or q.packets_queued == 0
+    # Fresh traffic with low latency passes untouched.
+    q.enqueue(_pkt(seq=999), now=t)
+    dropped_before = q.stats.dropped_dequeue
+    assert q.dequeue(t + milliseconds(1)).seq == 999
+    assert q.stats.dropped_dequeue == dropped_before

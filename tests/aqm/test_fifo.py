@@ -1,0 +1,61 @@
+"""Unit tests for the drop-tail queue."""
+
+import pytest
+
+from repro.aqm.fifo import FifoQueue
+from repro.net.packet import make_data_packet
+
+
+def _pkt(seq=0, size=1000):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_fifo_order():
+    q = FifoQueue(10_000)
+    for seq in range(5):
+        assert q.enqueue(_pkt(seq=seq), now=seq)
+    out = [q.dequeue(100).seq for _ in range(5)]
+    assert out == [0, 1, 2, 3, 4]
+    assert q.dequeue(100) is None
+
+
+def test_byte_limit_enforced():
+    q = FifoQueue(2500)
+    assert q.enqueue(_pkt(seq=0), 0)
+    assert q.enqueue(_pkt(seq=1), 0)
+    assert not q.enqueue(_pkt(seq=2), 0)  # 3000 > 2500
+    assert q.stats.dropped_enqueue == 1
+    assert q.bytes_queued == 2000
+    assert len(q) == 2
+
+
+def test_enqueue_stamps_time():
+    q = FifoQueue(10_000)
+    pkt = _pkt()
+    q.enqueue(pkt, now=1234)
+    assert pkt.enqueue_time == 1234
+
+
+def test_stats_accounting():
+    q = FifoQueue(3000)
+    for seq in range(5):
+        q.enqueue(_pkt(seq=seq), 0)
+    while q.dequeue(0):
+        pass
+    s = q.stats
+    assert s.enqueued == 3
+    assert s.dequeued == 3
+    assert s.dropped_enqueue == 2
+    assert s.bytes_dropped == 2000
+    assert q.bytes_queued == 0 and q.packets_queued == 0
+
+
+def test_invalid_limit_rejected():
+    with pytest.raises(ValueError):
+        FifoQueue(0)
+
+
+def test_exact_fit_accepted():
+    q = FifoQueue(1000)
+    assert q.enqueue(_pkt(size=1000), 0)
+    assert not q.enqueue(_pkt(size=1), 0)

@@ -1,0 +1,118 @@
+"""Unit tests for FQ_CoDel."""
+
+import numpy as np
+import pytest
+
+from repro.aqm.fq_codel import FqCoDelQueue
+from repro.net.packet import make_data_packet
+from repro.units import milliseconds
+
+
+def _pkt(flow, seq=0, size=1000):
+    return make_data_packet(flow, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_round_robin_between_flows():
+    q = FqCoDelQueue(10**7, quantum_bytes=1000)
+    for seq in range(6):
+        q.enqueue(_pkt(flow=1, seq=seq), 0)
+        q.enqueue(_pkt(flow=2, seq=seq + 100), 0)
+    order = [q.dequeue(0).flow_id for _ in range(12)]
+    # Interleaved service: neither flow gets more than quantum ahead.
+    ones = [i for i, f in enumerate(order) if f == 1]
+    twos = [i for i, f in enumerate(order) if f == 2]
+    assert len(ones) == len(twos) == 6
+    # Max run length of the same flow is small (quantum = 1 packet).
+    max_run = max(
+        len(list(run))
+        for run in [order[i:i + 3] for i in range(len(order) - 2)]
+        if len(set(run)) == 1
+    ) if any(len(set(order[i:i+3])) == 1 for i in range(len(order)-2)) else 1
+    assert max_run <= 3
+
+
+def test_fair_bytes_between_flows():
+    q = FqCoDelQueue(10**8, quantum_bytes=1500)
+    # Flow 1 sends big packets, flow 2 small ones.
+    for seq in range(40):
+        q.enqueue(_pkt(flow=1, seq=seq, size=1500), 0)
+        q.enqueue(_pkt(flow=2, seq=seq, size=500), 0)
+        q.enqueue(_pkt(flow=2, seq=seq + 1000, size=500), 0)
+        q.enqueue(_pkt(flow=2, seq=seq + 2000, size=500), 0)
+    bytes_out = {1: 0, 2: 0}
+    for _ in range(60):
+        pkt = q.dequeue(0)
+        bytes_out[pkt.flow_id] += pkt.size
+    # DRR with equal quanta: byte service within ~25% of equal.
+    ratio = bytes_out[1] / bytes_out[2]
+    assert 0.7 <= ratio <= 1.4
+
+
+def test_sparse_flow_priority():
+    """A new (sparse) flow is served before backlogged old flows."""
+    q = FqCoDelQueue(10**7, quantum_bytes=1000)
+    for seq in range(50):
+        q.enqueue(_pkt(flow=1, seq=seq), 0)
+    # Drain a few so flow 1 is an "old" queue.
+    for _ in range(5):
+        q.dequeue(0)
+    q.enqueue(_pkt(flow=7, seq=0), 0)
+    # The sparse flow's packet comes out within the next couple dequeues.
+    flows = [q.dequeue(0).flow_id for _ in range(2)]
+    assert 7 in flows
+
+
+def test_memory_limit_evicts_from_fattest_flow():
+    q = FqCoDelQueue(5_000, quantum_bytes=1000)
+    for seq in range(10):
+        q.enqueue(_pkt(flow=1, seq=seq), 0)  # fat flow
+    q.enqueue(_pkt(flow=2, seq=0), 0)  # thin flow
+    assert q.bytes_queued <= 5_000
+    assert q.stats.dropped_enqueue > 0
+    # Thin flow survived.
+    flows_out = set()
+    while True:
+        pkt = q.dequeue(0)
+        if pkt is None:
+            break
+        flows_out.add(pkt.flow_id)
+    assert 2 in flows_out
+
+
+def test_codel_applies_per_flow():
+    q = FqCoDelQueue(10**8, quantum_bytes=1000)
+    for seq in range(300):
+        q.enqueue(_pkt(flow=1, seq=seq), 0)
+    t = milliseconds(150)
+    drained = 0
+    while q.dequeue(t) is not None:
+        drained += 1
+        t += milliseconds(15)
+    assert q.stats.dropped_dequeue > 0
+    assert drained + q.stats.dropped_dequeue == 300
+
+
+def test_hash_perturbation_depends_on_rng():
+    q1 = FqCoDelQueue(10**6, np.random.default_rng(1))
+    q2 = FqCoDelQueue(10**6, np.random.default_rng(2))
+    pkt = _pkt(flow=123)
+    assert isinstance(q1._bucket_id(pkt), int)
+    # Different perturbations usually map the same flow differently.
+    ids1 = {q1._bucket_id(_pkt(flow=f)) for f in range(50)}
+    ids2 = {q2._bucket_id(_pkt(flow=f)) for f in range(50)}
+    assert ids1 != ids2
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        FqCoDelQueue(10**6, flows=0)
+    with pytest.raises(ValueError):
+        FqCoDelQueue(10**6, quantum_bytes=0)
+
+
+def test_empty_dequeue_returns_none():
+    q = FqCoDelQueue(10**6)
+    assert q.dequeue(0) is None
+    q.enqueue(_pkt(flow=1), 0)
+    assert q.dequeue(0) is not None
+    assert q.dequeue(0) is None

@@ -1,0 +1,103 @@
+"""Unit tests for the PIE AQM (RFC 8033)."""
+
+import numpy as np
+import pytest
+
+from repro.aqm.pie import PieQueue
+from repro.net.packet import make_data_packet
+from repro.units import milliseconds, seconds
+
+
+def _pkt(seq=0, size=1000, ecn=False):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0, ecn_ect=ecn)
+
+
+def _pie(**kw):
+    return PieQueue(10**7, np.random.default_rng(5), **kw)
+
+
+def test_passes_traffic_below_target_delay():
+    q = _pie()
+    t = 0
+    for seq in range(200):
+        q.enqueue(_pkt(seq), t)
+        assert q.dequeue(t + milliseconds(1)) is not None
+        t += milliseconds(2)
+    assert q.stats.dropped_enqueue == 0
+    assert q.drop_prob == pytest.approx(0.0, abs=1e-6)
+
+
+def test_burst_allowance_grace_period():
+    q = _pie()
+    # A burst right at the start: inside the 150 ms allowance, no drops.
+    for seq in range(100):
+        q.enqueue(_pkt(seq), milliseconds(1))
+    assert q.stats.dropped_enqueue == 0
+
+
+def test_sustained_overload_raises_drop_probability():
+    q = _pie()
+    t = 0
+    # Feed 2x the drain rate for several seconds of simulated time.
+    for step in range(4000):
+        t += milliseconds(1)
+        q.enqueue(_pkt(step * 2), t)
+        q.enqueue(_pkt(step * 2 + 1), t)
+        q.dequeue(t)  # drain slower than arrivals
+    assert q.drop_prob > 0.0
+    assert q.stats.dropped_enqueue > 0
+
+
+def test_probability_decays_after_queue_empties():
+    q = _pie()
+    t = 0
+    for step in range(4000):
+        t += milliseconds(1)
+        q.enqueue(_pkt(step * 2), t)
+        q.enqueue(_pkt(step * 2 + 1), t)
+        q.dequeue(t)
+    high = q.drop_prob
+    assert high > 0
+    # Drain completely and give the controller idle time.
+    while q.dequeue(t) is not None:
+        t += milliseconds(1)
+    for _ in range(3000):
+        t += milliseconds(5)
+        q.dequeue(t)
+    assert q.drop_prob < high / 2
+
+
+def test_hard_limit():
+    q = PieQueue(2500, np.random.default_rng(0))
+    assert q.enqueue(_pkt(0), 0)
+    assert q.enqueue(_pkt(1), 0)
+    assert not q.enqueue(_pkt(2), 0)
+
+
+def test_ecn_marks_when_enabled():
+    q = PieQueue(10**7, np.random.default_rng(1), ecn_mode=True,
+                 burst_allowance_ns=0)
+    q.drop_prob = 1.0
+    q.qdelay_old_ns = seconds(1)
+    for seq in range(10):
+        q.enqueue(_pkt(seq, ecn=True), seconds(1))
+    assert q.stats.ecn_marked > 0
+    assert q.stats.dropped_enqueue == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PieQueue(10**6, None)
+    with pytest.raises(ValueError):
+        _pie(target_ns=0)
+    with pytest.raises(ValueError):
+        _pie(t_update_ns=0)
+
+
+def test_registry_integration():
+    from repro.aqm.registry import make_aqm
+
+    q = make_aqm("pie", 10**6, rng=np.random.default_rng(0))
+    assert isinstance(q, PieQueue)
+    with pytest.raises(ValueError):
+        make_aqm("pie", 10**6)

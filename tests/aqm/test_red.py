@@ -1,0 +1,122 @@
+"""Unit tests for RED."""
+
+import numpy as np
+import pytest
+
+from repro.aqm.red import RedQueue
+from repro.net.packet import make_data_packet
+
+
+def _pkt(seq=0, size=1000, ecn=False):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0, ecn_ect=ecn)
+
+
+def _red(limit=100_000, **kw):
+    kw.setdefault("avpkt", 1000)
+    return RedQueue(limit, np.random.default_rng(7), **kw)
+
+
+def test_no_drops_below_min_threshold():
+    q = _red(min_th=50_000, max_th=80_000)
+    for seq in range(10):
+        assert q.enqueue(_pkt(seq=seq), 0)
+    assert q.stats.dropped_enqueue == 0
+
+
+def test_drop_probability_ramp():
+    q = _red(min_th=10_000, max_th=20_000, max_p=0.1)
+    q.avg = 5_000
+    assert q._drop_probability() == 0.0
+    q.avg = 15_000
+    assert q._drop_probability() == pytest.approx(0.05)
+    q.avg = 20_000  # gentle region starts
+    assert q._drop_probability() == pytest.approx(0.1)
+    q.avg = 30_000
+    assert q._drop_probability() == pytest.approx(0.1 + 0.9 * 0.5)
+    q.avg = 45_000  # beyond 2*max_th
+    assert q._drop_probability() == 1.0
+
+
+def test_probability_monotonic_in_avg():
+    q = _red(min_th=10_000, max_th=20_000)
+    probs = []
+    for avg in range(0, 50_000, 1000):
+        q.avg = avg
+        probs.append(q._drop_probability())
+    assert probs == sorted(probs)
+
+
+def test_sustained_overload_produces_drops():
+    q = _red(limit=50_000, min_th=5_000, max_th=15_000, max_p=0.1)
+    # Enqueue a lot without dequeuing: avg climbs, drops must appear.
+    accepted = sum(q.enqueue(_pkt(seq=i), i * 1000) for i in range(200))
+    assert q.stats.dropped_total > 0
+    assert accepted < 200
+
+
+def test_hard_limit_tail_drop():
+    q = _red(limit=3_000, min_th=1_000, max_th=2_900)
+    for i in range(10):
+        q.enqueue(_pkt(seq=i), 0)
+    assert q.bytes_queued <= 3_000
+
+
+def test_ewma_tracks_queue():
+    """The average is of the queue as seen by each arriving packet."""
+    q = _red(min_th=50_000, max_th=80_000, weight=0.5)
+    q.enqueue(_pkt(), 0)
+    assert q.avg == 0  # first packet saw an empty queue
+    q.enqueue(_pkt(), 0)
+    assert q.avg > 0
+    first = q.avg
+    q.enqueue(_pkt(), 0)
+    assert q.avg > first
+
+
+def test_idle_decay_reduces_average():
+    q = _red(min_th=50_000, max_th=80_000, weight=0.1, bandwidth_bps=8e6)
+    for i in range(20):
+        q.enqueue(_pkt(seq=i), 0)
+    while q.dequeue(100):
+        pass
+    high = q.avg
+    # One second idle at 1000 B/ms drains many avpkt slots.
+    q.enqueue(_pkt(seq=99), 1_000_000_000)
+    assert q.avg < high
+
+
+def test_ecn_marks_instead_of_dropping():
+    q = RedQueue(100_000, np.random.default_rng(3), min_th=1_000, max_th=2_000,
+                 max_p=1.0, avpkt=1000, ecn_mode=True)
+    q.avg = 1_900  # nearly max -> certain mark
+    marked_before = q.stats.ecn_marked
+    for i in range(20):
+        q.enqueue(_pkt(seq=i, ecn=True), 0)
+        q.avg = 1_900
+    assert q.stats.ecn_marked > marked_before
+    assert q.stats.dropped_enqueue == 0
+
+
+def test_rng_required():
+    with pytest.raises(ValueError):
+        RedQueue(100_000, None)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        _red(min_th=50_000, max_th=40_000)
+    with pytest.raises(ValueError):
+        _red(limit=10_000, min_th=5_000, max_th=20_000)  # max > limit
+    with pytest.raises(ValueError):
+        _red(max_p=0.0)
+    with pytest.raises(ValueError):
+        _red(weight=0.0)
+
+
+def test_default_thresholds_fixed_not_scaled():
+    """Defaults follow classic tc guidance (30/90 avpkt), not the buffer."""
+    small = _red(limit=100_000)
+    big = _red(limit=100_000_000)
+    assert big.min_th == 30 * 1000
+    assert big.max_th == 90 * 1000
+    assert small.min_th <= big.min_th

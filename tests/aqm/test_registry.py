@@ -1,0 +1,41 @@
+"""Unit tests for the AQM factory."""
+
+import numpy as np
+import pytest
+
+from repro.aqm import CoDelQueue, FifoQueue, FqCoDelQueue, RedQueue, make_aqm
+
+
+def test_factory_builds_each_discipline():
+    rng = np.random.default_rng(0)
+    assert isinstance(make_aqm("fifo", 10**6), FifoQueue)
+    assert isinstance(make_aqm("red", 10**6, rng=rng), RedQueue)
+    assert isinstance(make_aqm("fq_codel", 10**6, rng=rng), FqCoDelQueue)
+    assert isinstance(make_aqm("codel", 10**6), CoDelQueue)
+
+
+def test_factory_case_insensitive():
+    assert isinstance(make_aqm("FIFO", 10**6), FifoQueue)
+
+
+def test_red_requires_rng():
+    with pytest.raises(ValueError):
+        make_aqm("red", 10**6)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        make_aqm("wred", 10**6)
+
+
+def test_params_forwarded():
+    rng = np.random.default_rng(0)
+    red = make_aqm("red", 10**6, rng=rng, min_th=1111, max_th=2222, max_p=0.5)
+    assert red.min_th == 1111
+    assert red.max_th == 2222
+    assert red.max_p == 0.5
+
+
+def test_mtu_forwarded_to_fq_codel():
+    q = make_aqm("fq_codel", 10**6, rng=np.random.default_rng(0), mtu_bytes=8900)
+    assert q.quantum == 8900

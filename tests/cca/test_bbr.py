@@ -1,0 +1,256 @@
+"""Unit tests for BBRv1/BBRv2 state machines and filters."""
+
+import numpy as np
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.bbr_common import WindowedMax, WindowedMin
+from repro.cca.bbrv1 import BBR_HIGH_GAIN, BbrV1, DRAIN, PROBE_BW, PROBE_RTT, STARTUP
+from repro.cca.bbrv2 import BbrV2
+from repro.units import milliseconds, seconds
+
+
+def ack(now_s, *, acked=1, lost=0, rtt_ms=50.0, rate=None, inflight=10,
+        round_start=False, round_count=1, app_limited=False):
+    rtt = milliseconds(rtt_ms)
+    return AckEvent(
+        now_ns=seconds(now_s),
+        newly_acked=acked,
+        newly_sacked=0,
+        newly_lost=lost,
+        rtt_ns=rtt,
+        min_rtt_ns=rtt,
+        srtt_ns=rtt,
+        delivery_rate_pps=rate,
+        is_app_limited=app_limited,
+        inflight=inflight,
+        round_start=round_start,
+        round_count=round_count,
+        in_recovery=False,
+        total_delivered=0,
+    )
+
+
+# --- windowed filters --------------------------------------------------------------
+
+
+def test_windowed_max_basic():
+    f = WindowedMax(3)
+    f.update(10.0, 1)
+    f.update(5.0, 2)
+    assert f.get() == 10.0
+    f.update(3.0, 4)  # tick 1 expires (4 - 3 >= 1)
+    assert f.get(4) == 5.0
+    f.update(1.0, 7)
+    assert f.get(7) == 1.0
+
+
+def test_windowed_max_monotonic_replacement():
+    f = WindowedMax(10)
+    f.update(5.0, 1)
+    f.update(9.0, 2)  # dominates earlier sample
+    assert f.get() == 9.0
+
+
+def test_windowed_min_basic():
+    f = WindowedMin(100)
+    f.update(50, 10)
+    f.update(70, 20)
+    assert f.get() == 50
+    f.update(60, 150)  # the 50 at t=10 expired
+    assert f.get(150) == 60
+
+
+def test_windowed_min_keeps_last_sample():
+    f = WindowedMin(100)
+    f.update(50, 10)
+    assert f.get(10_000) == 50  # never empty
+
+
+def test_filter_validation():
+    with pytest.raises(ValueError):
+        WindowedMax(0)
+    with pytest.raises(ValueError):
+        WindowedMin(0)
+
+
+# --- BBRv1 ---------------------------------------------------------------------------
+
+
+def _drive_to_probe_bw(bbr, *, rate=1000.0, rtt_ms=50.0):
+    """Feed a plateaued bandwidth so STARTUP exits, then drain."""
+    t, rc = 0.1, 1
+    for i in range(12):
+        rc += 1
+        bbr.on_ack(ack(t, rate=rate, rtt_ms=rtt_ms, round_start=True, round_count=rc,
+                       inflight=int(rate * rtt_ms / 1000)))
+        t += rtt_ms / 1000
+    # In DRAIN (or past): deliver low-inflight acks to reach PROBE_BW.
+    for i in range(5):
+        bbr.on_ack(ack(t, rate=rate, rtt_ms=rtt_ms, round_count=rc, inflight=1))
+        t += rtt_ms / 1000
+    return t, rc
+
+
+def test_bbrv1_startup_exits_on_plateau():
+    bbr = BbrV1()
+    assert bbr.state == STARTUP
+    t, _ = _drive_to_probe_bw(bbr)
+    assert bbr.state == PROBE_BW
+
+
+def test_bbrv1_startup_gains():
+    bbr = BbrV1()
+    bbr.on_ack(ack(0.1, rate=1000.0, rtt_ms=50))
+    assert bbr.pacing_gain == BBR_HIGH_GAIN
+    assert bbr.pacing_rate_pps == pytest.approx(BBR_HIGH_GAIN * 1000.0)
+
+
+def test_bbrv1_cwnd_capped_at_2bdp_in_probe_bw():
+    bbr = BbrV1()
+    t, rc = _drive_to_probe_bw(bbr, rate=1000.0, rtt_ms=50.0)
+    # BDP = 1000 pps * 50 ms = 50 segments; cap = 2 * 50.  Stay under the
+    # 10 s PROBE_RTT horizon.
+    for _ in range(100):
+        t += 0.05
+        bbr.on_ack(ack(t, rate=1000.0, rtt_ms=50, acked=10, inflight=50))
+    assert bbr.cwnd == pytest.approx(100.0, rel=0.3)
+
+
+def test_bbrv1_ignores_loss_events():
+    bbr = BbrV1()
+    t, _ = _drive_to_probe_bw(bbr)
+    cwnd = bbr.cwnd
+    bbr.on_congestion_event(seconds(t))
+    bbr.on_ecn(seconds(t))
+    assert bbr.cwnd == cwnd
+
+
+def test_bbrv1_rto_collapses_cwnd():
+    bbr = BbrV1()
+    _drive_to_probe_bw(bbr)
+    bbr.on_rto(seconds(100))
+    assert bbr.cwnd == 4.0
+
+
+def test_bbrv1_app_limited_samples_do_not_raise_estimate():
+    bbr = BbrV1()
+    bbr.on_ack(ack(0.1, rate=1000.0, round_count=1))
+    bbr.on_ack(ack(0.2, rate=100.0, round_count=2, app_limited=True))
+    assert bbr.btlbw_pps == 1000.0
+    # But an app-limited sample ABOVE the estimate counts.
+    bbr.on_ack(ack(0.3, rate=2000.0, round_count=3, app_limited=True))
+    assert bbr.btlbw_pps == 2000.0
+
+
+def test_bbrv1_probe_rtt_after_10s():
+    bbr = BbrV1()
+    t, rc = _drive_to_probe_bw(bbr, rtt_ms=50.0)
+    # 11 seconds with RTT never dipping below the initial estimate.
+    for i in range(230):
+        t += 0.05
+        bbr.on_ack(ack(t, rate=1000.0, rtt_ms=60.0, inflight=50))
+    assert bbr.state == PROBE_RTT
+    assert bbr.cwnd == 4.0
+    # Inflight falls to the floor; 200 ms later it exits.
+    bbr.on_ack(ack(t + 0.01, rate=1000.0, rtt_ms=50.0, inflight=3))
+    bbr.on_ack(ack(t + 0.5, rate=1000.0, rtt_ms=50.0, inflight=3))
+    assert bbr.state == PROBE_BW
+
+
+def test_bbrv1_pacing_cycle_advances():
+    rng = np.random.default_rng(5)
+    bbr = BbrV1(rng)
+    t, rc = _drive_to_probe_bw(bbr)
+    seen_gains = set()
+    for i in range(40):
+        t += 0.05
+        bbr.on_ack(ack(t, rate=1000.0, rtt_ms=50.0, inflight=50))
+        seen_gains.add(round(bbr.pacing_gain, 3))
+    assert 1.25 in seen_gains
+    assert 0.75 in seen_gains
+    assert 1.0 in seen_gains
+
+
+# --- BBRv2 ---------------------------------------------------------------------------
+
+
+def _drive_v2_to_probe(bbr, *, rate=1000.0, rtt_ms=50.0):
+    t, rc = 0.1, 1
+    for i in range(12):
+        rc += 1
+        bbr.on_ack(ack(t, rate=rate, rtt_ms=rtt_ms, round_start=True, round_count=rc,
+                       inflight=int(rate * rtt_ms / 1000)))
+        t += rtt_ms / 1000
+    for i in range(5):
+        bbr.on_ack(ack(t, rate=rate, rtt_ms=rtt_ms, round_count=rc, inflight=1))
+        t += rtt_ms / 1000
+    return t, rc
+
+
+def test_bbrv2_reaches_probe_bw_cycle():
+    bbr = BbrV2()
+    t, _ = _drive_v2_to_probe(bbr)
+    assert bbr.state.startswith("PROBE_")
+
+
+def test_bbrv2_high_loss_round_reduces_inflight_hi():
+    bbr = BbrV2()
+    t, rc = _drive_v2_to_probe(bbr)
+    assert bbr.inflight_hi == float("inf")
+    # A round with 10% loss (>= 2% threshold).
+    rc += 1
+    bbr.on_ack(ack(t, acked=90, lost=10, rate=1000.0, inflight=60, round_count=rc))
+    rc += 1
+    bbr.on_ack(ack(t + 0.05, acked=1, rate=1000.0, inflight=60,
+                   round_start=True, round_count=rc))
+    assert bbr.inflight_hi != float("inf")
+    assert bbr.inflight_hi <= 60
+
+
+def test_bbrv2_small_loss_ignored():
+    bbr = BbrV2()
+    t, rc = _drive_v2_to_probe(bbr)
+    # 1% loss: below the 2% threshold.
+    rc += 1
+    bbr.on_ack(ack(t, acked=99, lost=1, rate=1000.0, inflight=50, round_count=rc))
+    rc += 1
+    bbr.on_ack(ack(t + 0.05, acked=1, rate=1000.0, inflight=50,
+                   round_start=True, round_count=rc))
+    assert bbr.inflight_hi == float("inf")
+
+
+def test_bbrv2_startup_exits_on_sustained_loss():
+    bbr = BbrV2()
+    t, rc = 0.1, 1
+    for i in range(6):
+        rc += 1
+        bbr.on_ack(ack(t, acked=80, lost=20, rate=1000.0 * (i + 1), inflight=100,
+                       round_start=True, round_count=rc))
+        t += 0.05
+    assert bbr.state != "STARTUP"
+
+
+def test_bbrv2_ecn_response_reduces_bound():
+    bbr = BbrV2()
+    t, _ = _drive_v2_to_probe(bbr)
+    bbr.inflight_hi = 100.0
+    for _ in range(40):
+        bbr.on_ecn(seconds(t))
+    assert bbr.inflight_hi < 100.0
+
+
+def test_bbrv2_rto_resets_window():
+    bbr = BbrV2()
+    _drive_v2_to_probe(bbr)
+    bbr.on_rto(seconds(50))
+    assert bbr.cwnd == 4.0
+
+
+def test_bbrv2_fewer_loss_reaction_than_reno():
+    """v2 does not multiplicatively cut on a single congestion event."""
+    bbr = BbrV2()
+    t, _ = _drive_v2_to_probe(bbr)
+    cwnd = bbr.cwnd
+    bbr.on_congestion_event(seconds(t))
+    assert bbr.cwnd == cwnd

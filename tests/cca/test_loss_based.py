@@ -1,0 +1,256 @@
+"""Unit tests for the loss-based CCAs: Reno, CUBIC, HTCP.
+
+Driven directly through AckEvent objects — no network involved.
+"""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.cubic import CUBIC_BETA, Cubic
+from repro.cca.htcp import HTCP_BETA_MAX, HTCP_BETA_MIN, HTcp
+from repro.cca.reno import Reno
+from repro.units import milliseconds, seconds
+
+
+def ack(now_s=1.0, acked=1, rtt_ms=50.0, lost=0, inflight=10, round_start=False,
+        round_count=1, in_recovery=False, rate=None):
+    rtt = milliseconds(rtt_ms)
+    return AckEvent(
+        now_ns=seconds(now_s),
+        newly_acked=acked,
+        newly_sacked=0,
+        newly_lost=lost,
+        rtt_ns=rtt,
+        min_rtt_ns=rtt,
+        srtt_ns=rtt,
+        delivery_rate_pps=rate,
+        is_app_limited=False,
+        inflight=inflight,
+        round_start=round_start,
+        round_count=round_count,
+        in_recovery=in_recovery,
+        total_delivered=0,
+    )
+
+
+# --- Reno -----------------------------------------------------------------------
+
+
+def test_reno_slow_start_growth():
+    r = Reno()
+    start = r.cwnd
+    r.on_ack(ack(acked=5))
+    assert r.cwnd == start + 5
+
+
+def test_reno_congestion_avoidance_growth():
+    r = Reno()
+    r.ssthresh = 10
+    r.cwnd = 20.0
+    r.on_ack(ack(acked=20))  # one full window of ACKs
+    assert r.cwnd == pytest.approx(21.0, rel=0.01)
+
+
+def test_reno_halves_on_loss():
+    r = Reno()
+    r.cwnd = 100.0
+    r.ssthresh = 50.0
+    r.on_congestion_event(seconds(1))
+    assert r.cwnd == 50.0
+    assert r.ssthresh == 50.0
+
+
+def test_reno_no_growth_in_recovery():
+    r = Reno()
+    before = r.cwnd
+    r.on_ack(ack(acked=5, in_recovery=True))
+    assert r.cwnd == before
+
+
+def test_reno_rto_collapse_and_repeat():
+    r = Reno()
+    r.cwnd = 64.0
+    r.on_rto(seconds(1))
+    assert r.cwnd == 1.0
+    assert r.ssthresh == 32.0
+    r.cwnd = 1.0
+    r.on_rto(seconds(2), first_timeout=False)
+    assert r.ssthresh == 32.0  # unchanged on repeated timeout
+
+
+# --- CUBIC ----------------------------------------------------------------------
+
+
+def test_cubic_beta_is_07():
+    c = Cubic()
+    c.cwnd = 100.0
+    c.ssthresh = 50.0
+    c.on_congestion_event(seconds(1))
+    assert c.cwnd == pytest.approx(100.0 * CUBIC_BETA)
+    assert c.w_max == 100.0
+
+
+def test_cubic_fast_convergence():
+    c = Cubic()
+    c.cwnd = 100.0
+    c.ssthresh = 50.0
+    c.on_congestion_event(seconds(1))
+    # Second loss before regaining w_max -> w_max shrinks below cwnd.
+    c.on_congestion_event(seconds(2))
+    assert c.w_max == pytest.approx(70.0 * (2 - CUBIC_BETA) / 2)
+
+
+def test_cubic_concave_recovery_toward_wmax():
+    c = Cubic()
+    c.cwnd = 70.0
+    c.ssthresh = 70.0
+    c.w_max = 100.0
+    t = 1.0
+    last = c.cwnd
+    growths = []
+    for i in range(400):
+        t += 0.05
+        c.on_ack(ack(now_s=t, acked=int(c.cwnd) // 2))
+        growths.append(c.cwnd - last)
+        last = c.cwnd
+    # Monotone growth, approaching w_max region.
+    assert c.cwnd > 70.0
+    assert all(g >= -1e-9 for g in growths)
+
+
+def test_cubic_growth_accelerates_past_wmax():
+    """Convex region: growth rate increases with time beyond K."""
+    c = Cubic()
+    c.cwnd = 100.0
+    c.ssthresh = 50.0
+    c.w_max = 100.0
+    samples = []
+    t = 1.0
+    for i in range(200):
+        t += 0.05
+        before = c.cwnd
+        c.on_ack(ack(now_s=t, acked=10))
+        samples.append(c.cwnd - before)
+    assert samples[-1] > samples[0]
+
+
+def test_cubic_hystart_exits_on_delay_increase():
+    c = Cubic()
+    c.cwnd = 64.0  # above HYSTART_LOW_WINDOW, still in slow start
+    t = 1.0
+    rc = 1
+    # Round 1: baseline RTT 50 ms (>8 samples).
+    c.on_ack(ack(now_s=t, rtt_ms=50, round_start=True, round_count=rc))
+    for _ in range(10):
+        t += 0.001
+        c.on_ack(ack(now_s=t, rtt_ms=50, round_count=rc))
+    # Round 2: RTT jumped to 80 ms.
+    rc += 1
+    c.on_ack(ack(now_s=t, rtt_ms=80, round_start=True, round_count=rc))
+    for _ in range(10):
+        t += 0.001
+        c.on_ack(ack(now_s=t, rtt_ms=80, round_count=rc))
+    assert c.hystart_exits >= 1
+    assert c.ssthresh <= c.cwnd
+
+
+def test_cubic_no_hystart_exit_on_flat_rtt():
+    c = Cubic()
+    c.cwnd = 64.0
+    t, rc = 1.0, 1
+    for rnd in range(5):
+        rc += 1
+        c.on_ack(ack(now_s=t, rtt_ms=50, round_start=True, round_count=rc))
+        for _ in range(10):
+            t += 0.001
+            c.on_ack(ack(now_s=t, rtt_ms=50, round_count=rc))
+    assert c.hystart_exits == 0
+    assert c.ssthresh == float("inf")
+
+
+def test_cubic_tcp_friendly_floor():
+    """At small windows/short epochs CUBIC grows at least like Reno."""
+    c = Cubic()
+    c.cwnd = 10.0
+    c.ssthresh = 10.0
+    c.w_max = 10.0
+    t = 1.0
+    start = c.cwnd
+    for _ in range(100):
+        t += 0.05
+        c.on_ack(ack(now_s=t, acked=10))
+    assert c.cwnd > start
+
+
+# --- HTCP -----------------------------------------------------------------------
+
+
+def test_htcp_alpha_is_one_shortly_after_loss():
+    h = HTcp()
+    h.on_congestion_event(seconds(10))
+    assert h._alpha(seconds(10.5)) == pytest.approx(2 * (1 - h.beta) * 1.0)
+
+
+def test_htcp_alpha_grows_with_elapsed_time():
+    h = HTcp()
+    h.on_congestion_event(seconds(0))
+    a1 = h._alpha(seconds(2))
+    a2 = h._alpha(seconds(5))
+    a3 = h._alpha(seconds(10))
+    assert a1 < a2 < a3
+
+
+def _htcp_in_steady_state(rtts, rate=1000.0):
+    """Two stable loss epochs arm the mode switch (as in Linux); the third
+    epoch, with the given RTT samples, then uses the adaptive ratio."""
+    h = HTcp()
+    h.ssthresh = 1.0  # force CA
+    h.cwnd = 100.0
+    for epoch in (1, 2):
+        h.on_ack(ack(rtt_ms=50, rate=rate))
+        h.on_congestion_event(seconds(epoch))
+        h.cwnd = 100.0
+    for rtt in rtts:
+        h.on_ack(ack(rtt_ms=rtt, rate=rate))
+    h.on_congestion_event(seconds(3))
+    return h
+
+
+def test_htcp_first_loss_uses_deep_beta():
+    """Before the mode switch engages, H-TCP takes the safe 0.5 cut."""
+    h = HTcp()
+    h.ssthresh = 1.0
+    h.cwnd = 100.0
+    h.on_ack(ack(rtt_ms=50, rate=1000.0))
+    h.on_congestion_event(seconds(1))
+    assert h.beta == HTCP_BETA_MIN
+
+
+def test_htcp_beta_adapts_to_rtt_ratio():
+    h = _htcp_in_steady_state([50, 70])
+    assert h.beta == pytest.approx(50 / 70)
+
+
+def test_htcp_beta_clamped():
+    assert _htcp_in_steady_state([10, 100]).beta == HTCP_BETA_MIN
+    assert _htcp_in_steady_state([50, 50.1]).beta == pytest.approx(HTCP_BETA_MAX)
+
+
+def test_htcp_bandwidth_switch_forces_deep_cut():
+    """A >20% throughput change between epochs falls back to beta=0.5."""
+    h = _htcp_in_steady_state([50, 70])
+    assert h.beta == pytest.approx(50 / 70)  # stable bandwidth: ratio beta
+    # Next epoch the measured bandwidth halves -> deep cut.
+    h.on_ack(ack(rtt_ms=50, rate=500.0))
+    h.on_ack(ack(rtt_ms=70, rate=500.0))
+    h.on_congestion_event(seconds(4))
+    assert h.beta == HTCP_BETA_MIN
+
+
+def test_htcp_rtt_window_resets_after_congestion():
+    h = HTcp()
+    h.cwnd = 100.0
+    h.ssthresh = 1.0
+    h.on_ack(ack(rtt_ms=10))
+    h.on_congestion_event(seconds(1))
+    assert h._rtt_min_ns is None and h._rtt_max_ns is None

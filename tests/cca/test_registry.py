@@ -1,0 +1,37 @@
+"""Unit tests for the CCA registry."""
+
+import pytest
+
+from repro.cca import BbrV1, BbrV2, Cubic, HTcp, Reno, make_cca
+from repro.cca.registry import canonical_cca_name
+
+
+def test_factory_builds_each():
+    assert isinstance(make_cca("reno"), Reno)
+    assert isinstance(make_cca("cubic"), Cubic)
+    assert isinstance(make_cca("htcp"), HTcp)
+    assert isinstance(make_cca("bbrv1"), BbrV1)
+    assert isinstance(make_cca("bbrv2"), BbrV2)
+
+
+@pytest.mark.parametrize("alias,canon", [
+    ("bbr", "bbrv1"), ("BBR1", "bbrv1"), ("bbrv1", "bbrv1"),
+    ("bbr2", "bbrv2"), ("BBRv2", "bbrv2"),
+    ("CUBIC", "cubic"), ("reno", "reno"), ("htcp", "htcp"),
+])
+def test_aliases(alias, canon):
+    assert canonical_cca_name(alias) == canon
+
+
+def test_unknown_rejected():
+    with pytest.raises(ValueError):
+        make_cca("vegas")
+    with pytest.raises(ValueError):
+        canonical_cca_name("westwood")
+
+
+def test_instances_are_fresh():
+    a, b = make_cca("cubic"), make_cca("cubic")
+    assert a is not b
+    a.cwnd = 999
+    assert b.cwnd != 999

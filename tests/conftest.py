@@ -1,0 +1,19 @@
+"""Shared pytest configuration."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make tests/helpers.py importable as `helpers` from any test package.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.traffic.iperf import Iperf3Server
+
+
+@pytest.fixture(autouse=True)
+def _reset_iperf_server_registry():
+    """The server registry is process-global; isolate tests."""
+    Iperf3Server.reset_registry()
+    yield
+    Iperf3Server.reset_registry()

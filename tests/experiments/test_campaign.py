@@ -1,0 +1,69 @@
+"""Unit tests for the campaign driver (serial + parallel + resume)."""
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.storage import ResultStore
+from repro.units import mbps
+
+
+def _configs(n=3, engine="fluid"):
+    return [
+        ExperimentConfig(
+            cca_pair=("cubic", "cubic"),
+            bottleneck_bw_bps=mbps(100),
+            duration_s=5.0,
+            engine=engine,
+            seed=100 + i,
+        )
+        for i in range(n)
+    ]
+
+
+def test_serial_campaign_runs_all(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    results = run_campaign(_configs(3), store=store, jobs=1)
+    assert len(results) == 3
+    assert len(store) == 3
+
+
+def test_resume_skips_completed(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    configs = _configs(3)
+    run_campaign(configs[:2], store=store, jobs=1)
+    progress_calls = []
+    results = run_campaign(
+        configs, store=store, jobs=1,
+        progress=lambda done, total, r: progress_calls.append((done, total)),
+    )
+    # All three results returned, but only one actually ran.
+    assert len(results) == 3
+    assert progress_calls == [(1, 1)]
+    assert len(store) == 3
+
+
+def test_no_resume_reruns(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    configs = _configs(2)
+    run_campaign(configs, store=store, jobs=1)
+    run_campaign(configs, store=store, jobs=1, resume=False)
+    assert len(store) == 4
+
+
+def test_parallel_campaign(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    results = run_campaign(_configs(4), store=store, jobs=2)
+    assert len(results) == 4
+    seeds = sorted(r.config["seed"] for r in results)
+    assert seeds == [100, 101, 102, 103]
+
+
+def test_invalid_jobs():
+    with pytest.raises(ValueError):
+        run_campaign(_configs(1), jobs=0)
+
+
+def test_campaign_without_store():
+    results = run_campaign(_configs(2), jobs=1)
+    assert len(results) == 2

@@ -1,0 +1,90 @@
+"""Unit tests for experiment configuration (Tables 1 & 2)."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_BANDWIDTHS_BPS,
+    PAPER_CCA_PAIRS,
+    PAPER_FLOW_PLANS,
+    ExperimentConfig,
+    flow_plan,
+)
+from repro.units import gbps, mbps
+
+
+def test_table2_flow_plans():
+    assert flow_plan(mbps(100)).total_flows == 2
+    assert flow_plan(mbps(500)).total_flows == 10
+    assert flow_plan(gbps(1)).total_flows == 20
+    assert flow_plan(gbps(10)).total_flows == 200
+    assert flow_plan(gbps(25)).total_flows == 500
+
+
+def test_table2_process_stream_split():
+    plan = flow_plan(gbps(10))
+    assert plan.processes_per_node == 10
+    assert plan.streams_per_process == 10
+    plan25 = flow_plan(gbps(25))
+    assert plan25.processes_per_node == 25
+    assert plan25.streams_per_process == 10
+
+
+def test_off_grid_bandwidth_uses_nearest_tier():
+    assert flow_plan(mbps(120)) == PAPER_FLOW_PLANS[mbps(100)]
+    assert flow_plan(gbps(20)) == PAPER_FLOW_PLANS[gbps(25)]
+
+
+def test_flow_plan_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        flow_plan(0)
+
+
+def test_config_canonicalizes_cca_names():
+    cfg = ExperimentConfig(cca_pair=("bbr", "CUBIC"))
+    assert cfg.cca_pair == ("bbrv1", "cubic")
+
+
+def test_intra_cca_detection():
+    assert ExperimentConfig(cca_pair=("reno", "reno")).is_intra_cca
+    assert not ExperimentConfig(cca_pair=("reno", "cubic")).is_intra_cca
+
+
+def test_plan_override():
+    cfg = ExperimentConfig(cca_pair=("cubic", "cubic"), flows_per_node=7)
+    assert cfg.plan.flows_per_node == 7
+
+
+def test_label_stable_and_distinct():
+    a = ExperimentConfig(cca_pair=("bbrv1", "cubic"), aqm="fifo", buffer_bdp=2.0,
+                         bottleneck_bw_bps=mbps(100), seed=1)
+    b = ExperimentConfig(cca_pair=("bbrv1", "cubic"), aqm="fifo", buffer_bdp=2.0,
+                         bottleneck_bw_bps=mbps(100), seed=2)
+    assert a.label() != b.label()
+    assert a.label() == ExperimentConfig.from_dict(a.to_dict()).label()
+
+
+def test_roundtrip_through_dict():
+    cfg = ExperimentConfig(cca_pair=("htcp", "cubic"), aqm="red", buffer_bdp=8.0,
+                           bottleneck_bw_bps=gbps(10), engine="fluid", seed=9)
+    cfg2 = ExperimentConfig.from_dict(cfg.to_dict())
+    assert cfg2 == cfg
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"aqm": "wred"},
+    {"engine": "ns3"},
+    {"duration_s": 0},
+    {"warmup_s": -1},
+    {"warmup_s": 300},
+    {"flows_per_node": 0},
+])
+def test_validation(kwargs):
+    base = dict(cca_pair=("cubic", "cubic"))
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        ExperimentConfig(**base)
+
+
+def test_paper_constants():
+    assert len(PAPER_CCA_PAIRS) == 9
+    assert len(PAPER_BANDWIDTHS_BPS) == 5

@@ -1,0 +1,50 @@
+"""Unit tests for the experiment grid (Table 1)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.matrix import full_matrix, iter_cells
+from repro.units import mbps
+
+
+def test_full_grid_is_810():
+    """9 CCA pairs x 3 AQMs x 6 buffers x 5 bandwidths = 810 (paper §4.1)."""
+    assert len(full_matrix()) == 810
+    assert sum(1 for _ in iter_cells()) == 810
+
+
+def test_repetitions_multiply():
+    assert len(full_matrix(repetitions=5)) == 810 * 5
+
+
+def test_seeds_unique():
+    configs = full_matrix(repetitions=3)
+    seeds = {c.seed for c in configs}
+    assert len(seeds) == len(configs)
+
+
+def test_where_filter():
+    configs = full_matrix(where=lambda c: c.aqm == "red" and c.is_intra_cca)
+    assert len(configs) == 5 * 6 * 5  # 5 intra pairs x 6 buffers x 5 bws
+    assert all(c.aqm == "red" for c in configs)
+
+
+def test_overrides_propagate():
+    configs = full_matrix(
+        cca_pairs=(("cubic", "cubic"),),
+        aqms=("fifo",),
+        buffer_bdps=(2.0,),
+        bandwidths_bps=(mbps(100),),
+        engine="fluid",
+        scale=10.0,
+        duration_s=12.0,
+    )
+    assert len(configs) == 1
+    cfg = configs[0]
+    assert cfg.engine == "fluid"
+    assert cfg.scale == 10.0
+    assert cfg.duration_s == 12.0
+
+
+def test_configs_are_valid():
+    for cfg in full_matrix()[:50]:
+        assert isinstance(cfg, ExperimentConfig)
+        assert cfg.label()

@@ -1,0 +1,44 @@
+"""Unit tests for run presets."""
+
+import pytest
+
+from repro.experiments.presets import PRESETS, get_preset
+
+
+def test_presets_listed():
+    assert {"paper-fluid", "scaled-des", "smoke"} <= set(PRESETS)
+
+
+def test_paper_fluid_preset():
+    configs = get_preset("paper-fluid")
+    assert len(configs) == 810 * 5
+    assert all(c.engine == "fluid" for c in configs[:20])
+
+
+def test_scaled_des_preset():
+    configs = get_preset("scaled-des")
+    assert len(configs) == 810
+    sample = configs[0]
+    assert sample.engine == "packet"
+    assert sample.scale > 1
+    assert sample.duration_s < 200
+
+
+def test_smoke_preset_is_small():
+    configs = get_preset("smoke")
+    assert 1 <= len(configs) <= 10
+    assert all(c.duration_s <= 10 for c in configs)
+
+
+def test_claims_preset_shape():
+    configs = get_preset("claims")
+    assert len(configs) == 6 * 3 * 3 * 3  # pairs x AQMs x buffers x tiers
+    assert all(c.engine == "fluid" for c in configs)
+    pairs = {c.cca_pair for c in configs}
+    assert ("bbrv1", "cubic") in pairs
+    assert ("cubic", "cubic") in pairs
+
+
+def test_unknown_preset():
+    with pytest.raises(ValueError):
+        get_preset("huge")

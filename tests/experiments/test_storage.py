@@ -1,0 +1,72 @@
+"""Unit tests for the JSONL result store."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.storage import ResultStore
+from repro.metrics.summary import ExperimentResult, SenderStats
+from repro.units import mbps
+
+
+def _result(seed=1):
+    cfg = ExperimentConfig(cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(100), seed=seed)
+    return ExperimentResult(
+        config=cfg.to_dict(),
+        senders=[SenderStats("client1", "cubic", 50e6, 5, 1),
+                 SenderStats("client2", "cubic", 50e6, 3, 1)],
+        flows=[],
+        jain_index=1.0,
+        link_utilization=1.0,
+        total_retransmits=8,
+        total_throughput_bps=100e6,
+        bottleneck_drops=8,
+        duration_s=10.0,
+        engine="packet",
+    )
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.append(_result(2))
+    loaded = store.load()
+    assert len(loaded) == 2
+    assert loaded[0].config["seed"] == 1
+    assert loaded[1].config["seed"] == 2
+    assert len(store) == 2
+
+
+def test_empty_store(tmp_path):
+    store = ResultStore(tmp_path / "missing.jsonl")
+    assert store.load() == []
+    assert store.completed_labels() == set()
+
+
+def test_completed_labels(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(7))
+    labels = store.completed_labels()
+    cfg = ExperimentConfig(cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(100), seed=7)
+    assert cfg.label() in labels
+
+
+def test_corrupt_line_raises(tmp_path):
+    path = tmp_path / "r.jsonl"
+    path.write_text('{"not": "a result"}\n')
+    store = ResultStore(path)
+    with pytest.raises(ValueError):
+        store.load()
+
+
+def test_blank_lines_skipped(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result())
+    with store.path.open("a") as fh:
+        fh.write("\n\n")
+    assert len(store.load()) == 1
+
+
+def test_creates_parent_dir(tmp_path):
+    store = ResultStore(tmp_path / "deep" / "dir" / "r.jsonl")
+    store.append(_result())
+    assert store.path.exists()

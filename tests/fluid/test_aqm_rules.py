@@ -1,0 +1,162 @@
+"""Unit tests for fluid AQM drop laws."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.aqm_rules import (
+    FluidFifo,
+    FluidFqCodel,
+    FluidRed,
+    make_fluid_aqm,
+    waterfill,
+)
+
+
+def test_waterfill_no_contention():
+    supply = np.array([1.0, 2.0, 3.0])
+    out = waterfill(supply, 10.0)
+    assert np.allclose(out, supply)
+
+
+def test_waterfill_equal_split():
+    supply = np.array([10.0, 10.0, 10.0])
+    out = waterfill(supply, 9.0)
+    assert np.allclose(out, 3.0)
+
+
+def test_waterfill_maxmin_fairness():
+    supply = np.array([1.0, 5.0, 10.0])
+    out = waterfill(supply, 9.0)
+    # Small demand fully served; remainder split equally.
+    assert out[0] == pytest.approx(1.0)
+    assert out[1] == pytest.approx(4.0)
+    assert out[2] == pytest.approx(4.0)
+    assert out.sum() == pytest.approx(9.0)
+
+
+def test_waterfill_conserves_capacity():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        supply = rng.uniform(0, 10, size=8)
+        cap = rng.uniform(1, 40)
+        out = waterfill(supply, cap)
+        assert np.all(out <= supply + 1e-9)
+        assert out.sum() <= max(cap, 0) + 1e-9
+
+
+def test_fifo_serves_up_to_capacity():
+    q = FluidFifo(limit_pkts=100, capacity_pps=1000, n_flows=2)
+    arrivals = np.array([30.0, 10.0])
+    delivered, dropped = q.step(arrivals, dt=0.01, now_s=0.0)  # cap 10 pkts
+    assert delivered.sum() == pytest.approx(10.0)
+    assert dropped.sum() == 0.0
+    assert q.backlog.sum() == pytest.approx(30.0)
+
+
+def test_fifo_tail_drops_over_limit():
+    q = FluidFifo(limit_pkts=20, capacity_pps=1000, n_flows=2)
+    arrivals = np.array([40.0, 0.0])
+    delivered, dropped = q.step(arrivals, dt=0.01, now_s=0.0)
+    assert q.backlog.sum() == pytest.approx(20.0)
+    assert dropped[0] == pytest.approx(10.0)  # 40 - 10 served - 20 queued
+    assert dropped[1] == 0.0
+
+
+def test_fifo_processor_sharing_by_backlog():
+    q = FluidFifo(limit_pkts=1000, capacity_pps=1000, n_flows=2)
+    q.backlog = np.array([30.0, 10.0])
+    delivered, _ = q.step(np.zeros(2), dt=0.01, now_s=0.0)
+    assert delivered[0] / delivered[1] == pytest.approx(3.0)
+
+
+def test_red_drops_grow_with_average_queue():
+    rng = np.random.default_rng(2)
+    q = FluidRed(limit_pkts=1000, capacity_pps=100, n_flows=1, rng=rng,
+                 min_th=10, max_th=50, max_p=0.5)
+    total_dropped_low = 0.0
+    # Push hard: queue builds past min_th, drops must start.
+    for i in range(200):
+        _, dropped = q.step(np.array([5.0]), dt=0.01, now_s=i * 0.01)
+        total_dropped_low += dropped.sum()
+    assert q.avg > 10
+    assert total_dropped_low > 0
+
+
+def test_red_no_drops_below_min_th():
+    rng = np.random.default_rng(2)
+    q = FluidRed(limit_pkts=1000, capacity_pps=1000, n_flows=1, rng=rng,
+                 min_th=100, max_th=500)
+    for i in range(100):
+        _, dropped = q.step(np.array([5.0]), dt=0.01, now_s=i * 0.01)
+        assert dropped.sum() == 0.0
+
+
+def test_fq_codel_equal_service_for_backlogged_flows():
+    q = FluidFqCodel(limit_pkts=10_000, capacity_pps=1000, n_flows=2)
+    q.backlog = np.array([500.0, 500.0])
+    delivered, _ = q.step(np.zeros(2), dt=0.1, now_s=0.0)
+    assert delivered[0] == pytest.approx(delivered[1])
+
+
+def test_fq_codel_isolates_aggressive_flow():
+    """An overloading flow cannot crowd out a modest one."""
+    q = FluidFqCodel(limit_pkts=10_000, capacity_pps=1000, n_flows=2)
+    served = np.zeros(2)
+    for i in range(300):
+        arrivals = np.array([20.0, 4.0])  # flow0 wants 2000 pps, flow1 400 pps
+        d, _ = q.step(arrivals, dt=0.01, now_s=i * 0.01)
+        served += d
+    # Flow 1 gets essentially its full demand.
+    assert served[1] == pytest.approx(300 * 4.0, rel=0.1)
+
+
+def test_fq_codel_drop_rate_escalates_to_match_overload():
+    """CoDel's sqrt control law ramps drops until they absorb the excess.
+
+    A persistent 1.5x overload needs ~500 pps of drops; the escalation
+    reaches that within ~10 s, after which the backlog stops growing.
+    """
+    q = FluidFqCodel(limit_pkts=1_000_000, capacity_pps=1000, n_flows=1)
+    backlog_at = {}
+    drops = 0.0
+    drops_late = 0.0
+    for i in range(2000):  # 20 s
+        _, d = q.step(np.array([15.0]), dt=0.01, now_s=i * 0.01)
+        drops += float(d.sum())
+        if i >= 1500:
+            drops_late += float(d.sum())
+        if i in (1000, 1999):
+            backlog_at[i] = float(q.backlog[0])
+    assert drops > 0
+    # Late drop rate approaches the 500 pps excess.
+    assert drops_late / 5.0 > 250.0
+    # Queue growth has (nearly) stopped.
+    growth = backlog_at[1999] - backlog_at[1000]
+    assert growth < 0.2 * backlog_at[1000]
+
+
+def test_fq_codel_memory_limit():
+    q = FluidFqCodel(limit_pkts=50, capacity_pps=10, n_flows=2)
+    q.step(np.array([100.0, 1.0]), dt=0.01, now_s=0.0)
+    assert q.backlog.sum() <= 50 + 1e-9
+    assert q.backlog[1] > 0  # thin flow survives
+
+
+def test_factory():
+    rng = np.random.default_rng(0)
+    assert isinstance(make_fluid_aqm("fifo", 10, 10, 1), FluidFifo)
+    assert isinstance(make_fluid_aqm("red", 10, 10, 1, rng=rng), FluidRed)
+    assert isinstance(make_fluid_aqm("fq_codel", 10, 10, 1), FluidFqCodel)
+    with pytest.raises(ValueError):
+        make_fluid_aqm("red", 10, 10, 1)  # no rng
+    with pytest.raises(ValueError):
+        make_fluid_aqm("nope", 10, 10, 1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FluidFifo(0, 10, 1)
+    with pytest.raises(ValueError):
+        FluidFifo(10, 0, 1)
+    with pytest.raises(ValueError):
+        FluidFifo(10, 10, 0)

@@ -1,0 +1,167 @@
+"""Unit tests for fluid CCA rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fluid.cca_rules import (
+    FluidBbrV1,
+    FluidBbrV2,
+    FluidCubic,
+    FluidHTcp,
+    FluidReno,
+    RoundInfo,
+    make_fluid_cca,
+)
+
+
+def info(now=1.0, rtt=0.05, base=0.05, delivered=100, lost=0, rate=1000.0, inflight=50):
+    return RoundInfo(now, rtt, base, delivered, lost, rate, inflight)
+
+
+def test_factory_and_aliases():
+    assert isinstance(make_fluid_cca("reno"), FluidReno)
+    assert isinstance(make_fluid_cca("bbr"), FluidBbrV1)
+    assert isinstance(make_fluid_cca("bbrv2"), FluidBbrV2)
+    with pytest.raises(ValueError):
+        make_fluid_cca("vegas")
+
+
+def test_reno_slow_start_doubles():
+    r = FluidReno()
+    start = r.cwnd
+    r.round_update(info())
+    assert r.cwnd == 2 * start
+
+
+def test_reno_additive_increase_after_ssthresh():
+    r = FluidReno()
+    r.ssthresh = 10.0
+    r.cwnd = 20.0
+    r.round_update(info())
+    assert r.cwnd == 21.0
+
+
+def test_reno_halves_on_loss():
+    r = FluidReno()
+    r.cwnd = 40.0
+    r.round_update(info(lost=5))
+    assert r.cwnd == 20.0
+
+
+def test_cubic_loss_cut_and_regrowth():
+    c = FluidCubic()
+    c.cwnd = 100.0
+    c.ssthresh = 100.0
+    c.round_update(info(now=1.0, lost=3))
+    assert c.cwnd == pytest.approx(70.0)
+    before = c.cwnd
+    t = 1.0
+    for i in range(40):
+        t += 0.05
+        c.round_update(info(now=t))
+    assert c.cwnd > before
+    # K = cbrt(0.3*100/0.4) ~ 4.2 s: within 2 s we're still below w_max.
+    assert c.cwnd <= 101.0
+
+
+def test_cubic_hystart_exit():
+    c = FluidCubic()
+    c.cwnd = 64.0
+    # Queueing delay far above base RTT.
+    c.round_update(info(rtt=0.09, base=0.05))
+    assert c.ssthresh == 64.0
+
+
+def test_htcp_alpha_time_scaling():
+    h = FluidHTcp()
+    h.ssthresh = 1.0
+    h.cwnd = 10.0
+    h.last_congestion_s = 0.0
+    h.round_update(info(now=0.5))
+    small = h.cwnd - 10.0
+    h2 = FluidHTcp()
+    h2.ssthresh = 1.0
+    h2.cwnd = 10.0
+    h2.last_congestion_s = 0.0
+    h2.round_update(info(now=8.0))
+    big = h2.cwnd - 10.0
+    assert big > small
+
+
+def test_htcp_adaptive_beta():
+    h = FluidHTcp()
+    h.cwnd = 100.0
+    h.ssthresh = 1.0
+    # Two stable loss epochs arm the mode switch; the third uses the ratio.
+    for t in (1.0, 2.0):
+        h.round_update(info(now=t, rtt=0.05, rate=1000.0))
+        h.round_update(info(now=t + 0.1, rtt=0.05, lost=2, rate=1000.0))
+    h.round_update(info(now=3.0, rtt=0.05, rate=1000.0))
+    h.round_update(info(now=3.1, rtt=0.08, rate=1000.0))
+    h.round_update(info(now=3.2, rtt=0.07, lost=2, rate=1000.0))
+    assert h.beta == pytest.approx(0.05 / 0.08)
+
+
+def test_htcp_fluid_bandwidth_switch():
+    h = FluidHTcp()
+    h.cwnd = 100.0
+    h.ssthresh = 1.0
+    for t in (1.0, 2.0, 3.0):
+        h.round_update(info(now=t, rtt=0.05, rate=1000.0))
+        h.round_update(info(now=t + 0.1, rtt=0.07, lost=2, rate=1000.0))
+    assert h.beta == pytest.approx(0.05 / 0.07)
+    # Bandwidth halves -> deep cut.
+    h.round_update(info(now=4.0, rtt=0.05, rate=400.0))
+    h.round_update(info(now=4.1, rtt=0.06, lost=2, rate=400.0))
+    assert h.beta == pytest.approx(0.5)
+
+
+def test_bbrv1_startup_exit_and_rate():
+    b = FluidBbrV1(np.random.default_rng(0))
+    t = 0.1
+    for i in range(10):
+        b.round_update(info(now=t, rate=1000.0, inflight=50))
+        t += 0.05
+    assert b.state in ("DRAIN", "PROBE_BW")
+    b.round_update(info(now=t, rate=1000.0, inflight=10))
+    assert b.state == "PROBE_BW"
+    assert b.pacing_pps is not None
+    assert b.inflight_cap == pytest.approx(2.0 * 1000.0 * b.min_rtt_s, rel=0.01)
+
+
+def test_bbrv1_collapse_resets_to_startup():
+    b = FluidBbrV1(np.random.default_rng(0))
+    b.state = "PROBE_BW"
+    b.bw_filter.update(5000.0)
+    b.on_rto_like_collapse(10.0)
+    assert b.state == "STARTUP"
+    assert b.bw_filter.get() == b.rate_floor_pps
+
+
+def test_bbrv2_loss_threshold_sets_inflight_hi():
+    b = FluidBbrV2(np.random.default_rng(0))
+    t = 0.1
+    for i in range(10):
+        b.round_update(info(now=t, rate=1000.0, inflight=50))
+        t += 0.05
+    assert b.inflight_hi == float("inf")
+    b.round_update(info(now=t, delivered=90, lost=10, rate=1000.0, inflight=80))
+    assert math.isfinite(b.inflight_hi)
+    assert b.inflight_hi <= 80
+
+
+def test_bbrv2_below_threshold_no_reaction():
+    b = FluidBbrV2(np.random.default_rng(0))
+    t = 0.1
+    for i in range(10):
+        b.round_update(info(now=t, rate=1000.0, inflight=50))
+        t += 0.05
+    b.round_update(info(now=t, delivered=99, lost=1, rate=1000.0, inflight=80))
+    assert b.inflight_hi == float("inf")
+
+
+def test_loss_rate_property():
+    assert info(delivered=98, lost=2).loss_rate == pytest.approx(0.02)
+    assert info(delivered=0, lost=0).loss_rate == 0.0

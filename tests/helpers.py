@@ -1,0 +1,115 @@
+"""Shared test harnesses.
+
+``LoopbackNet`` wires a TCP sender and receiver directly through the
+simulator with a configurable one-way delay, an optional bottleneck rate,
+and a programmable drop hook — the minimal environment for exercising the
+sender/receiver state machines without standing up a full topology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.cca.base import CongestionControl
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.units import milliseconds, tx_time_ns
+
+
+class LoopbackNet:
+    """Sender -> (drop hook, serialization, delay) -> receiver -> ACKs back."""
+
+    def __init__(
+        self,
+        *,
+        cca: CongestionControl,
+        mss: int = 1500,
+        one_way_delay_ns: int = milliseconds(10),
+        data_rate_bps: Optional[float] = None,
+        queue_limit_pkts: Optional[int] = None,
+        drop_data: Optional[Callable[[Packet], bool]] = None,
+        drop_ack: Optional[Callable[[Packet], bool]] = None,
+        total_segments: Optional[int] = None,
+        ack_every: int = 1,
+    ):
+        self.sim = Simulator()
+        self.delay = one_way_delay_ns
+        self.rate = data_rate_bps
+        self.queue_limit = queue_limit_pkts
+        self.drop_data = drop_data
+        self.drop_ack = drop_ack
+        self.data_drops = 0
+        self.ack_drops = 0
+        self.queue_drops = 0
+        self._queue: deque = deque()
+        self._busy = False
+
+        self.sender = TcpSender(
+            self.sim, 1, "10.0.0.1", "10.0.0.2", self._send_data, cca,
+            mss=mss, total_segments=total_segments,
+        )
+        self.receiver = TcpReceiver(
+            1, "10.0.0.2", "10.0.0.1", self._send_ack, lambda: self.sim.now,
+            mss=mss, ack_every=ack_every,
+        )
+
+    # -- forward path (data) --------------------------------------------------------
+
+    def _send_data(self, pkt: Packet) -> None:
+        if self.drop_data is not None and self.drop_data(pkt):
+            self.data_drops += 1
+            return
+        if self.rate is None:
+            self.sim.schedule(self.delay, self.receiver.handle_packet, pkt)
+            return
+        if self.queue_limit is not None and len(self._queue) >= self.queue_limit and self._busy:
+            self.queue_drops += 1
+            return
+        self._queue.append(pkt)
+        if not self._busy:
+            self._pump()
+
+    def _pump(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        pkt = self._queue.popleft()
+        tx = tx_time_ns(pkt.size, self.rate)
+        self.sim.schedule(tx, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.sim.schedule(self.delay, self.receiver.handle_packet, pkt)
+        self._pump()
+
+    # -- reverse path (ACKs) ----------------------------------------------------------
+
+    def _send_ack(self, pkt: Packet) -> None:
+        if self.drop_ack is not None and self.drop_ack(pkt):
+            self.ack_drops += 1
+            return
+        self.sim.schedule(self.delay, self.sender.handle_packet, pkt)
+
+    # -- driving ---------------------------------------------------------------------
+
+    def run(self, duration_ns: int) -> None:
+        self.sim.run(self.sim.now + duration_ns)
+
+    def start(self, delay_ns: int = 0) -> None:
+        self.sender.start(delay_ns)
+
+
+def drop_seqs(*seqs: int) -> Callable[[Packet], bool]:
+    """Drop hook dropping the FIRST transmission of the given seqs."""
+    pending = set(seqs)
+
+    def hook(pkt: Packet) -> bool:
+        if pkt.seq in pending and not pkt.is_retx:
+            pending.discard(pkt.seq)
+            return True
+        return False
+
+    return hook

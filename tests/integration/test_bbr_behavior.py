@@ -1,0 +1,103 @@
+"""End-to-end behavioural checks of the BBR family over the dumbbell."""
+
+import pytest
+
+from repro.cca.registry import make_cca
+from repro.tcp.connection import open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import mbps, milliseconds, seconds
+
+
+def _setup(cca_name, *, buffer_bdp=4.0, bw=mbps(20), seed=19):
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=bw, buffer_bdp=buffer_bdp,
+                       mss_bytes=1500, seed=seed)
+    )
+    cca = make_cca(cca_name, db.network.rng.stream("cca"))
+    conn = open_connection(db.clients[0], db.servers[0], cca, mss=1500)
+    conn.start()
+    return db, conn, cca
+
+
+def test_bbrv1_model_converges_to_path_properties():
+    db, conn, cca = _setup("bbrv1")
+    db.network.run(seconds(10))
+    # Bottleneck bandwidth in segments/s: 20 Mbps / (1500 B * 8).
+    true_bw_pps = mbps(20) / (1500 * 8)
+    assert cca.btlbw_pps == pytest.approx(true_bw_pps, rel=0.15)
+    assert cca.min_rtt_ns == pytest.approx(db.config.rtt_ns, rel=0.1)
+
+
+def test_bbrv1_inflight_respects_2bdp_cap():
+    db, conn, cca = _setup("bbrv1", buffer_bdp=8.0)
+    peak = {"pipe": 0}
+
+    def watch():
+        peak["pipe"] = max(peak["pipe"], conn.sender.scoreboard.pipe)
+        db.sim.schedule(milliseconds(100), watch)
+
+    db.sim.schedule(seconds(3), watch)  # after startup/drain
+    db.network.run(seconds(12))
+    bdp_segments = mbps(20) * 0.062 / 8 / 1500
+    assert peak["pipe"] <= 2.6 * bdp_segments  # 2x cap + probe headroom
+
+
+def test_bbrv1_probe_rtt_periodically_drains():
+    db, conn, cca = _setup("bbrv1")
+    seen_probe_rtt = {"yes": False}
+
+    def watch():
+        if cca.state == "PROBE_RTT":
+            seen_probe_rtt["yes"] = True
+        db.sim.schedule(milliseconds(20), watch)
+
+    db.sim.schedule(seconds(1), watch)
+    db.network.run(seconds(25))  # > 2 PROBE_RTT horizons
+    assert seen_probe_rtt["yes"]
+
+
+def test_bbrv2_keeps_shallow_queue_vs_cubic():
+    """BBR's raison d'etre: high throughput at a fraction of the delay."""
+    results = {}
+    for cca_name in ("bbrv2", "cubic"):
+        db, conn, cca = _setup(cca_name, buffer_bdp=8.0)
+        peak = {"q": 0}
+
+        def watch():
+            peak["q"] = max(peak["q"], db.bottleneck_qdisc.bytes_queued)
+            db.sim.schedule(milliseconds(100), watch)
+
+        db.sim.schedule(seconds(4), watch)
+        db.network.run(seconds(15))
+        thr = conn.receiver.bytes_received * 8 / 15
+        results[cca_name] = (thr, peak["q"])
+    assert results["bbrv2"][0] > 0.75 * results["cubic"][0]  # comparable rate
+    assert results["bbrv2"][1] < 0.5 * results["cubic"][1]  # way less queue
+
+
+def test_bbrv2_paced_smoother_than_cubic():
+    """Pacing spreads transmissions: no full-window bursts."""
+    db, conn, cca = _setup("bbrv2")
+    db.network.run(seconds(5))
+    assert cca.pacing_rate_pps is not None
+    # Paced rate sits near the true bottleneck rate.
+    true_bw_pps = mbps(20) / (1500 * 8)
+    assert cca.pacing_rate_pps == pytest.approx(true_bw_pps, rel=0.4)
+
+
+def test_ecn_marking_reaches_bbrv2():
+    """With an ECN-marking AQM, BBRv2 receives CE echoes end to end."""
+    # Buffer 4 BDP: BBRv2's 2xBDP inflight fits, so the only congestion
+    # signal left is RED's (marked, not dropped) early decisions.
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=4.0, aqm="red",
+                       mss_bytes=1500, seed=3, ecn_mode=True)
+    )
+    cca = make_cca("bbrv2", db.network.rng.stream("cca"))
+    conn = open_connection(db.clients[0], db.servers[0], cca, mss=1500, ecn_enabled=True)
+    conn.start()
+    db.network.run(seconds(12))
+    assert db.bottleneck_qdisc.stats.ecn_marked > 0
+    assert cca.ecn_alpha > 0 or cca.inflight_hi != float("inf")
+    # Marking replaced dropping entirely.
+    assert conn.sender.retransmits == 0

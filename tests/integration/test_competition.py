@@ -1,0 +1,96 @@
+"""Integration: two-sender competition through the experiment runner.
+
+Each test pins one qualitative claim from the paper's results section at
+a small scaled bandwidth where the packet engine runs in ~1s.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.units import mbps
+
+
+def _run(pair, aqm="fifo", buffer_bdp=2.0, duration=15.0, seed=21, bw=mbps(20)):
+    return run_packet_experiment(
+        ExperimentConfig(
+            cca_pair=pair, aqm=aqm, buffer_bdp=buffer_bdp,
+            bottleneck_bw_bps=bw, duration_s=duration, mss_bytes=1500,
+            flows_per_node=1, seed=seed,
+        )
+    )
+
+
+@pytest.mark.parametrize("cca", ["reno", "cubic", "htcp", "bbrv2"])
+def test_intra_cca_is_fair(cca):
+    """Paper: every CCA shares fairly against itself (J ~ 1) under FIFO."""
+    r = _run((cca, cca))
+    assert r.jain_index > 0.85, f"{cca} intra-CCA J={r.jain_index:.3f}"
+
+
+def test_fifo_small_buffer_bbrv1_beats_cubic():
+    """Paper Fig 2(a): below the equilibrium point BBRv1 dominates."""
+    r = _run(("bbrv1", "cubic"), buffer_bdp=0.5)
+    assert r.throughput_of("bbrv1") > 2 * r.throughput_of("cubic")
+
+
+def test_fifo_large_buffer_cubic_beats_bbrv1():
+    """Paper Fig 2: past the equilibrium point CUBIC overtakes."""
+    r = _run(("bbrv1", "cubic"), buffer_bdp=16.0)
+    assert r.throughput_of("cubic") > 1.5 * r.throughput_of("bbrv1")
+
+
+def test_fifo_large_buffer_cubic_beats_bbrv2():
+    """Paper: BBRv2's inflight_hi response makes big-buffer FIFO worse."""
+    r = _run(("bbrv2", "cubic"), buffer_bdp=16.0)
+    assert r.throughput_of("cubic") > r.throughput_of("bbrv2")
+
+
+def test_red_bbrv1_starves_cubic():
+    """Paper Fig 4(a-e): under RED, CUBIC is crushed (J ~ 0.52)."""
+    r = _run(("bbrv1", "cubic"), aqm="red")
+    assert r.throughput_of("bbrv1") > 5 * r.throughput_of("cubic")
+    assert r.jain_index < 0.7
+
+
+def test_red_reno_balanced_with_cubic():
+    """Paper: Reno vs CUBIC under RED is nearly equal."""
+    r = _run(("reno", "cubic"), aqm="red")
+    assert r.jain_index > 0.9
+
+
+def test_fq_codel_equalizes_everyone():
+    """Paper Fig 6: FQ_CODEL yields J ~ 1 even for BBRv1 vs CUBIC."""
+    r = _run(("bbrv1", "cubic"), aqm="fq_codel")
+    assert r.jain_index > 0.95
+
+
+def test_fifo_utilization_near_full():
+    """Paper Fig 7(a-b): FIFO lets every CCA fill the link."""
+    for pair in (("cubic", "cubic"), ("bbrv1", "bbrv1")):
+        r = _run(pair, duration=12.0)
+        assert r.link_utilization > 0.85
+
+
+def test_bbrv1_retransmits_dwarf_cubic():
+    """Paper Table 3: BBRv1's RR is an order of magnitude above CUBIC's."""
+    r_bbr = _run(("bbrv1", "bbrv1"), aqm="red", duration=12.0)
+    r_cubic = _run(("cubic", "cubic"), aqm="red", duration=12.0)
+    assert r_bbr.total_retransmits > 5 * max(1, r_cubic.total_retransmits)
+
+
+def test_reno_loses_to_cubic_in_big_buffers():
+    """Paper Fig 2(p-t): Reno gradually loses share as buffers grow.
+
+    "Gradually" is real: convergence takes many cubic epochs, so this runs
+    100 s of model time (paper runs are 200 s) with the startup transient
+    excluded.
+    """
+    r = run_packet_experiment(
+        ExperimentConfig(
+            cca_pair=("reno", "cubic"), aqm="fifo", buffer_bdp=8.0,
+            bottleneck_bw_bps=mbps(10), duration_s=100.0, warmup_s=30.0,
+            mss_bytes=1500, flows_per_node=1, seed=21,
+        )
+    )
+    assert r.throughput_of("cubic") > 1.5 * r.throughput_of("reno")

@@ -1,0 +1,62 @@
+"""Cross-validation: the fluid engine against the packet engine.
+
+The fluid engine exists to cover the paper's high-bandwidth tiers, so on
+the low tier (where the packet engine is ground truth) both engines must
+agree on the *qualitative* outcomes: who wins, roughly by how much, and
+the utilization/fairness regimes.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.units import mbps
+
+
+def _pair(pair, aqm, buffer_bdp, *, duration=40.0, seed=31):
+    out = {}
+    for engine in ("packet", "fluid"):
+        out[engine] = run_experiment(
+            ExperimentConfig(
+                cca_pair=pair, aqm=aqm, buffer_bdp=buffer_bdp,
+                bottleneck_bw_bps=mbps(20), duration_s=duration, warmup_s=5.0,
+                mss_bytes=1500, flows_per_node=1, seed=seed, engine=engine,
+            )
+        )
+    return out["packet"], out["fluid"]
+
+
+def test_fifo_intra_cubic_agreement():
+    packet, fluid = _pair(("cubic", "cubic"), "fifo", 2.0)
+    assert packet.jain_index > 0.9 and fluid.jain_index > 0.9
+    assert packet.link_utilization > 0.9 and fluid.link_utilization > 0.9
+
+
+def test_fifo_small_buffer_bbr_dominance_agreement():
+    packet, fluid = _pair(("bbrv1", "cubic"), "fifo", 0.5)
+    for r in (packet, fluid):
+        assert r.throughput_of("bbrv1") > r.throughput_of("cubic"), r.engine
+
+
+def test_fifo_large_buffer_cubic_dominance_agreement():
+    packet, fluid = _pair(("bbrv1", "cubic"), "fifo", 16.0, duration=60.0)
+    for r in (packet, fluid):
+        assert r.throughput_of("cubic") > r.throughput_of("bbrv1"), r.engine
+
+
+def test_red_bbr_starves_cubic_agreement():
+    packet, fluid = _pair(("bbrv1", "cubic"), "red", 2.0)
+    for r in (packet, fluid):
+        assert r.throughput_of("bbrv1") > 3 * r.throughput_of("cubic"), r.engine
+        assert r.jain_index < 0.75, r.engine
+
+
+def test_fq_codel_fairness_agreement():
+    packet, fluid = _pair(("bbrv1", "cubic"), "fq_codel", 2.0)
+    for r in (packet, fluid):
+        assert r.jain_index > 0.9, r.engine
+
+
+def test_utilization_within_band():
+    packet, fluid = _pair(("cubic", "cubic"), "fifo", 2.0)
+    assert fluid.link_utilization == pytest.approx(packet.link_utilization, abs=0.15)

@@ -1,0 +1,58 @@
+"""End-to-end pipeline test: sweep -> store -> report -> validate -> export.
+
+Runs a small fluid slice through every stage the CLI chains together,
+asserting each stage consumes the previous one's output intact.
+"""
+
+from repro.analysis.aggregate import ResultSet
+from repro.analysis.dataset import runs_table, write_csv
+from repro.analysis.export_figures import export_all_figures
+from repro.analysis.summary_report import full_report
+from repro.analysis.table3 import build_table3
+from repro.analysis.validate import validate_claims
+from repro.experiments.campaign import run_campaign
+from repro.experiments.matrix import full_matrix
+from repro.experiments.storage import ResultStore
+from repro.units import gbps, mbps
+
+
+def _slice_configs():
+    return full_matrix(
+        cca_pairs=(("bbrv1", "cubic"), ("cubic", "cubic")),
+        aqms=("fifo", "red"),
+        buffer_bdps=(0.5, 16.0),
+        bandwidths_bps=(mbps(100), gbps(1)),
+        engine="fluid",
+        duration_s=15.0,
+        warmup_s=3.0,
+    )
+
+
+def test_full_pipeline(tmp_path):
+    store = ResultStore(tmp_path / "results.jsonl")
+    run_campaign(_slice_configs(), store=store, jobs=1)
+
+    # Reload from disk (the report stage never touches live objects).
+    results = ResultSet(store.load())
+    assert len(results) == 16
+
+    rows = build_table3(results)
+    keys = {r.key for r in rows}
+    assert ("bbrv1", "cubic", "fifo") in keys
+    assert ("cubic", "cubic", "red") in keys
+
+    claims = validate_claims(results)
+    failed = [c.claim_id for c in claims if c.passed is False]
+    assert not failed, failed
+
+    report = full_report(results)
+    assert "TABLE 3" in report
+    assert "PAPER CLAIMS" in report
+    assert "equilibrium" in report
+
+    written = export_all_figures(results, tmp_path / "figs")
+    assert (tmp_path / "figs" / "fig2.csv").exists()
+    assert "fig6" not in written  # no fq_codel in the slice
+
+    csv_path = write_csv(runs_table(results), tmp_path / "runs.csv")
+    assert csv_path.read_text().count("\n") == 17  # header + 16 rows

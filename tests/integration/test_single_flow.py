@@ -1,0 +1,75 @@
+"""Integration: one flow over the full dumbbell, per CCA.
+
+These exercise the complete stack (topology, routing, qdisc, TCP, CCA)
+at small scaled rates so the whole module runs in seconds.
+"""
+
+import pytest
+
+from repro.cca.registry import make_cca
+from repro.tcp.connection import open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import mbps, seconds
+
+
+def _run_one(cca_name, *, aqm="fifo", bw=mbps(20), buffer_bdp=2.0, duration=12.0):
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=bw, buffer_bdp=buffer_bdp, aqm=aqm,
+                       mss_bytes=1500, seed=7)
+    )
+    conn = open_connection(
+        db.clients[0], db.servers[0],
+        make_cca(cca_name, db.network.rng.stream("cca")), mss=1500,
+    )
+    conn.start()
+    db.network.run(seconds(duration))
+    thr = conn.receiver.bytes_received * 8 / duration
+    return db, conn, thr
+
+
+@pytest.mark.parametrize("cca", ["reno", "cubic", "htcp", "bbrv1", "bbrv2"])
+def test_each_cca_achieves_high_utilization(cca):
+    db, conn, thr = _run_one(cca)
+    assert thr > 0.80 * mbps(20), f"{cca} reached only {thr/1e6:.1f} Mbps"
+
+
+@pytest.mark.parametrize("cca", ["reno", "cubic"])
+def test_loss_based_ccas_fill_the_buffer(cca):
+    db, conn, thr = _run_one(cca)
+    # Loss-based CCAs must have experienced drops (they probe past BDP+buf).
+    assert conn.sender.retransmits > 0
+
+
+def test_bbrv1_keeps_low_queue_and_no_loss():
+    db, conn, thr = _run_one("bbrv1", buffer_bdp=4.0)
+    # With 2BDP inflight cap and a 4BDP buffer, BBR shouldn't overflow it.
+    assert conn.sender.retransmits == 0
+    assert thr > 0.8 * mbps(20)
+
+
+def test_no_packets_lost_in_transit_accounting():
+    """Conservation: after draining, sent = received + dropped exactly."""
+    db, conn, thr = _run_one("cubic")
+    conn.stop()
+    db.network.run(db.sim.now + seconds(3))  # drain everything in flight
+    delivered = conn.receiver.segments_received
+    dropped = db.bottleneck_qdisc.stats.dropped_total
+    assert conn.sender.segments_sent == delivered + dropped
+
+
+def test_rtt_floor_matches_topology():
+    db, conn, _ = _run_one("bbrv2")
+    assert conn.sender.rtt.min_rtt_ns >= db.config.rtt_ns
+    # Within a couple serialization delays of the propagation floor.
+    assert conn.sender.rtt.min_rtt_ns < db.config.rtt_ns * 1.2
+
+
+def test_throughput_bounded_by_bottleneck():
+    db, conn, thr = _run_one("cubic")
+    assert thr <= mbps(20) * 1.01
+
+
+@pytest.mark.parametrize("aqm", ["red", "fq_codel"])
+def test_single_flow_with_aqm(aqm):
+    db, conn, thr = _run_one("cubic", aqm=aqm)
+    assert thr > 0.6 * mbps(20)

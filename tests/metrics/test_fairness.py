@@ -1,0 +1,41 @@
+"""Unit tests for Jain's fairness index (paper eq. 2)."""
+
+import pytest
+
+from repro.metrics.fairness import jain_index
+
+
+def test_equal_shares_is_one():
+    assert jain_index([10.0, 10.0]) == pytest.approx(1.0)
+    assert jain_index([3.0] * 7) == pytest.approx(1.0)
+
+
+def test_total_starvation_is_half():
+    assert jain_index([10.0, 0.0]) == pytest.approx(0.5)
+
+
+def test_paper_n2_form():
+    """Matches the explicit n=2 formula (S1+S2)^2 / (2(S1^2+S2^2))."""
+    s1, s2 = 7.3, 2.1
+    expected = (s1 + s2) ** 2 / (2 * (s1**2 + s2**2))
+    assert jain_index([s1, s2]) == pytest.approx(expected)
+
+
+def test_lower_bound_one_over_n():
+    n = 5
+    values = [1.0] + [0.0] * (n - 1)
+    assert jain_index(values) == pytest.approx(1.0 / n)
+
+
+def test_scale_invariance():
+    assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+
+def test_empty_and_zero_inputs():
+    assert jain_index([]) == 1.0
+    assert jain_index([0.0, 0.0]) == 1.0
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        jain_index([1.0, -0.1])

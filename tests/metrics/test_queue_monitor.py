@@ -1,0 +1,119 @@
+"""Unit tests for router queue telemetry."""
+
+import math
+
+import pytest
+
+from repro.aqm.fifo import FifoQueue
+from repro.metrics.queue_monitor import QueueMonitor, QueueTrace
+from repro.net.packet import make_data_packet
+from repro.sim.engine import Simulator
+from repro.units import seconds
+
+
+def _pkt(seq, size=1000):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_monitor_samples_backlog_and_drops():
+    sim = Simulator()
+    q = FifoQueue(5_000)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+
+    def fill():
+        for seq in range(10):  # 5 accepted, 5 dropped
+            q.enqueue(_pkt(seq), sim.now)
+
+    def drain():
+        while q.dequeue(sim.now):
+            pass
+
+    sim.schedule(seconds(0.5), fill)
+    sim.schedule(seconds(1.5), drain)
+    sim.run(seconds(3))
+
+    t = mon.trace
+    assert len(t) == 3
+    assert t.samples[0].backlog_packets == 5
+    assert t.samples[0].drops_total == 5
+    assert t.samples[1].backlog_packets == 0
+    assert t.max_backlog_bytes == 5_000
+    assert t.drop_intervals() == [5, 0, 0]
+
+
+def test_occupancy():
+    trace = QueueTrace()
+    sim = Simulator()
+    q = FifoQueue(10_000)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    q.enqueue(_pkt(0, size=5000), 0)
+    sim.run(seconds(2))
+    assert mon.trace.occupancy(10_000) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        mon.trace.occupancy(0)
+
+
+def test_red_average_captured():
+    import numpy as np
+
+    from repro.aqm.red import RedQueue
+
+    sim = Simulator()
+    q = RedQueue(100_000, np.random.default_rng(0), avpkt=1000)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    for seq in range(5):
+        q.enqueue(_pkt(seq), 0)
+    sim.run(seconds(1))
+    assert not math.isnan(mon.trace.samples[0].red_avg_bytes)
+
+
+def test_fifo_average_is_nan():
+    sim = Simulator()
+    q = FifoQueue(10_000)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    sim.run(seconds(1))
+    assert math.isnan(mon.trace.samples[0].red_avg_bytes)
+
+
+def test_to_dict_roundtrip_shape():
+    sim = Simulator()
+    q = FifoQueue(10_000)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    sim.run(seconds(3))
+    d = mon.trace.to_dict()
+    assert set(d) == {"time_ns", "backlog_bytes", "backlog_packets",
+                      "drops_total", "ecn_marks", "red_avg_bytes"}
+    assert all(len(v) == 3 for v in d.values())
+
+
+def test_validation():
+    sim = Simulator()
+    q = FifoQueue(10_000)
+    with pytest.raises(ValueError):
+        QueueMonitor(sim, q, 0)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    with pytest.raises(RuntimeError):
+        mon.start()
+
+
+def test_runner_integration():
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_packet_experiment
+    from repro.units import mbps
+
+    r = run_packet_experiment(
+        ExperimentConfig(
+            cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(10),
+            duration_s=6.0, mss_bytes=1500, flows_per_node=1, seed=3,
+            queue_monitor_interval_s=1.0,
+        )
+    )
+    trace = r.extra["queue_trace"]
+    assert len(trace["backlog_bytes"]) == 6
+    assert 0.0 <= r.extra["queue_occupancy"] <= 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for result records (round-trips, derived properties)."""
+
+from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
+
+
+def _result():
+    return ExperimentResult(
+        config={"cca_pair": ["bbrv1", "cubic"], "aqm": "fifo", "buffer_bdp": 2.0,
+                "bottleneck_bw_bps": 1e8, "seed": 1},
+        senders=[
+            SenderStats("client1", "bbrv1", 60e6, 100, 1),
+            SenderStats("client2", "cubic", 40e6, 20, 1),
+        ],
+        flows=[
+            FlowStats(1, "client1", "bbrv1", 60e6, 10**9, 1000, 100, 1, 2),
+            FlowStats(2, "client2", "cubic", 40e6, 10**9, 900, 20, 0, 3),
+        ],
+        jain_index=0.96,
+        link_utilization=1.0,
+        total_retransmits=120,
+        total_throughput_bps=100e6,
+        bottleneck_drops=120,
+        duration_s=30.0,
+        engine="packet",
+    )
+
+
+def test_roundtrip_through_dict():
+    r = _result()
+    r2 = ExperimentResult.from_dict(r.to_dict())
+    assert r2.to_dict() == r.to_dict()
+    assert r2.senders[0].cca == "bbrv1"
+    assert r2.flows[1].retransmits == 20
+
+
+def test_sender_throughputs():
+    r = _result()
+    assert r.sender_throughputs == [60e6, 40e6]
+
+
+def test_throughput_of_cca():
+    r = _result()
+    assert r.throughput_of("bbrv1") == 60e6
+    assert r.throughput_of("cubic") == 40e6
+    assert r.throughput_of("reno") == 0.0
+
+
+def test_from_dict_tolerates_missing_optionals():
+    d = _result().to_dict()
+    del d["events_processed"]
+    del d["wallclock_s"]
+    del d["extra"]
+    r = ExperimentResult.from_dict(d)
+    assert r.events_processed == 0
+    assert r.extra == {}

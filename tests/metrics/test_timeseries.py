@@ -1,0 +1,66 @@
+"""Unit tests for the throughput sampler."""
+
+import pytest
+
+from repro.metrics.timeseries import ThroughputSampler
+from repro.sim.engine import Simulator
+from repro.units import seconds
+
+
+def test_samples_rate_per_interval():
+    sim = Simulator()
+    counter = {"bytes": 0}
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("flow", lambda: counter["bytes"])
+    sampler.start()
+    # 1000 bytes during second 1, 3000 during second 2.
+    sim.schedule(seconds(0.5), lambda: counter.__setitem__("bytes", 1000))
+    sim.schedule(seconds(1.5), lambda: counter.__setitem__("bytes", 4000))
+    sim.run(seconds(2))
+    assert sampler.series["flow"] == [pytest.approx(8000.0), pytest.approx(24000.0)]
+    assert sampler.timestamps_ns == [seconds(1), seconds(2)]
+
+
+def test_mean_with_warmup_skip():
+    sim = Simulator()
+    counter = {"bytes": 0}
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("f", lambda: counter["bytes"])
+    sampler.start()
+
+    def add(n):
+        counter["bytes"] += n
+
+    for i, amount in enumerate([100, 1000, 1000, 1000]):
+        sim.schedule(seconds(i + 0.5), add, amount)
+    sim.run(seconds(4))
+    assert sampler.mean_bps("f") == pytest.approx((100 + 3000) * 8 / 4)
+    assert sampler.mean_bps("f", skip_intervals=1) == pytest.approx(8000.0)
+
+
+def test_mean_empty_series():
+    sim = Simulator()
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("f", lambda: 0)
+    assert sampler.mean_bps("f") == 0.0
+
+
+def test_duplicate_name_rejected():
+    sim = Simulator()
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("f", lambda: 0)
+    with pytest.raises(ValueError):
+        sampler.track("f", lambda: 0)
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+
+
+def test_invalid_interval():
+    with pytest.raises(ValueError):
+        ThroughputSampler(Simulator(), 0)

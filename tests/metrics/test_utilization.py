@@ -1,0 +1,25 @@
+"""Unit tests for link utilization (paper eq. 3)."""
+
+import pytest
+
+from repro.metrics.utilization import link_utilization
+
+
+def test_full_utilization():
+    assert link_utilization([60e6, 40e6], 100e6) == pytest.approx(1.0)
+
+
+def test_partial():
+    assert link_utilization([25e6], 100e6) == pytest.approx(0.25)
+
+
+def test_zero():
+    assert link_utilization([], 100e6) == 0.0
+    assert link_utilization([0.0, 0.0], 100e6) == 0.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        link_utilization([1.0], 0)
+    with pytest.raises(ValueError):
+        link_utilization([-1.0], 100e6)

@@ -1,0 +1,79 @@
+"""Unit tests for IPv4-lite addressing."""
+
+import pytest
+
+from repro.net.address import IPv4Address, Subnet
+
+
+def test_parse_and_format_roundtrip():
+    for text in ("0.0.0.0", "10.0.1.2", "255.255.255.255", "192.168.100.1"):
+        assert str(IPv4Address(text)) == text
+
+
+def test_int_roundtrip():
+    a = IPv4Address("10.0.3.1")
+    assert IPv4Address(int(a)) == a
+
+
+def test_equality_with_string():
+    assert IPv4Address("10.0.1.1") == "10.0.1.1"
+    assert IPv4Address("10.0.1.1") != IPv4Address("10.0.1.2")
+
+
+def test_hashable():
+    assert len({IPv4Address("1.2.3.4"), IPv4Address("1.2.3.4")}) == 1
+
+
+def test_ordering_and_addition():
+    a = IPv4Address("10.0.0.1")
+    assert a + 1 == IPv4Address("10.0.0.2")
+    assert a < a + 1
+
+
+@pytest.mark.parametrize("bad", ["10.0.1", "10.0.1.256", "a.b.c.d", "1.2.3.4.5", ""])
+def test_malformed_addresses_rejected(bad):
+    with pytest.raises(ValueError):
+        IPv4Address(bad)
+
+
+def test_address_out_of_range():
+    with pytest.raises(ValueError):
+        IPv4Address(2**32)
+    with pytest.raises(TypeError):
+        IPv4Address(3.14)
+
+
+def test_subnet_contains():
+    net = Subnet("10.0.1.0/24")
+    assert "10.0.1.1" in net
+    assert IPv4Address("10.0.1.254") in net
+    assert "10.0.2.1" not in net
+
+
+def test_subnet_normalizes_host_bits():
+    assert Subnet("10.0.1.77/24") == Subnet("10.0.1.0/24")
+
+
+def test_subnet_address_allocation():
+    net = Subnet("10.0.4.0/24")
+    assert str(net.address(1)) == "10.0.4.1"
+    assert str(net.address(2)) == "10.0.4.2"
+    with pytest.raises(ValueError):
+        net.address(0)
+    with pytest.raises(ValueError):
+        net.address(255)  # broadcast
+
+
+def test_subnet_hosts_iteration():
+    hosts = list(Subnet("10.0.0.0/30").hosts())
+    assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+
+def test_subnet_str():
+    assert str(Subnet("10.0.3.0/24")) == "10.0.3.0/24"
+
+
+@pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/24"])
+def test_malformed_subnets_rejected(bad):
+    with pytest.raises(ValueError):
+        Subnet(bad)

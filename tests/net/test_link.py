@@ -1,0 +1,80 @@
+"""Unit tests for links: serialization, propagation, loss injection."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import make_data_packet
+from repro.sim.engine import Simulator
+from repro.units import milliseconds, seconds
+
+
+def _pkt(size=1500, seq=0):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_serialization_then_propagation():
+    sim = Simulator()
+    arrived = []
+    # 1500 B at 12 Mbps -> 1 ms serialization; 5 ms propagation.
+    link = Link(sim, 12e6, milliseconds(5), arrived.append)
+    tx_done = []
+    link.transmit(_pkt(), lambda: tx_done.append(sim.now))
+    sim.run()
+    assert tx_done == [milliseconds(1)]
+    assert len(arrived) == 1
+    assert sim.now == milliseconds(6)
+
+
+def test_delivery_counters():
+    sim = Simulator()
+    sink = []
+    link = Link(sim, 1e9, 0, sink.append)
+    for i in range(4):
+        sim.schedule(i * 1000000, link.transmit, _pkt(seq=i), lambda: None)
+    sim.run()
+    assert link.packets_delivered == 4
+    assert link.bytes_delivered == 4 * 1500
+
+
+def test_loss_rate_drops_packets():
+    sim = Simulator()
+    sink = []
+    rng = np.random.default_rng(1)
+    link = Link(sim, 1e9, 0, sink.append, loss_rate=0.5, loss_rng=rng)
+    t = 0
+    for i in range(400):
+        t += 100_000
+        sim.schedule(t, link.transmit, _pkt(seq=i), lambda: None)
+    sim.run()
+    assert link.packets_lost + link.packets_delivered == 400
+    # Should be near half with a wide margin.
+    assert 120 <= link.packets_lost <= 280
+
+
+def test_loss_requires_rng():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, 1e9, 0, lambda p: None, loss_rate=0.1)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rate_bps": 0},
+    {"rate_bps": -5},
+    {"delay_ns": -1},
+    {"loss_rate": 1.0, "loss_rng": np.random.default_rng(0)},
+])
+def test_invalid_parameters_rejected(kwargs):
+    sim = Simulator()
+    params = {"rate_bps": 1e6, "delay_ns": 0, "loss_rate": 0.0, "loss_rng": None}
+    params.update(kwargs)
+    with pytest.raises(ValueError):
+        Link(sim, params["rate_bps"], params["delay_ns"], lambda p: None,
+             loss_rate=params["loss_rate"], loss_rng=params["loss_rng"])
+
+
+def test_tx_time_scales_with_size():
+    sim = Simulator()
+    link = Link(sim, 8e6, 0, lambda p: None)  # 1 byte/us
+    assert link.tx_time(_pkt(size=1000)) == seconds(0.001)
+    assert link.tx_time(_pkt(size=2000)) == seconds(0.002)

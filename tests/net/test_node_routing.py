@@ -1,0 +1,137 @@
+"""Unit tests for hosts, routers, and static routing."""
+
+import pytest
+
+from repro.net.address import IPv4Address, Subnet
+from repro.net.node import Host
+from repro.net.packet import make_data_packet
+from repro.net.routing import RoutingTable
+from repro.net.topology import Network
+from repro.units import milliseconds
+
+
+class _Sink:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, pkt):
+        self.packets.append(pkt)
+
+
+def test_host_dispatches_by_flow_id():
+    net = Network()
+    h = net.add_host("h")
+    sink = _Sink()
+    h.register_endpoint(5, sink)
+    pkt = make_data_packet(5, "a", "b", seq=0, mss=100, now=0)
+    h.receive(pkt, None)
+    assert sink.packets == [pkt]
+    assert h.packets_received == 1
+
+
+def test_host_counts_unroutable_flows():
+    net = Network()
+    h = net.add_host("h")
+    h.receive(make_data_packet(99, "a", "b", seq=0, mss=100, now=0), None)
+    assert h.packets_unroutable == 1
+
+
+def test_duplicate_flow_registration_rejected():
+    net = Network()
+    h = net.add_host("h")
+    h.register_endpoint(1, _Sink())
+    with pytest.raises(ValueError):
+        h.register_endpoint(1, _Sink())
+    h.unregister_endpoint(1)
+    h.register_endpoint(1, _Sink())  # fine after unregister
+
+
+def test_primary_interface_requires_exactly_one():
+    net = Network()
+    h = net.add_host("h")
+    with pytest.raises(RuntimeError):
+        h.primary_interface()
+    iface = h.add_interface("eth0")
+    assert h.primary_interface() is iface
+    h.add_interface("eth1")
+    with pytest.raises(RuntimeError):
+        h.primary_interface()
+
+
+def test_routing_table_longest_prefix_match():
+    net = Network()
+    r = net.add_router("r")
+    wide = r.add_interface("eth0")
+    narrow = r.add_interface("eth1")
+    table = RoutingTable()
+    table.add_route(Subnet("10.0.0.0/8"), wide)
+    table.add_route(Subnet("10.0.5.0/24"), narrow)
+    assert table.lookup(IPv4Address("10.0.5.7")) is narrow
+    assert table.lookup(IPv4Address("10.9.9.9")) is wide
+    assert table.lookup(IPv4Address("192.168.1.1")) is None
+
+
+def test_routing_table_replaces_duplicate_subnet():
+    net = Network()
+    r = net.add_router("r")
+    a = r.add_interface("eth0")
+    b = r.add_interface("eth1")
+    table = RoutingTable()
+    table.add_route(Subnet("10.0.1.0/24"), a)
+    table.add_route(Subnet("10.0.1.0/24"), b)
+    assert len(table) == 1
+    assert table.lookup(IPv4Address("10.0.1.1")) is b
+
+
+def test_router_forwards_between_hosts():
+    net = Network()
+    h1 = net.add_host("h1")
+    h2 = net.add_host("h2")
+    r = net.add_router("r")
+    s1, s2 = Subnet("10.0.1.0/24"), Subnet("10.0.2.0/24")
+    i_h1 = h1.add_interface("eth0", s1.address(1))
+    i_h2 = h2.add_interface("eth0", s2.address(1))
+    i_r1 = r.add_interface("eth0", s1.address(2))
+    i_r2 = r.add_interface("eth1", s2.address(2))
+    net.connect(i_h1, i_r1, rate_bps=1e9, delay_ns=milliseconds(1))
+    net.connect(i_r2, i_h2, rate_bps=1e9, delay_ns=milliseconds(1))
+    r.add_route(s2, i_r2)
+    r.add_route(s1, i_r1)
+
+    sink = _Sink()
+    h2.register_endpoint(1, sink)
+    i_h1.send(make_data_packet(1, i_h1.address, i_h2.address, seq=0, mss=1500, now=0))
+    net.run()
+    assert len(sink.packets) == 1
+    assert r.packets_forwarded == 1
+
+
+def test_router_counts_unroutable():
+    net = Network()
+    r = net.add_router("r")
+    r.receive(make_data_packet(1, "10.0.1.1", IPv4Address("99.0.0.1"), seq=0, mss=100, now=0), None)
+    assert r.packets_unroutable == 1
+
+
+def test_route_must_use_local_interface():
+    net = Network()
+    r1 = net.add_router("r1")
+    r2 = net.add_router("r2")
+    foreign = r2.add_interface("eth0")
+    with pytest.raises(ValueError):
+        r1.add_route(Subnet("10.0.0.0/8"), foreign)
+
+
+def test_duplicate_node_names_rejected():
+    net = Network()
+    net.add_host("x")
+    with pytest.raises(ValueError):
+        net.add_router("x")
+
+
+def test_duplicate_interface_names_rejected():
+    net = Network()
+    h = net.add_host("h")
+    h.add_interface("eth0")
+    with pytest.raises(ValueError):
+        h.add_interface("eth0")

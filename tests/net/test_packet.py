@@ -1,0 +1,43 @@
+"""Unit tests for packet construction."""
+
+from repro.net.packet import ACK_SIZE_BYTES, MAX_SACK_BLOCKS, make_ack_packet, make_data_packet
+
+
+def test_data_packet_fields():
+    pkt = make_data_packet(7, "a", "b", seq=42, mss=8900, now=1000)
+    assert pkt.flow_id == 7
+    assert pkt.seq == 42
+    assert pkt.size == 8900
+    assert pkt.send_time == 1000
+    assert not pkt.is_ack
+    assert not pkt.is_retx
+    assert not pkt.ecn_ect
+
+
+def test_retx_flag():
+    pkt = make_data_packet(1, "a", "b", seq=5, mss=1500, now=0, is_retx=True)
+    assert pkt.is_retx
+
+
+def test_ack_packet_fields():
+    ack = make_ack_packet(3, "b", "a", ack=17, now=500, sacks=((20, 25),), ts_echo=123)
+    assert ack.is_ack
+    assert ack.ack == 17
+    assert ack.size == ACK_SIZE_BYTES
+    assert ack.sacks == ((20, 25),)
+    assert ack.ts_echo == 123
+    assert not ack.ecn_echo
+
+
+def test_ack_sack_blocks_truncated():
+    blocks = tuple((i * 10, i * 10 + 5) for i in range(6))
+    ack = make_ack_packet(1, "b", "a", ack=0, now=0, sacks=blocks)
+    assert len(ack.sacks) == MAX_SACK_BLOCKS
+
+
+def test_ecn_fields():
+    pkt = make_data_packet(1, "a", "b", seq=0, mss=1500, now=0, ecn_ect=True)
+    assert pkt.ecn_ect and not pkt.ecn_ce
+    pkt.ecn_ce = True
+    ack = make_ack_packet(1, "b", "a", ack=1, now=0, ecn_echo=pkt.ecn_ce)
+    assert ack.ecn_echo

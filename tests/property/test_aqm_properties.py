@@ -1,0 +1,109 @@
+"""Property-based tests over the AQM disciplines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqm.codel import CoDelController
+from repro.aqm.fifo import FifoQueue
+from repro.aqm.fq_codel import FqCoDelQueue
+from repro.aqm.pie import PieQueue
+from repro.aqm.red import RedQueue
+from repro.net.packet import make_data_packet
+from repro.units import milliseconds
+
+# (flow, size, enqueue-or-dequeue) operation streams
+OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),      # flow id
+        st.integers(min_value=64, max_value=9000),  # size
+        st.booleans(),                              # True = enqueue
+    ),
+    max_size=150,
+)
+
+
+def _drive(q, ops):
+    """Apply an op stream; return (enqueued_accepted, dequeued)."""
+    accepted = 0
+    dequeued = 0
+    now = 0
+    seq = 0
+    for flow, size, is_enq in ops:
+        now += 1_000_000  # 1 ms per op
+        if is_enq:
+            seq += 1
+            pkt = make_data_packet(flow, "a", "b", seq=seq, mss=size, now=now)
+            if q.enqueue(pkt, now):
+                accepted += 1
+        else:
+            if q.dequeue(now) is not None:
+                dequeued += 1
+    return accepted, dequeued
+
+
+@given(OPS, st.integers(min_value=2_000, max_value=200_000))
+@settings(max_examples=60)
+def test_fifo_conservation_under_random_ops(ops, limit):
+    q = FifoQueue(limit)
+    accepted, dequeued = _drive(q, ops)
+    # accepted = dequeued + still queued (+ nothing else).
+    assert accepted == dequeued + q.packets_queued
+    assert q.bytes_queued <= limit
+    assert q.bytes_queued >= 0 and q.packets_queued >= 0
+
+
+@given(OPS, st.integers(min_value=20_000, max_value=500_000))
+@settings(max_examples=40)
+def test_fq_codel_conservation_under_random_ops(ops, limit):
+    q = FqCoDelQueue(limit, np.random.default_rng(0), quantum_bytes=1500)
+    accepted, dequeued = _drive(q, ops)
+    # CoDel/limit drops at dequeue/enqueue are in stats; everything balances.
+    assert accepted == dequeued + q.packets_queued + q.stats.dropped_dequeue + (
+        q.stats.dropped_enqueue - (len([o for o in ops if o[2]]) - accepted)
+    )
+    assert q.bytes_queued <= limit
+    assert q.packets_queued >= 0
+
+
+@given(OPS)
+@settings(max_examples=40)
+def test_red_never_exceeds_limit(ops):
+    q = RedQueue(50_000, np.random.default_rng(3), avpkt=1000)
+    _drive(q, ops)
+    assert 0 <= q.bytes_queued <= 50_000
+    assert q.avg >= 0
+
+
+@given(OPS)
+@settings(max_examples=40)
+def test_pie_never_exceeds_limit_and_prob_bounded(ops):
+    q = PieQueue(50_000, np.random.default_rng(3))
+    _drive(q, ops)
+    assert 0 <= q.bytes_queued <= 50_000
+    assert 0.0 <= q.drop_prob <= 1.0
+
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_codel_control_law_monotone_in_count(count):
+    c = CoDelController()
+    t = 10**9
+    gap_now = c.control_law(t, count) - t
+    gap_next = c.control_law(t, count + 1) - t
+    assert gap_next <= gap_now
+    assert gap_now >= 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50))
+@settings(max_examples=40)
+def test_fifo_preserves_order(seqs):
+    q = FifoQueue(10**9)
+    for i, flow in enumerate(seqs):
+        q.enqueue(make_data_packet(flow, "a", "b", seq=i, mss=100, now=0), 0)
+    out = []
+    while True:
+        pkt = q.dequeue(0)
+        if pkt is None:
+            break
+        out.append(pkt.seq)
+    assert out == sorted(out)

@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(300, fired.append, "c")
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(50, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_now_tracks_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(123, lambda: seen.append(sim.now))
+    sim.schedule(456, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123, 456]
+    assert sim.now == 456
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(900, fired.append, 2)
+    sim.run(until_ns=500)
+    assert fired == [1]
+    assert sim.now == 500
+    sim.run(until_ns=1000)
+    assert fired == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(100, fired.append, "x")
+    sim.schedule(50, ev.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(10, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(10, lambda: None)
+    sim.schedule(30, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 30
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def bad():
+        sim.run()
+
+    sim.schedule(1, bad)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_run_until_does_not_move_clock_backwards():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run(until_ns=200)
+    assert sim.now == 200
+    sim.run(until_ns=150)  # already past: no-op
+    assert sim.now == 200

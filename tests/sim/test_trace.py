@@ -1,0 +1,34 @@
+"""Unit tests for tracing hooks."""
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+def test_null_tracer_discards():
+    t = NullTracer()
+    t.record("drop", 100, flow=1)  # must not raise
+    assert not t.enabled
+
+
+def test_tracer_records_events_in_order():
+    t = Tracer()
+    t.record("drop", 100, flow=1)
+    t.record("retx", 200, flow=2, seq=5)
+    assert t.events == [("drop", 100, {"flow": 1}), ("retx", 200, {"flow": 2, "seq": 5})]
+    assert t.counts["drop"] == 1
+    assert t.counts["retx"] == 1
+
+
+def test_of_kind_filters():
+    t = Tracer()
+    t.record("a", 1)
+    t.record("b", 2)
+    t.record("a", 3)
+    assert [e[1] for e in t.of_kind("a")] == [1, 3]
+
+
+def test_clear():
+    t = Tracer()
+    t.record("a", 1)
+    t.clear()
+    assert t.events == []
+    assert t.counts["a"] == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the connection facade."""
+
+import pytest
+
+from repro.cca.registry import make_cca
+from repro.tcp.connection import next_flow_id, open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import mbps, seconds
+
+
+def _dumbbell():
+    return build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+
+
+def test_flow_ids_unique():
+    ids = {next_flow_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_connection_transfers_data():
+    db = _dumbbell()
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("reno"), mss=1500,
+                           total_segments=50)
+    conn.start()
+    db.network.run(seconds(10))
+    assert conn.sender.done
+    assert conn.bytes_received == 50 * 1500
+    assert conn.retransmits == 0
+
+
+def test_multiple_connections_share_flow_dispatch():
+    db = _dumbbell()
+    conns = [
+        open_connection(db.clients[0], db.servers[0], make_cca("reno"), mss=1500,
+                        total_segments=20)
+        for _ in range(3)
+    ]
+    for c in conns:
+        c.start()
+    db.network.run(seconds(10))
+    for c in conns:
+        assert c.sender.done
+        assert c.bytes_received == 20 * 1500
+
+
+def test_requires_shared_simulator():
+    db1 = _dumbbell()
+    db2 = _dumbbell()
+    with pytest.raises(ValueError):
+        open_connection(db1.clients[0], db2.servers[0], make_cca("reno"), mss=1500)
+
+
+def test_explicit_flow_id():
+    db = _dumbbell()
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500,
+                           flow_id=424242)
+    assert conn.flow_id == 424242
+
+
+def test_stop_prevents_further_sending():
+    db = _dumbbell()
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500)
+    conn.start()
+    db.network.run(seconds(2))
+    conn.stop()
+    sent = conn.sender.segments_sent
+    db.network.run(seconds(4))
+    assert conn.sender.segments_sent == sent

@@ -1,0 +1,86 @@
+"""Unit tests for the coalescing interval set."""
+
+import pytest
+
+from repro.tcp.intervals import IntervalSet
+
+
+def test_empty():
+    s = IntervalSet()
+    assert not s
+    assert len(s) == 0
+    assert s.total == 0
+    assert 5 not in s
+    assert s.first() is None
+
+
+def test_single_add():
+    s = IntervalSet()
+    assert s.add(5) == (5, 6)
+    assert 5 in s and 4 not in s and 6 not in s
+    assert s.total == 1
+
+
+def test_adjacent_values_merge():
+    s = IntervalSet()
+    s.add(5)
+    s.add(6)
+    assert list(s) == [(5, 7)]
+    s.add(4)
+    assert list(s) == [(4, 7)]
+
+
+def test_gap_then_bridge():
+    s = IntervalSet()
+    s.add(1)
+    s.add(3)
+    assert list(s) == [(1, 2), (3, 4)]
+    assert s.add(2) == (1, 4)
+    assert list(s) == [(1, 4)]
+
+
+def test_add_range_merges_multiple():
+    s = IntervalSet()
+    s.add_range(0, 2)
+    s.add_range(4, 6)
+    s.add_range(8, 10)
+    assert s.add_range(1, 9) == (0, 10)
+    assert list(s) == [(0, 10)]
+    assert s.total == 10
+
+
+def test_duplicate_add_is_stable():
+    s = IntervalSet()
+    s.add(5)
+    s.add(5)
+    assert list(s) == [(5, 6)]
+
+
+def test_empty_range_rejected():
+    s = IntervalSet()
+    with pytest.raises(ValueError):
+        s.add_range(5, 5)
+
+
+def test_pop_first_if_starts_at():
+    s = IntervalSet()
+    s.add_range(10, 15)
+    s.add_range(20, 22)
+    assert s.pop_first_if_starts_at(9) is None
+    assert s.pop_first_if_starts_at(10) == (10, 15)
+    assert list(s) == [(20, 22)]
+
+
+def test_range_containing():
+    s = IntervalSet()
+    s.add_range(10, 15)
+    assert s.range_containing(12) == (10, 15)
+    assert s.range_containing(15) is None
+    assert s.range_containing(9) is None
+
+
+def test_many_disjoint_ranges_sorted():
+    s = IntervalSet()
+    for start in (50, 10, 30, 70):
+        s.add_range(start, start + 2)
+    assert list(s) == [(10, 12), (30, 32), (50, 52), (70, 72)]

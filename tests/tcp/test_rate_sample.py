@@ -1,0 +1,78 @@
+"""Unit tests for BBR delivery-rate sampling."""
+
+import pytest
+
+from repro.tcp.rate_sample import RateSampler
+from repro.units import milliseconds, seconds
+
+
+def test_steady_rate_measured():
+    """A pipelined flow at one packet per 10 ms measures ~100 pps."""
+    s = RateSampler()
+    gap = milliseconds(10)
+    rtt = milliseconds(100)
+    sample = None
+    pending = []
+    for i in range(60):
+        t_send = i * gap
+        pending.append((t_send + rtt, s.on_send(t_send, inflight=min(i, 10), app_limited=False)))
+        # Deliver (and sample) everything whose ACK time has come.
+        while pending and pending[0][0] <= t_send:
+            t_ack, st = pending.pop(0)
+            s.on_segment_delivered(t_ack, st)
+            sample = s.finish_ack(t_ack)
+    assert sample is not None
+    assert sample.delivery_rate_pps == pytest.approx(100.0, rel=0.25)
+
+
+def test_no_delivery_no_sample():
+    s = RateSampler()
+    assert s.finish_ack(1000) is None
+
+
+def test_app_limited_flag_propagates():
+    s = RateSampler()
+    st = s.on_send(0, inflight=0, app_limited=True)
+    # The packet snapshot taken at the app-limited transition itself
+    # is not yet limited; the NEXT sends are.
+    st2 = s.on_send(100, inflight=1, app_limited=False)
+    assert st2.app_limited  # delivered(0) < app_limited_until
+    s.on_segment_delivered(seconds(1), st)
+    s.on_segment_delivered(seconds(1), st2)
+    sample = s.finish_ack(seconds(1))
+    assert sample.is_app_limited
+
+
+def test_delivered_counter_accumulates():
+    s = RateSampler()
+    st1 = s.on_send(0, 0, False)
+    st2 = s.on_send(10, 1, False)
+    s.on_segment_delivered(1000, st1)
+    s.on_segment_delivered(1000, st2)
+    assert s.delivered == 2
+
+
+def test_rate_uses_most_recent_delivered_packet():
+    s = RateSampler()
+    old = s.on_send(0, 0, False)
+    s.on_segment_delivered(milliseconds(100), old)
+    s.finish_ack(milliseconds(100))
+    # Second flight: 5 packets in 5 ms.
+    states = [s.on_send(milliseconds(100) + i * milliseconds(1), i, False) for i in range(5)]
+    t = milliseconds(200)
+    for st in states:
+        s.on_segment_delivered(t, st)
+        t += milliseconds(1)
+    sample = s.finish_ack(t - milliseconds(1))
+    assert sample.delivered - sample.prior_delivered == 5
+
+
+def test_idle_restart_resets_timestamps():
+    s = RateSampler()
+    st = s.on_send(0, 0, False)
+    s.on_segment_delivered(milliseconds(50), st)
+    s.finish_ack(milliseconds(50))
+    # Idle gap, then inflight==0 send resets first_sent/delivered time.
+    st2 = s.on_send(seconds(10), 0, False)
+    assert st2.delivered_time == seconds(10)
+    assert st2.first_sent_time == seconds(10)

@@ -1,0 +1,119 @@
+"""Unit tests for the TCP receiver (reassembly + ACK generation)."""
+
+import pytest
+
+from repro.net.packet import make_data_packet
+from repro.tcp.receiver import TcpReceiver
+
+
+class _Harness:
+    def __init__(self, ack_every=1):
+        self.acks = []
+        self.now = 0
+        self.rx = TcpReceiver(
+            1, "b", "a", self.acks.append, lambda: self.now, mss=1500, ack_every=ack_every
+        )
+
+    def data(self, seq, *, ce=False, t=None):
+        if t is not None:
+            self.now = t
+        pkt = make_data_packet(1, "a", "b", seq=seq, mss=1500, now=self.now)
+        pkt.ecn_ce = ce
+        self.rx.handle_packet(pkt)
+
+
+def test_in_order_delivery_acks_cumulative():
+    h = _Harness()
+    for seq in range(5):
+        h.data(seq)
+    assert [a.ack for a in h.acks] == [1, 2, 3, 4, 5]
+    assert h.rx.bytes_received == 5 * 1500
+    assert all(a.sacks == () for a in h.acks)
+
+
+def test_out_of_order_generates_sack():
+    h = _Harness()
+    h.data(0)
+    h.data(2)  # gap at 1
+    last = h.acks[-1]
+    assert last.ack == 1
+    assert last.sacks == ((2, 3),)
+    h.data(1)  # fill the hole
+    assert h.acks[-1].ack == 3
+    assert h.rx.out_of_order_segments == 0
+
+
+def test_sack_blocks_most_recent_first():
+    h = _Harness()
+    h.data(0)
+    h.data(5)
+    h.data(10)
+    h.data(15)
+    last = h.acks[-1]
+    assert last.sacks[0] == (15, 16)
+    assert len(last.sacks) == 3  # capped at 3 blocks
+
+
+def test_duplicate_data_counted_not_delivered():
+    h = _Harness()
+    h.data(0)
+    h.data(0)
+    assert h.rx.duplicate_segments == 1
+    assert h.rx.bytes_received == 1500
+    h.data(3)
+    h.data(3)
+    assert h.rx.duplicate_segments == 2
+
+
+def test_ts_echo_carries_send_time():
+    h = _Harness()
+    h.now = 12345
+    h.data(0)
+    assert h.acks[-1].ts_echo == 12345
+
+
+def test_ecn_ce_echoed():
+    h = _Harness()
+    h.data(0, ce=True)
+    assert h.acks[-1].ecn_echo
+    h.data(1)
+    assert not h.acks[-1].ecn_echo
+
+
+def test_delayed_ack_coalesces():
+    h = _Harness(ack_every=2)
+    h.data(0)
+    assert len(h.acks) == 0  # waiting for the second segment
+    h.data(1)
+    assert len(h.acks) == 1
+    assert h.acks[-1].ack == 2
+
+
+def test_delayed_ack_fires_immediately_on_gap():
+    h = _Harness(ack_every=4)
+    h.data(1)  # out of order -> immediate dup-ACK
+    assert len(h.acks) == 1
+
+
+def test_ignores_stray_acks():
+    h = _Harness()
+    from repro.net.packet import make_ack_packet
+
+    h.rx.handle_packet(make_ack_packet(1, "a", "b", ack=5, now=0))
+    assert h.rx.segments_received == 0
+
+
+def test_invalid_ack_every():
+    with pytest.raises(ValueError):
+        _Harness(ack_every=0)
+
+
+def test_retransmission_fills_hole_and_drains_run():
+    h = _Harness()
+    h.data(0)
+    for seq in (2, 3, 4):
+        h.data(seq)
+    assert h.acks[-1].ack == 1
+    h.data(1)
+    assert h.acks[-1].ack == 5
+    assert h.rx.bytes_received == 5 * 1500

@@ -1,0 +1,69 @@
+"""Unit tests for the RTT estimator / RTO computation."""
+
+import pytest
+
+from repro.tcp.rtt import MAX_RTO_NS, MIN_RTO_NS, RttEstimator
+from repro.units import milliseconds, seconds
+
+
+def test_first_sample_initializes():
+    est = RttEstimator()
+    est.on_sample(milliseconds(100))
+    assert est.srtt_ns == milliseconds(100)
+    assert est.rttvar_ns == milliseconds(50)
+    assert est.min_rtt_ns == milliseconds(100)
+    # RTO = srtt + 4*rttvar = 300 ms
+    assert est.rto_ns == milliseconds(300)
+
+
+def test_smoothing_converges():
+    est = RttEstimator()
+    for _ in range(100):
+        est.on_sample(milliseconds(50))
+    assert est.srtt_ns == pytest.approx(milliseconds(50), rel=0.02)
+    assert est.rto_ns == MIN_RTO_NS  # variance collapsed -> floor
+
+
+def test_min_rtt_tracks_smallest():
+    est = RttEstimator()
+    est.on_sample(milliseconds(80))
+    est.on_sample(milliseconds(60))
+    est.on_sample(milliseconds(90))
+    assert est.min_rtt_ns == milliseconds(60)
+
+
+def test_rto_floor():
+    est = RttEstimator()
+    est.on_sample(milliseconds(1))
+    assert est.rto_ns >= MIN_RTO_NS
+
+
+def test_backoff_doubles_and_caps():
+    est = RttEstimator()
+    est.on_sample(milliseconds(100))
+    before = est.rto_ns
+    est.on_backoff()
+    assert est.rto_ns == 2 * before
+    for _ in range(20):
+        est.on_backoff()
+    assert est.rto_ns == MAX_RTO_NS
+
+
+def test_initial_rto_default():
+    est = RttEstimator()
+    assert est.rto_ns == seconds(1)
+    assert est.srtt_ns is None
+
+
+def test_rejects_nonpositive_sample():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.on_sample(0)
+
+
+def test_sample_counter():
+    est = RttEstimator()
+    for i in range(5):
+        est.on_sample(milliseconds(10 + i))
+    assert est.samples == 5
+    assert est.latest_rtt_ns == milliseconds(14)

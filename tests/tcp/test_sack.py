@@ -1,0 +1,162 @@
+"""Unit tests for the SACK scoreboard and pipe accounting."""
+
+import pytest
+
+from repro.tcp.rate_sample import SegmentSendState
+from repro.tcp.sack import Scoreboard
+
+
+def _state(t=0):
+    return SegmentSendState(t, 0, 0, 0, False)
+
+
+def _send_range(sb, start, end):
+    for seq in range(start, end):
+        sb.register_send(seq, _state())
+
+
+def test_pipe_counts_sends():
+    sb = Scoreboard()
+    _send_range(sb, 0, 5)
+    assert sb.pipe == 5
+    assert sb.outstanding == 5
+
+
+def test_cumulative_ack_clears_and_returns_delivered():
+    sb = Scoreboard()
+    _send_range(sb, 0, 5)
+    delivered = sb.cumulative_ack(0, 3)
+    assert len(delivered) == 3
+    assert sb.pipe == 2
+    assert sb.outstanding == 2
+
+
+def test_duplicate_registration_rejected():
+    sb = Scoreboard()
+    sb.register_send(0, _state())
+    with pytest.raises(ValueError):
+        sb.register_send(0, _state())
+
+
+def test_sack_reduces_pipe_once():
+    sb = Scoreboard()
+    _send_range(sb, 0, 10)
+    newly = sb.apply_sacks(((4, 7),), snd_una=0, snd_nxt=10)
+    assert len(newly) == 3
+    assert sb.pipe == 7
+    # Re-SACKing the same range is a no-op.
+    again = sb.apply_sacks(((4, 7),), snd_una=0, snd_nxt=10)
+    assert again == []
+    assert sb.pipe == 7
+    assert sb.high_sacked == 6
+
+
+def test_sack_clamped_to_window():
+    sb = Scoreboard()
+    _send_range(sb, 5, 10)
+    newly = sb.apply_sacks(((0, 100),), snd_una=5, snd_nxt=10)
+    assert len(newly) == 5
+
+
+def test_loss_marking_dupthresh():
+    sb = Scoreboard(dupthresh=3)
+    _send_range(sb, 0, 10)
+    sb.apply_sacks(((5, 8),), 0, 10)  # high_sacked = 7
+    lost = sb.mark_losses(snd_una=0)
+    # Segments <= 7-3 = 4 (i.e., 0..4) are lost.
+    assert lost == 5
+    assert sb.pipe == 10 - 3 - 5
+    # Rescanning marks nothing new.
+    assert sb.mark_losses(0) == 0
+
+
+def test_loss_scan_does_not_remark_after_higher_sack():
+    sb = Scoreboard()
+    _send_range(sb, 0, 20)
+    sb.apply_sacks(((5, 8),), 0, 20)
+    assert sb.mark_losses(0) == 5
+    sb.apply_sacks(((10, 12),), 0, 20)  # high_sacked = 11
+    # Candidates are seqs <= 11-3 = 8; of those, 5..7 are SACKed and
+    # 0..4 already lost, leaving exactly segment 8.
+    lost = sb.mark_losses(0)
+    assert lost == 1
+
+
+def test_retx_queue_ordering_and_validity():
+    sb = Scoreboard()
+    _send_range(sb, 0, 10)
+    sb.apply_sacks(((6, 9),), 0, 10)
+    sb.mark_losses(0)
+    first = sb.next_retx(0)
+    assert first == 0
+    sb.register_retx(0, _state())
+    assert sb.pipe == 10 - 3 - 6 + 1  # 3 sacked, 6 lost (excl 0 retx), 1 retx copy
+    second = sb.next_retx(0)
+    assert second == 1
+
+
+def test_next_retx_skips_sacked_and_acked():
+    sb = Scoreboard()
+    _send_range(sb, 0, 10)
+    sb.apply_sacks(((6, 9),), 0, 10)
+    sb.mark_losses(0)  # 0..5 lost
+    sb.apply_sacks(((1, 2),), 0, 10)  # 1 gets sacked after being marked lost
+    sb.cumulative_ack(0, 1)  # 0 acked
+    nxt = sb.next_retx(1)
+    assert nxt == 2
+
+
+def test_requeue_retx():
+    sb = Scoreboard()
+    _send_range(sb, 0, 5)
+    sb.apply_sacks(((3, 5),), 0, 5)
+    sb.mark_losses(0)
+    seq = sb.next_retx(0)
+    sb.requeue_retx(seq)
+    assert sb.next_retx(0) == seq
+
+
+def test_rto_marks_everything_lost():
+    sb = Scoreboard()
+    _send_range(sb, 0, 8)
+    sb.apply_sacks(((5, 6),), 0, 8)
+    sb.on_rto(0, 8)
+    assert sb.pipe == 0
+    # Retransmission order is sequential, skipping the SACKed segment.
+    order = []
+    while True:
+        seq = sb.next_retx(0)
+        if seq is None:
+            break
+        order.append(seq)
+        sb.register_retx(seq, _state())
+    assert order == [0, 1, 2, 3, 4, 6, 7]
+
+
+def test_cumulative_ack_of_sacked_segment_not_double_delivered():
+    sb = Scoreboard()
+    _send_range(sb, 0, 4)
+    sb.apply_sacks(((1, 3),), 0, 4)
+    delivered = sb.cumulative_ack(0, 4)
+    # 1 and 2 were already delivered via SACK.
+    assert len(delivered) == 2
+    assert sb.pipe == 0
+    assert sb.outstanding == 0
+
+
+def test_pipe_never_negative_under_mixed_operations():
+    sb = Scoreboard()
+    _send_range(sb, 0, 30)
+    sb.apply_sacks(((10, 20),), 0, 30)
+    sb.mark_losses(0)
+    for _ in range(5):
+        seq = sb.next_retx(0)
+        if seq is not None:
+            sb.register_retx(seq, _state())
+    sb.cumulative_ack(0, 25)
+    assert sb.pipe >= 0
+
+
+def test_invalid_dupthresh():
+    with pytest.raises(ValueError):
+        Scoreboard(dupthresh=0)

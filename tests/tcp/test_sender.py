@@ -1,0 +1,187 @@
+"""Behavioural tests for the TCP sender over the loopback harness."""
+
+import pytest
+
+from helpers import LoopbackNet, drop_seqs
+from repro.cca.base import CongestionControl
+from repro.cca.reno import Reno
+from repro.cca.cubic import Cubic
+from repro.units import milliseconds, seconds
+
+
+class FixedWindow(CongestionControl):
+    """A CCA pinned at a constant window — isolates sender mechanics."""
+
+    def __init__(self, cwnd=8.0):
+        super().__init__()
+        self.cwnd = cwnd
+        self.events = []
+
+    def on_congestion_event(self, now_ns):
+        self.events.append(("loss", now_ns))
+
+    def on_rto(self, now_ns, first_timeout=True):
+        self.events.append(("rto", now_ns, first_timeout))
+
+
+def test_clean_transfer_completes():
+    net = LoopbackNet(cca=FixedWindow(8), total_segments=100)
+    net.start()
+    net.run(seconds(5))
+    assert net.sender.done
+    assert net.receiver.bytes_received == 100 * 1500
+    assert net.sender.retransmits == 0
+    assert net.sender.rto_count == 0
+
+
+def test_window_limits_inflight():
+    net = LoopbackNet(cca=FixedWindow(4), one_way_delay_ns=milliseconds(50))
+    net.start()
+    net.run(milliseconds(40))  # less than one RTT: initial burst only
+    assert net.sender.segments_sent == 4
+    assert net.sender.inflight == 4
+
+
+def test_ack_clocking_advances_window():
+    net = LoopbackNet(cca=FixedWindow(4), one_way_delay_ns=milliseconds(10))
+    net.start()
+    net.run(milliseconds(25))  # one RTT in: first ACKs arrived
+    assert net.sender.segments_sent > 4
+    assert net.sender.inflight <= 4
+
+
+def test_single_loss_fast_retransmit():
+    cca = FixedWindow(16)
+    net = LoopbackNet(cca=cca, total_segments=100, drop_data=drop_seqs(10))
+    net.start()
+    net.run(seconds(5))
+    assert net.sender.done
+    assert net.sender.retransmits == 1
+    assert net.sender.rto_count == 0
+    assert [e[0] for e in cca.events] == ["loss"]
+    assert net.receiver.bytes_received == 100 * 1500
+
+
+def test_burst_loss_single_congestion_event():
+    cca = FixedWindow(32)
+    net = LoopbackNet(cca=cca, total_segments=200, drop_data=drop_seqs(10, 11, 12, 13, 14))
+    net.start()
+    net.run(seconds(5))
+    assert net.sender.done
+    assert net.sender.retransmits == 5
+    # All five drops fall in one window -> exactly one congestion event.
+    assert [e[0] for e in cca.events] == ["loss"]
+
+
+def test_tail_loss_recovered_by_rto():
+    cca = FixedWindow(8)
+    # Drop the very last segment: no SACKs can follow -> RTO path.
+    net = LoopbackNet(cca=cca, total_segments=50, drop_data=drop_seqs(49))
+    net.start()
+    net.run(seconds(10))
+    assert net.sender.done
+    assert net.sender.rto_count == 1
+    assert ("rto", pytest.approx(0, abs=10**12), True)[0] in [e[0] for e in cca.events][-1]
+
+
+def test_lost_retransmission_needs_rto():
+    dropped = {"count": 0}
+
+    def drop(pkt):
+        if pkt.seq == 5 and dropped["count"] < 2:  # original + first retx
+            dropped["count"] += 1
+            return True
+        return False
+
+    cca = FixedWindow(16)
+    net = LoopbackNet(cca=cca, total_segments=60, drop_data=drop)
+    net.start()
+    net.run(seconds(10))
+    assert net.sender.done
+    assert net.sender.rto_count >= 1
+    assert net.receiver.bytes_received == 60 * 1500
+
+
+def test_ack_loss_tolerated_by_cumulative_acks():
+    drop_every_other = {"n": 0}
+
+    def drop_ack(pkt):
+        drop_every_other["n"] += 1
+        return drop_every_other["n"] % 2 == 0
+
+    net = LoopbackNet(cca=FixedWindow(8), total_segments=100, drop_ack=drop_ack)
+    net.start()
+    net.run(seconds(10))
+    assert net.sender.done
+    # Cumulative ACKs cover mid-stream gaps; only the very last ACK being
+    # dropped can force a (single) timeout retransmission.
+    assert net.sender.retransmits <= 1
+
+
+def test_rtt_measured_from_ts_echo():
+    net = LoopbackNet(cca=FixedWindow(4), one_way_delay_ns=milliseconds(30))
+    net.start()
+    net.run(seconds(1))
+    assert net.sender.rtt.min_rtt_ns == pytest.approx(milliseconds(60), rel=0.01)
+
+
+def test_reno_slow_start_doubles_per_rtt():
+    reno = Reno()
+    net = LoopbackNet(cca=reno, one_way_delay_ns=milliseconds(50))
+    net.start()
+    net.run(milliseconds(90))
+    assert net.sender.segments_sent == 10  # initial window
+    # One RTT later the whole flight is ACKed at once (instant sends),
+    # the window has doubled to 20, and a fresh 20-segment flight leaves.
+    net.run(milliseconds(70))  # t=160ms
+    assert net.sender.cca.cwnd == pytest.approx(20.0)
+    assert net.sender.segments_sent == 30
+
+
+def test_stop_halts_transmission():
+    net = LoopbackNet(cca=FixedWindow(4))
+    net.start()
+    net.run(milliseconds(100))
+    sent = net.sender.segments_sent
+    net.sender.stop()
+    net.run(seconds(1))
+    assert net.sender.segments_sent == sent
+
+
+def test_pacing_spreads_transmissions():
+    cca = FixedWindow(100)
+    cca.pacing_rate_pps = 1000.0  # 1 packet per ms
+    net = LoopbackNet(cca=cca, one_way_delay_ns=milliseconds(200))
+    net.start()
+    net.run(milliseconds(50))
+    # Unpaced, all 100 would leave instantly; paced, ~50 in 50 ms.
+    assert 40 <= net.sender.segments_sent <= 62
+
+
+def test_double_start_rejected():
+    net = LoopbackNet(cca=FixedWindow(4))
+    net.start()
+    with pytest.raises(RuntimeError):
+        net.start()
+
+
+def test_cubic_transfer_with_bottleneck_completes():
+    net = LoopbackNet(
+        cca=Cubic(),
+        total_segments=500,
+        data_rate_bps=20e6,
+        queue_limit_pkts=30,
+        one_way_delay_ns=milliseconds(10),
+    )
+    net.start()
+    net.run(seconds(20))
+    assert net.sender.done
+    assert net.receiver.bytes_received == 500 * 1500
+
+
+def test_bytes_and_segments_accounting():
+    net = LoopbackNet(cca=FixedWindow(8), total_segments=64)
+    net.start()
+    net.run(seconds(5))
+    assert net.sender.bytes_sent == net.sender.segments_sent * 1500
+    assert net.sender.segments_sent == 64  # no losses -> no retx

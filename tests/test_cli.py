@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_rate
+
+
+def test_parse_rate():
+    assert parse_rate("100M") == 100e6
+    assert parse_rate("25G") == 25e9
+    assert parse_rate("64k") == 64e3
+    assert parse_rate("123456") == 123456.0
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_rate("fast")
+
+
+def test_matrix_command(capsys):
+    assert main(["matrix"]) == 0
+    out = capsys.readouterr().out
+    assert "810" in out
+    assert "paper-fluid" in out
+
+
+def test_run_command_fluid(capsys):
+    rc = main([
+        "run", "--cca1", "cubic", "--cca2", "cubic", "--aqm", "fifo",
+        "--bw", "100M", "--duration", "5", "--engine", "fluid", "--seed", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "jain index" in out
+    assert "utilization" in out
+    assert "engine      : fluid" in out
+
+
+def test_run_command_packet(capsys):
+    rc = main([
+        "run", "--cca1", "reno", "--cca2", "cubic", "--aqm", "fifo",
+        "--bw", "10M", "--duration", "4", "--mss", "1500", "--flows", "1",
+    ])
+    assert rc == 0
+    assert "client1 (reno)" in capsys.readouterr().out
+
+
+def test_sweep_and_report_roundtrip(tmp_path, capsys):
+    out_file = str(tmp_path / "results.jsonl")
+    rc = main(["sweep", "--preset", "smoke", "--out", out_file, "--quiet"])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["report", "--results", out_file, "--what", "table3"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "Avg(phi)" in text
+    rc = main(["report", "--results", out_file, "--what", "fig2"])
+    assert rc == 0
+    assert "bbrv1-vs-cubic" in capsys.readouterr().out
+
+
+def test_report_missing_results(tmp_path, capsys):
+    rc = main(["report", "--results", str(tmp_path / "none.jsonl")])
+    assert rc == 1
+
+
+def test_claims_report(tmp_path, capsys):
+    out_file = str(tmp_path / "results.jsonl")
+    main(["sweep", "--preset", "smoke", "--out", out_file, "--quiet"])
+    capsys.readouterr()
+    rc = main(["report", "--results", out_file, "--what", "claims"])
+    text = capsys.readouterr().out
+    assert rc in (0, 2)
+    assert "passed" in text
+    # The smoke preset is tiny: most claims should be skipped, none crash.
+    assert "SKIP" in text
+
+
+def test_export_command(tmp_path, capsys):
+    out_file = str(tmp_path / "results.jsonl")
+    main(["sweep", "--preset", "smoke", "--out", out_file, "--quiet"])
+    capsys.readouterr()
+    csv_file = str(tmp_path / "runs.csv")
+    rc = main(["export", "--results", out_file, "--table", "runs", "--out", csv_file])
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    header = open(csv_file).readline()
+    assert "jain_index" in header
+
+
+def test_export_missing_results(tmp_path):
+    rc = main(["export", "--results", str(tmp_path / "none.jsonl")])
+    assert rc == 1
+
+
+def test_export_figures_command(tmp_path, capsys):
+    out_file = str(tmp_path / "results.jsonl")
+    main(["sweep", "--preset", "smoke", "--out", out_file, "--quiet"])
+    capsys.readouterr()
+    rc = main(["export-figures", "--results", out_file, "--out-dir", str(tmp_path / "figs")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+    assert (tmp_path / "figs" / "fig7.csv").exists()
+
+
+def test_parser_rejects_unknown_choices():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--aqm", "wred"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--preset", "everything"])

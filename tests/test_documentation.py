@@ -1,0 +1,55 @@
+"""Documentation hygiene: every public module, class, and function is
+documented.  A reproduction package lives or dies by whether a downstream
+reader can navigate it."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their source
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                # Overrides inherit the base method's documentation.
+                inherited = any(
+                    getattr(getattr(base, meth_name, None), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"

@@ -1,0 +1,63 @@
+"""Unit tests for unit helpers (time, rate, BDP)."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions():
+    assert units.seconds(1.5) == 1_500_000_000
+    assert units.milliseconds(62) == 62_000_000
+    assert units.microseconds(3) == 3_000
+    assert units.to_seconds(2_500_000_000) == pytest.approx(2.5)
+
+
+def test_rate_conversions():
+    assert units.mbps(100) == 100_000_000
+    assert units.gbps(25) == 25_000_000_000
+
+
+def test_tx_time():
+    # 1500 bytes at 12 kbit/s -> 1 second.
+    assert units.tx_time_ns(1500, 12_000) == units.seconds(1)
+    assert units.tx_time_ns(1, 1e12) >= 1  # never zero
+
+
+def test_tx_time_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.tx_time_ns(100, 0)
+
+
+def test_bdp_matches_paper_equation():
+    # Paper eq. 1: 100 Mbps * 62 ms / 8 = 775000 bytes.
+    assert units.bdp_bytes(units.mbps(100), units.milliseconds(62)) == 775_000
+
+
+def test_bdp_scales_linearly():
+    base = units.bdp_bytes(units.mbps(100), units.milliseconds(62))
+    assert units.bdp_bytes(units.mbps(500), units.milliseconds(62)) == 5 * base
+    assert units.bdp_bytes(units.gbps(25), units.milliseconds(62)) == 250 * base
+
+
+def test_bdp_packets():
+    # 775000 bytes / 8900-byte jumbo packets = 87 packets.
+    assert units.bdp_packets(units.mbps(100), units.milliseconds(62), 8900) == 87
+
+
+def test_bdp_packets_at_least_one():
+    assert units.bdp_packets(1000, units.milliseconds(1), 9000) == 1
+
+
+def test_bdp_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        units.bdp_bytes(0, units.milliseconds(1))
+    with pytest.raises(ValueError):
+        units.bdp_bytes(1e6, 0)
+    with pytest.raises(ValueError):
+        units.bdp_packets(1e6, units.milliseconds(1), 0)
+
+
+def test_format_rate():
+    assert units.format_rate(units.mbps(100)) == "100 Mbps"
+    assert units.format_rate(units.gbps(25)) == "25 Gbps"
+    assert units.format_rate(units.mbps(0.5)) == "500 Kbps"

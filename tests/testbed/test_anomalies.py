@@ -1,0 +1,100 @@
+"""Unit + integration tests for anomaly injection."""
+
+import numpy as np
+import pytest
+
+from repro.cca.registry import make_cca
+from repro.net.link import Link
+from repro.net.packet import make_data_packet
+from repro.sim.engine import Simulator
+from repro.tcp.connection import open_connection
+from repro.testbed.anomalies import LossSchedule, RateSchedule, Step, loss_episode
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import mbps, seconds
+
+
+def _link(sim, rng=None):
+    return Link(sim, 1e9, 0, lambda p: None, loss_rng=rng,
+                loss_rate=0.0 if rng is None else 0.0)
+
+
+def test_loss_schedule_applies_steps_in_order():
+    sim = Simulator()
+    link = _link(sim, np.random.default_rng(0))
+    sched = LossSchedule(sim, link, [Step(seconds(2), 0.0), Step(seconds(1), 0.1)])
+    sim.run(seconds(3))
+    assert [v for _, v in sched.applied] == [0.1, 0.0]
+    assert link.loss_rate == 0.0
+
+
+def test_loss_schedule_requires_rng_for_nonzero_loss():
+    sim = Simulator()
+    link = _link(sim)  # no rng attached
+    with pytest.raises(ValueError):
+        LossSchedule(sim, link, [Step(0, 0.5)])
+    # Providing one at schedule time attaches it.
+    LossSchedule(sim, link, [Step(0, 0.5)], rng=np.random.default_rng(1))
+    sim.run(seconds(1))
+    assert link.loss_rate == 0.5
+
+
+def test_loss_rate_bounds():
+    sim = Simulator()
+    link = _link(sim, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        LossSchedule(sim, link, [Step(0, 1.0)])
+    with pytest.raises(ValueError):
+        LossSchedule(sim, link, [Step(0, -0.1)])
+    with pytest.raises(ValueError):
+        LossSchedule(sim, link, [Step(-5, 0.1)])
+
+
+def test_rate_schedule():
+    sim = Simulator()
+    link = _link(sim)
+    RateSchedule(sim, link, [Step(seconds(1), 5e8), Step(seconds(2), 1e9)])
+    sim.run(seconds(1))
+    assert link.rate_bps == 5e8
+    sim.run(seconds(2))
+    assert link.rate_bps == 1e9
+    with pytest.raises(ValueError):
+        RateSchedule(sim, link, [Step(0, 0)])
+
+
+def test_loss_episode_convenience():
+    sim = Simulator()
+    link = _link(sim, np.random.default_rng(0))
+    loss_episode(sim, link, start_ns=seconds(1), end_ns=seconds(2), loss_rate=0.2)
+    sim.run(seconds(1.5))
+    assert link.loss_rate == 0.2
+    sim.run(seconds(3))
+    assert link.loss_rate == 0.0
+    with pytest.raises(ValueError):
+        loss_episode(sim, link, start_ns=seconds(2), end_ns=seconds(1), loss_rate=0.1)
+
+
+def test_loss_episode_depresses_throughput_end_to_end():
+    """A mid-run loss episode visibly dents per-interval goodput."""
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=9)
+    )
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500)
+    conn.start()
+    trunk = db.bottleneck_link
+    loss_episode(
+        db.sim, trunk, start_ns=seconds(8), end_ns=seconds(12), loss_rate=0.05,
+        rng=db.network.rng.stream("anomaly"),
+    )
+    marks = []
+
+    def sample():
+        marks.append(conn.receiver.bytes_received)
+        db.sim.schedule(seconds(2), sample)
+
+    db.sim.schedule(seconds(2), sample)
+    db.network.run(seconds(20))
+    rates = [(b - a) / 2 for a, b in zip(marks, marks[1:])]
+    healthy_before = rates[2]  # 6-8 s
+    during = min(rates[3], rates[4])  # 8-12 s window
+    assert during < 0.85 * healthy_before
+    assert trunk.packets_lost > 0

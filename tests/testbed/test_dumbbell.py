@@ -1,0 +1,95 @@
+"""Unit tests for the paper's dumbbell topology builder."""
+
+import pytest
+
+from repro.aqm.fifo import FifoQueue
+from repro.aqm.fq_codel import FqCoDelQueue
+from repro.aqm.red import RedQueue
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.units import gbps, mbps, milliseconds
+
+
+def test_node_inventory_matches_paper():
+    db = build_dumbbell(DumbbellConfig(bottleneck_bw_bps=mbps(100)))
+    assert {h.name for h in db.clients} == {"client1", "client2"}
+    assert {h.name for h in db.servers} == {"server1", "server2"}
+    assert db.router1.name == "router1"
+    assert db.router2.name == "router2"
+    assert len(db.network.nodes) == 6
+
+
+def test_bottleneck_rate_and_buffer():
+    cfg = DumbbellConfig(bottleneck_bw_bps=mbps(100), buffer_bdp=2.0)
+    db = build_dumbbell(cfg)
+    assert db.bottleneck_link.rate_bps == mbps(100)
+    # BDP at 100 Mbps x 62 ms = 775000 B; buffer = 2x.
+    assert db.bottleneck_qdisc.limit_bytes == 2 * 775_000
+
+
+def test_rtt_property():
+    cfg = DumbbellConfig(bottleneck_bw_bps=mbps(100))
+    assert cfg.rtt_ns == milliseconds(62)
+    stretched = DumbbellConfig(bottleneck_bw_bps=mbps(100), delay_multiplier=2.0)
+    assert stretched.rtt_ns == milliseconds(124)
+
+
+def test_scale_divides_rates_not_delays():
+    cfg = DumbbellConfig(bottleneck_bw_bps=gbps(1), scale=100.0)
+    db = build_dumbbell(cfg)
+    assert db.bottleneck_link.rate_bps == pytest.approx(gbps(1) / 100)
+    assert cfg.rtt_ns == milliseconds(62)
+    # BDP shrinks with the scaled rate.
+    assert cfg.bdp_bytes == pytest.approx(gbps(1) / 100 * 0.062 / 8, rel=0.01)
+
+
+@pytest.mark.parametrize("aqm,cls", [("fifo", FifoQueue), ("red", RedQueue), ("fq_codel", FqCoDelQueue)])
+def test_aqm_installed_on_bottleneck(aqm, cls):
+    db = build_dumbbell(DumbbellConfig(bottleneck_bw_bps=mbps(100), aqm=aqm))
+    assert isinstance(db.bottleneck_qdisc, cls)
+
+
+def test_reverse_path_unshaped():
+    db = build_dumbbell(DumbbellConfig(bottleneck_bw_bps=mbps(100)))
+    reverse = db.network.links["router2->router1"]
+    assert reverse.rate_bps == gbps(100)
+
+
+def test_routing_reaches_all_subnets():
+    db = build_dumbbell(DumbbellConfig(bottleneck_bw_bps=mbps(100)))
+    assert len(db.router1.routing_table) == 5
+    assert len(db.router2.routing_table) == 5
+
+
+def test_tc_history_records_command():
+    db = build_dumbbell(DumbbellConfig(bottleneck_bw_bps=mbps(100), aqm="red"))
+    assert len(db.tc.history) == 1
+    assert "red" in db.tc.history[0]
+
+
+def test_buffer_at_least_one_packet():
+    cfg = DumbbellConfig(bottleneck_bw_bps=mbps(1), buffer_bdp=0.5, mss_bytes=8900, scale=10)
+    assert cfg.buffer_bytes >= 8900
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"bottleneck_bw_bps": 0},
+    {"bottleneck_bw_bps": 1e6, "buffer_bdp": 0},
+    {"bottleneck_bw_bps": 1e6, "scale": 0},
+    {"bottleneck_bw_bps": 1e6, "delay_multiplier": 0},
+    {"bottleneck_bw_bps": 1e6, "client_delay_multipliers": (1.0,)},
+    {"bottleneck_bw_bps": 1e6, "client_delay_multipliers": (1.0, 0.0)},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        DumbbellConfig(**kwargs)
+
+
+def test_client_delay_multipliers_stretch_one_access_link():
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(100), client_delay_multipliers=(1.0, 3.0))
+    )
+    d1 = db.network.links["client1->router1"].delay_ns
+    d2 = db.network.links["client2->router1"].delay_ns
+    assert d2 == 3 * d1
+    # The trunk and server side are untouched.
+    assert db.network.links["router1->router2"].delay_ns == milliseconds(9)

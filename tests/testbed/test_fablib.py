@@ -1,0 +1,88 @@
+"""Unit tests for the FABlib-style slice builder."""
+
+import pytest
+
+from repro.net.node import Host, Router
+from repro.testbed.fablib import FablibManager
+from repro.units import gbps, milliseconds
+
+
+def _paper_like_slice(fablib):
+    sl = fablib.new_slice("tcp-study")
+    c1 = sl.add_node("client1", "CLEM")
+    r1 = sl.add_node("router1", "WASH", cores=24, routing=True)
+    c1.add_component("NIC_ConnectX_5", "nic1", rate_bps=gbps(25))
+    r1.add_component("NIC_ConnectX_6", "nic1", rate_bps=gbps(100))
+    sl.add_l2network("net1", (("client1", "nic1"), ("router1", "nic1")), "10.0.1.0/24")
+    return sl
+
+
+def test_slice_builds_network():
+    fablib = FablibManager()
+    sl = _paper_like_slice(fablib)
+    net = sl.submit()
+    assert isinstance(net.nodes["client1"], Host)
+    assert isinstance(net.nodes["router1"], Router)
+    link = net.links["client1->router1"]
+    assert link.rate_bps == gbps(25)  # min of both NICs
+    assert link.delay_ns == milliseconds(7)  # CLEM<->WASH
+
+
+def test_addresses_assigned_from_subnet():
+    fablib = FablibManager()
+    net = _paper_like_slice(fablib).submit()
+    assert str(net.nodes["client1"].interfaces["nic1"].address) == "10.0.1.1"
+    assert str(net.nodes["router1"].interfaces["nic1"].address) == "10.0.1.2"
+
+
+def test_same_site_zero_delay():
+    fablib = FablibManager()
+    sl = fablib.new_slice("local")
+    a = sl.add_node("a", "TACC")
+    b = sl.add_node("b", "TACC")
+    a.add_component("NIC_ConnectX_5", "nic1")
+    b.add_component("NIC_ConnectX_5", "nic1")
+    sl.add_l2network("lan", (("a", "nic1"), ("b", "nic1")), "10.0.9.0/24")
+    net = sl.submit()
+    assert net.links["a->b"].delay_ns == 0
+
+
+def test_validation_errors():
+    fablib = FablibManager()
+    sl = fablib.new_slice("s")
+    with pytest.raises(ValueError):
+        sl.add_node("x", "NOWHERE")
+    sl.add_node("x", "CLEM")
+    with pytest.raises(ValueError):
+        sl.add_node("x", "CLEM")  # duplicate
+    with pytest.raises(ValueError):
+        sl.add_l2network("n", (("x", "nicX"), ("x", "nicY")), "10.0.0.0/24")
+    with pytest.raises(ValueError):
+        sl.add_l2network("n", (("ghost", "nic"), ("x", "nic")), "10.0.0.0/24")
+
+
+def test_double_submit_rejected():
+    fablib = FablibManager()
+    sl = _paper_like_slice(fablib)
+    sl.submit()
+    with pytest.raises(RuntimeError):
+        sl.submit()
+
+
+def test_manager_slice_registry():
+    fablib = FablibManager()
+    sl = fablib.new_slice("a")
+    assert fablib.get_slice("a") is sl
+    with pytest.raises(ValueError):
+        fablib.new_slice("a")
+    with pytest.raises(KeyError):
+        fablib.get_slice("missing")
+
+
+def test_get_network_requires_submit():
+    fablib = FablibManager()
+    sl = _paper_like_slice(fablib)
+    with pytest.raises(RuntimeError):
+        sl.get_network()
+    net = sl.submit()
+    assert sl.get_network() is net

@@ -1,0 +1,38 @@
+"""Unit tests for FABRIC site metadata."""
+
+import pytest
+
+from repro.testbed.sites import (
+    PAPER_PATH,
+    PAPER_RTT_NS,
+    SITES,
+    hop_one_way_delay_ns,
+    path_one_way_delay_ns,
+)
+from repro.units import milliseconds
+
+
+def test_paper_rtt_is_62ms():
+    assert PAPER_RTT_NS == milliseconds(62)
+
+
+def test_paper_path_sites_exist():
+    for code in PAPER_PATH:
+        assert code in SITES
+
+
+def test_hops_symmetric():
+    assert hop_one_way_delay_ns("CLEM", "WASH") == hop_one_way_delay_ns("WASH", "CLEM")
+
+
+def test_path_delay_is_sum_of_hops():
+    total = path_one_way_delay_ns(PAPER_PATH)
+    parts = sum(
+        hop_one_way_delay_ns(a, b) for a, b in zip(PAPER_PATH, PAPER_PATH[1:])
+    )
+    assert total == parts == milliseconds(31)
+
+
+def test_unknown_hop_rejected():
+    with pytest.raises(ValueError):
+        hop_one_way_delay_ns("CLEM", "TACC")  # not adjacent

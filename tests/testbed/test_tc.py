@@ -1,0 +1,44 @@
+"""Unit tests for the tc facade."""
+
+import numpy as np
+import pytest
+
+from repro.aqm.red import RedQueue
+from repro.net.topology import Network
+from repro.testbed.tc import TrafficControl
+from repro.units import milliseconds
+
+
+def _iface_pair():
+    net = Network(seed=0)
+    a = net.add_host("a").add_interface("eth0")
+    b = net.add_host("b").add_interface("eth0")
+    net.connect(a, b, rate_bps=1e8, delay_ns=milliseconds(1))
+    return net, a
+
+
+def test_qdisc_replace_swaps_discipline():
+    net, iface = _iface_pair()
+    tc = TrafficControl(rng=np.random.default_rng(0))
+    tc.qdisc_replace(iface, "red", limit_bytes=100_000)
+    assert isinstance(iface.qdisc, RedQueue)
+    assert iface.qdisc.limit_bytes == 100_000
+    # RED inherits the link rate for idle decay.
+    assert iface.qdisc.bandwidth_bps == 1e8
+
+
+def test_history_records_commands():
+    net, iface = _iface_pair()
+    tc = TrafficControl(rng=np.random.default_rng(0))
+    tc.qdisc_replace(iface, "fifo", limit_bytes=50_000)
+    tc.qdisc_replace(iface, "fq_codel", limit_bytes=60_000)
+    assert len(tc.history) == 2
+    assert "fifo" in tc.history[0]
+    assert "fq_codel" in tc.history[1]
+
+
+def test_params_forwarded():
+    net, iface = _iface_pair()
+    tc = TrafficControl(rng=np.random.default_rng(0))
+    tc.qdisc_replace(iface, "red", limit_bytes=100_000, min_th=1234, max_th=4321)
+    assert iface.qdisc.min_th == 1234

@@ -1,0 +1,103 @@
+"""Unit tests for the iperf3-style traffic generator."""
+
+import pytest
+
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.traffic.iperf import Iperf3Client, Iperf3Server
+from repro.units import mbps, seconds
+
+
+def _setup(parallel=2, duration=4.0, congestion="cubic"):
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+    server = Iperf3Server(db.servers[0])
+    client = Iperf3Client(
+        db.clients[0], db.servers[0],
+        congestion=congestion, parallel=parallel, duration_s=duration, mss=1500,
+    )
+    return db, server, client
+
+
+def test_requires_listening_server():
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+    with pytest.raises(ConnectionRefusedError):
+        Iperf3Client(db.clients[0], db.servers[0])
+
+
+def test_duplicate_server_rejected():
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+    Iperf3Server(db.servers[0])
+    with pytest.raises(RuntimeError):
+        Iperf3Server(db.servers[0])
+    # Different port is fine.
+    Iperf3Server(db.servers[0], port=5202)
+
+
+def test_parallel_streams_created_and_run():
+    db, server, client = _setup(parallel=3)
+    client.start()
+    db.network.run(seconds(5))
+    results = client.stream_results()
+    assert len(results) == 3
+    for r in results:
+        assert r.bytes_received > 0
+    total_bps = sum(r.throughput_bps for r in results)
+    assert total_bps <= mbps(22)  # can't exceed bottleneck (+rounding)
+    assert total_bps > mbps(10)
+
+
+def test_client_stops_at_duration():
+    db, server, client = _setup(parallel=1, duration=2.0)
+    client.start()
+    db.network.run(seconds(6))
+    conn = client.connections[0]
+    sent_at_stop = conn.sender.segments_sent
+    db.network.run(seconds(8))
+    assert conn.sender.segments_sent == sent_at_stop
+
+
+def test_json_result_shape():
+    db, server, client = _setup(parallel=2, duration=3.0)
+    client.start()
+    db.network.run(seconds(4))
+    doc = client.json_result()
+    assert set(doc) == {"start", "intervals", "end"}
+    assert doc["start"]["test_start"]["num_streams"] == 2
+    assert doc["start"]["test_start"]["congestion"] == "cubic"
+    assert len(doc["intervals"]) == 3
+    for iv in doc["intervals"]:
+        assert len(iv["streams"]) == 2
+        assert iv["sum"]["bits_per_second"] == pytest.approx(
+            sum(s["bits_per_second"] for s in iv["streams"])
+        )
+    end = doc["end"]
+    assert len(end["streams"]) == 2
+    assert end["sum_received"]["bytes"] == sum(
+        s["receiver"]["bytes"] for s in end["streams"]
+    )
+
+
+def test_double_start_rejected():
+    db, server, client = _setup()
+    client.start()
+    with pytest.raises(RuntimeError):
+        client.start()
+
+
+def test_invalid_parameters():
+    db, server, _ = _setup()
+    with pytest.raises(ValueError):
+        Iperf3Client(db.clients[0], db.servers[0], parallel=0)
+    with pytest.raises(ValueError):
+        Iperf3Client(db.clients[0], db.servers[0], duration_s=0)
+
+
+def test_congestion_alias_canonicalized():
+    db, server, _ = _setup()
+    client = Iperf3Client(db.clients[1], db.servers[0], congestion="bbr")
+    assert client.congestion == "bbrv1"

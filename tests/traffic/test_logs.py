@@ -1,0 +1,39 @@
+"""Unit tests for iperf3 JSON log I/O."""
+
+import json
+
+import pytest
+
+from repro.traffic.logs import dump_iperf_json, load_iperf_json
+
+
+def _doc():
+    return {
+        "start": {"test_start": {"congestion": "cubic"}},
+        "intervals": [],
+        "end": {"sum_received": {"bytes": 0, "bits_per_second": 0.0}},
+    }
+
+
+def test_roundtrip(tmp_path):
+    path = dump_iperf_json(_doc(), tmp_path / "logs" / "run1.json")
+    assert path.exists()
+    assert load_iperf_json(path) == _doc()
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = dump_iperf_json(_doc(), tmp_path / "a" / "b" / "c.json")
+    assert path.exists()
+
+
+def test_rejects_non_iperf_documents(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"foo": 1}))
+    with pytest.raises(ValueError):
+        load_iperf_json(p)
+
+
+def test_output_is_sorted_and_indented(tmp_path):
+    path = dump_iperf_json(_doc(), tmp_path / "x.json")
+    text = path.read_text()
+    assert text.index('"end"') < text.index('"intervals"') < text.index('"start"')

@@ -1,0 +1,90 @@
+"""Unit + integration tests for the short-flow (mice) generator."""
+
+import pytest
+
+from repro.cca.registry import make_cca
+from repro.tcp.connection import open_connection
+from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+from repro.traffic.mice import PoissonMice
+from repro.units import mbps, seconds
+
+
+def _dumbbell(aqm="fq_codel"):
+    return build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, aqm=aqm,
+                       mss_bytes=1500, seed=11)
+    )
+
+
+def _mice(db, rate=20.0, size=10, max_flows=None):
+    return PoissonMice(
+        db.clients[1], db.servers[1],
+        rate_per_s=rate, size_segments=size, mss=1500,
+        rng=db.network.rng.stream("mice"), max_flows=max_flows,
+    )
+
+
+def test_mice_spawn_and_complete():
+    db = _dumbbell()
+    mice = _mice(db, rate=10.0, size=5)
+    mice.start()
+    db.network.run(seconds(10))
+    mice.stop()
+    assert len(mice.records) > 30  # ~100 expected at 10/s
+    done = mice.completed
+    assert len(done) >= 0.9 * len(mice.records)
+    for r in done:
+        assert r.fct_ns > 0
+
+
+def test_max_flows_cap():
+    db = _dumbbell()
+    mice = _mice(db, rate=100.0, size=3, max_flows=7)
+    mice.start()
+    db.network.run(seconds(5))
+    assert len(mice.records) == 7
+
+
+def test_fct_stats():
+    db = _dumbbell()
+    mice = _mice(db, rate=10.0, size=5)
+    mice.start()
+    db.network.run(seconds(8))
+    stats = mice.fct_stats_ns()
+    assert stats["count"] > 0
+    assert stats["p50"] <= stats["p95"] <= stats["max"]
+    # A 5-segment mouse needs >= 2 RTTs (SYN-less model: 1 RTT data + drain).
+    assert stats["p50"] >= seconds(0.062)
+
+
+def test_validation():
+    db = _dumbbell()
+    with pytest.raises(ValueError):
+        PoissonMice(db.clients[0], db.servers[0], rate_per_s=0, size_segments=5,
+                    mss=1500, rng=db.network.rng.stream("m"))
+    with pytest.raises(ValueError):
+        PoissonMice(db.clients[0], db.servers[0], rate_per_s=1, size_segments=0,
+                    mss=1500, rng=db.network.rng.stream("m"))
+
+
+def test_fq_codel_protects_mice_from_elephant():
+    """Sparse-flow priority: mice finish fast despite a buffer-filling
+    elephant under FQ_CoDel; under FIFO they queue behind it."""
+    fcts = {}
+    for aqm in ("fifo", "fq_codel"):
+        db = _dumbbell(aqm=aqm)
+        elephant = open_connection(
+            db.clients[0], db.servers[0],
+            make_cca("cubic", db.network.rng.stream("cca")), mss=1500,
+        )
+        elephant.start()
+        mice = _mice(db, rate=5.0, size=5)
+        # Let the elephant fill the buffer first.
+        db.network.run(seconds(5))
+        mice.start()
+        db.network.run(seconds(25))
+        mice.stop()
+        stats = mice.fct_stats_ns()
+        assert stats["count"] > 10, aqm
+        fcts[aqm] = stats["p50"]
+    assert fcts["fq_codel"] < 0.7 * fcts["fifo"], fcts
