@@ -3,91 +3,41 @@
 These are the only benches where pytest-benchmark's repeated-rounds
 timing is the point: they track the simulator's raw speed, which bounds
 how much of the paper's grid the packet engine can cover.
+
+The workload bodies live in :mod:`repro.bench.workloads` so the
+regression harness (``benchmarks/harness.py``) times exactly the same
+code — see docs/BENCHMARKING.md.
 """
 
-from repro.cca.registry import make_cca
-from repro.sim.engine import Simulator
-from repro.tcp.connection import open_connection
-from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
-from repro.units import mbps, seconds
+from repro.bench.workloads import (
+    event_loop,
+    fluid_steps,
+    single_flow_datapath,
+    timer_churn,
+)
 
 
 def test_event_loop_throughput(benchmark):
     """Schedule+dispatch cost of the bare event loop (100k events)."""
-
-    def run():
-        sim = Simulator()
-        count = 100_000
-
-        def noop():
-            pass
-
-        for i in range(count):
-            sim.schedule(i, noop)
-        sim.run()
-        return sim.events_processed
-
-    events = benchmark(run)
+    events, _ = benchmark(event_loop, 100_000)
     assert events == 100_000
 
 
 def test_timer_churn(benchmark):
     """Cancel/reschedule pattern of TCP retransmission timers."""
-
-    def run():
-        sim = Simulator()
-        handle = None
-        fired = 0
-
-        def tick(i):
-            nonlocal handle, fired
-            fired += 1
-            if handle is not None:
-                handle.cancel()
-            if i < 20_000:
-                handle = sim.schedule(1000, tick, i + 1)
-
-        sim.schedule(0, tick, 0)
-        sim.run()
-        return fired
-
-    assert benchmark(run) == 20_001
+    events, fired = benchmark(timer_churn, 20_000)
+    assert fired == 20_001
 
 
 def test_single_flow_datapath(benchmark):
     """Full-stack packets/second: one CUBIC flow over the dumbbell."""
-
-    def run():
-        db = build_dumbbell(
-            DumbbellConfig(bottleneck_bw_bps=mbps(20), buffer_bdp=2.0, mss_bytes=1500, seed=1)
-        )
-        conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500)
-        conn.start()
-        db.network.run(seconds(5))
-        return db.sim.events_processed
-
-    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    events, _ = benchmark.pedantic(
+        single_flow_datapath, args=(5.0,), rounds=3, iterations=1
+    )
     assert events > 10_000
 
 
 def test_fluid_step_throughput(benchmark):
     """Fluid-engine steps/second with a 500-flow population (the 25G tier)."""
-    import numpy as np
-
-    from repro.fluid.aqm_rules import FluidFifo
-    from repro.fluid.cca_rules import make_fluid_cca
-    from repro.fluid.model import FluidSimulation
-
-    def run():
-        rng = np.random.default_rng(1)
-        flows = [make_fluid_cca("cubic", rng) for _ in range(500)]
-        aqm = FluidFifo(limit_pkts=43_000, capacity_pps=350_000, n_flows=500)
-        sim = FluidSimulation(
-            capacity_pps=350_000, base_rtt_s=0.062, aqm=aqm, flows=flows,
-            arrival_rng=rng,
-        )
-        sim.run(5.0)
-        return sim.delivered_total.sum()
-
-    delivered = benchmark.pedantic(run, rounds=3, iterations=1)
+    _, delivered = benchmark.pedantic(fluid_steps, args=(5.0,), rounds=3, iterations=1)
     assert delivered > 0

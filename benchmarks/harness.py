@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness entry point.
+
+Thin wrapper over :mod:`repro.bench.harness` so the suite can be driven
+straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full run + gate
+    PYTHONPATH=src python benchmarks/harness.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/harness.py --list
+
+See docs/BENCHMARKING.md for baselines and tolerance budgets.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running without PYTHONPATH=src from the repo root.
+_src = Path(__file__).resolve().parent.parent / "src"
+if str(_src) not in sys.path:
+    sys.path.insert(0, str(_src))
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,31 +18,50 @@ queues (k x BDP bytes via `tc`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.net.packet import Packet
 
 
-@dataclass
 class QueueStats:
-    """Counters every discipline maintains."""
+    """Counters every discipline maintains.
 
-    enqueued: int = 0
-    dequeued: int = 0
-    dropped_enqueue: int = 0
-    dropped_dequeue: int = 0
-    ecn_marked: int = 0
-    bytes_enqueued: int = 0
-    bytes_dropped: int = 0
+    A plain slotted class (not a dataclass): these counters are bumped on
+    every enqueue/dequeue of every hop, and slot access keeps that cheap.
+    """
+
+    __slots__ = (
+        "enqueued",
+        "dequeued",
+        "dropped_enqueue",
+        "dropped_dequeue",
+        "ecn_marked",
+        "bytes_enqueued",
+        "bytes_dropped",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped_enqueue = 0
+        self.dropped_dequeue = 0
+        self.ecn_marked = 0
+        self.bytes_enqueued = 0
+        self.bytes_dropped = 0
 
     @property
     def dropped_total(self) -> int:
         return self.dropped_enqueue + self.dropped_dequeue
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{n}={getattr(self, n)}" for n in self.__slots__)
+        return f"QueueStats({fields})"
+
 
 class QueueDiscipline:
     """Abstract base.  Subclasses implement enqueue/dequeue."""
+
+    __slots__ = ("limit_bytes", "ecn_mode", "bytes_queued", "packets_queued", "stats")
 
     def __init__(self, limit_bytes: int, *, ecn_mode: bool = False):
         if limit_bytes <= 0:

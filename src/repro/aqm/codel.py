@@ -118,6 +118,8 @@ class CoDelController:
 class CoDelQueue(QueueDiscipline):
     """A single byte-limited queue managed by CoDel."""
 
+    __slots__ = ("_queue", "controller")
+
     def __init__(
         self,
         limit_bytes: int,
@@ -135,10 +137,17 @@ class CoDelQueue(QueueDiscipline):
 
     def enqueue(self, pkt: Packet, now: int) -> bool:
         """Tail-drop at the byte limit; CoDel itself drops at dequeue."""
-        if self.bytes_queued + pkt.size > self.limit_bytes:
-            self._drop_enqueue(pkt)
+        size = pkt.size
+        stats = self.stats
+        if self.bytes_queued + size > self.limit_bytes:
+            stats.dropped_enqueue += 1
+            stats.bytes_dropped += size
             return False
-        self._accept(pkt, now)
+        pkt.enqueue_time = now
+        self.bytes_queued += size
+        self.packets_queued += 1
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
         self._queue.append(pkt)
         return True
 
@@ -149,6 +158,9 @@ class CoDelQueue(QueueDiscipline):
         self.bytes_queued -= pkt.size
         self.packets_queued -= 1
         return pkt
+
+    def _backlog(self) -> int:
+        return self.bytes_queued
 
     def _on_codel_drop(self, pkt: Packet) -> None:
         # _pop already removed the packet from backlog accounting.
@@ -161,7 +173,7 @@ class CoDelQueue(QueueDiscipline):
             now,
             self._pop,
             self._on_codel_drop,
-            lambda: self.bytes_queued,
+            self._backlog,
             self._try_mark,
         )
         if pkt is not None:

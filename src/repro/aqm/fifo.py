@@ -17,23 +17,37 @@ from repro.net.packet import Packet
 class FifoQueue(QueueDiscipline):
     """Byte-limited drop-tail queue."""
 
+    __slots__ = ("_queue",)
+
     def __init__(self, limit_bytes: int, *, ecn_mode: bool = False):
         super().__init__(limit_bytes, ecn_mode=ecn_mode)
         self._queue: deque[Packet] = deque()
 
     def enqueue(self, pkt: Packet, now: int) -> bool:
         """Accept unless the byte limit would be exceeded."""
-        if self.bytes_queued + pkt.size > self.limit_bytes:
-            self._drop_enqueue(pkt)
+        # Accounting inlined (vs the base-class helpers): FIFO guards every
+        # edge interface, so this runs for every packet on every hop.
+        size = pkt.size
+        stats = self.stats
+        if self.bytes_queued + size > self.limit_bytes:
+            stats.dropped_enqueue += 1
+            stats.bytes_dropped += size
             return False
-        self._accept(pkt, now)
+        pkt.enqueue_time = now
+        self.bytes_queued += size
+        self.packets_queued += 1
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
         self._queue.append(pkt)
         return True
 
     def dequeue(self, now: int) -> Optional[Packet]:
         """Pop in arrival order."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        pkt = self._queue.popleft()
-        self._account_dequeue(pkt)
+        pkt = queue.popleft()
+        self.bytes_queued -= pkt.size
+        self.packets_queued -= 1
+        self.stats.dequeued += 1
         return pkt

@@ -27,7 +27,7 @@ DEFAULT_FLOW_BUCKETS = 1024
 class _FlowQueue:
     """One hash bucket: FIFO + CoDel state + DRR deficit."""
 
-    __slots__ = ("packets", "bytes", "deficit", "codel", "active")
+    __slots__ = ("packets", "bytes", "deficit", "codel", "active", "pop", "backlog")
 
     def __init__(self, codel: CoDelController):
         self.packets: Deque[Packet] = deque()
@@ -35,10 +35,26 @@ class _FlowQueue:
         self.deficit = 0
         self.codel = codel
         self.active = False  # on the new or old list
+        # Bound at bucket creation by the owning FqCoDelQueue so the DRR
+        # loop hands CoDel ready-made callables instead of fresh lambdas.
+        self.pop = None
+        self.backlog = None
 
 
 class FqCoDelQueue(QueueDiscipline):
     """DRR over per-flow sub-queues, each policed by CoDel."""
+
+    __slots__ = (
+        "flows",
+        "quantum",
+        "target_ns",
+        "interval_ns",
+        "mtu_bytes",
+        "_perturbation",
+        "_buckets",
+        "_new_list",
+        "_old_list",
+    )
 
     def __init__(
         self,
@@ -84,6 +100,20 @@ class FqCoDelQueue(QueueDiscipline):
                     mtu_bytes=self.mtu_bytes,
                 )
             )
+            packets = fq.packets
+
+            def pop(packets=packets, fq=fq, self=self) -> Optional[Packet]:
+                if not packets:
+                    return None
+                pkt = packets.popleft()
+                size = pkt.size
+                fq.bytes -= size
+                self.bytes_queued -= size
+                self.packets_queued -= 1
+                return pkt
+
+            fq.pop = pop
+            fq.backlog = lambda fq=fq: fq.bytes
             self._buckets[bid] = fq
         return fq
 
@@ -110,11 +140,19 @@ class FqCoDelQueue(QueueDiscipline):
 
     def enqueue(self, pkt: Packet, now: int) -> bool:
         """Hash into a bucket; evict from the fattest flow when over limit."""
-        bid = self._bucket_id(pkt)
-        fq = self._bucket(bid)
-        self._accept(pkt, now)
+        bid = (pkt.flow_id * 2654435761 + self._perturbation) % self.flows
+        fq = self._buckets.get(bid)
+        if fq is None:
+            fq = self._bucket(bid)
+        size = pkt.size
+        stats = self.stats
+        pkt.enqueue_time = now
+        self.bytes_queued += size
+        self.packets_queued += 1
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
         fq.packets.append(pkt)
-        fq.bytes += pkt.size
+        fq.bytes += size
         if not fq.active:
             fq.active = True
             fq.deficit = self.quantum
@@ -151,9 +189,9 @@ class FqCoDelQueue(QueueDiscipline):
 
             pkt = fq.codel.dequeue(
                 now,
-                lambda fq=fq: self._pop_from(fq),
+                fq.pop,
                 self._on_codel_drop,
-                lambda fq=fq: fq.bytes,
+                fq.backlog,
                 self._try_mark,
             )
             if pkt is None:

@@ -37,6 +37,22 @@ MAX_PROB = 1.0
 class PieQueue(QueueDiscipline):
     """A byte-limited queue managed by the PIE controller."""
 
+    __slots__ = (
+        "rng",
+        "target_ns",
+        "t_update_ns",
+        "burst_allowance_ns",
+        "_queue",
+        "drop_prob",
+        "qdelay_ns",
+        "qdelay_old_ns",
+        "_burst_left_ns",
+        "_last_update_ns",
+        "_depart_rate",
+        "_measure_start_ns",
+        "_measure_bytes",
+    )
+
     def __init__(
         self,
         limit_bytes: int,
@@ -127,28 +143,47 @@ class PieQueue(QueueDiscipline):
 
     def enqueue(self, pkt: Packet, now: int) -> bool:
         """Drop with the controller probability (after the burst allowance)."""
-        self._maybe_update(now)
-        if self.bytes_queued + pkt.size > self.limit_bytes:
-            self._drop_enqueue(pkt)
+        # Inline _maybe_update's no-op fast path (controller not yet due).
+        last = self._last_update_ns
+        if last is None:
+            self._last_update_ns = now
+        elif now - last >= self.t_update_ns:
+            self._maybe_update(now)
+        size = pkt.size
+        stats = self.stats
+        if self.bytes_queued + size > self.limit_bytes:
+            stats.dropped_enqueue += 1
+            stats.bytes_dropped += size
             return False
         if self._should_drop(pkt):
             if not self._try_mark(pkt):
-                self._drop_enqueue(pkt)
+                stats.dropped_enqueue += 1
+                stats.bytes_dropped += size
                 return False
-        self._accept(pkt, now)
+        pkt.enqueue_time = now
+        self.bytes_queued += size
+        self.packets_queued += 1
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
         self._queue.append(pkt)
         return True
 
     def dequeue(self, now: int) -> Optional[Packet]:
         """Pop FIFO-order; feeds the departure-rate estimator."""
-        self._maybe_update(now)
+        last = self._last_update_ns
+        if last is None:
+            self._last_update_ns = now
+        elif now - last >= self.t_update_ns:
+            self._maybe_update(now)
         if not self._queue:
             # Queue drained: re-arm the burst allowance.
             if self.drop_prob == 0.0:
                 self._burst_left_ns = self.burst_allowance_ns
             return None
         pkt = self._queue.popleft()
-        self._account_dequeue(pkt)
+        self.bytes_queued -= pkt.size
+        self.packets_queued -= 1
+        self.stats.dequeued += 1
         # Departure-rate measurement over ~100 ms windows.
         if self._measure_start_ns == 0:
             self._measure_start_ns = now

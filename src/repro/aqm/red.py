@@ -32,6 +32,21 @@ from repro.units import NS_PER_SEC
 class RedQueue(QueueDiscipline):
     """Gentle RED with EWMA average queue and idle decay."""
 
+    __slots__ = (
+        "min_th",
+        "max_th",
+        "max_p",
+        "weight",
+        "avpkt",
+        "bandwidth_bps",
+        "gentle",
+        "rng",
+        "_queue",
+        "avg",
+        "_count",
+        "_idle_since",
+    )
+
     def __init__(
         self,
         limit_bytes: int,
@@ -129,27 +144,46 @@ class RedQueue(QueueDiscipline):
 
     def enqueue(self, pkt: Packet, now: int) -> bool:
         """EWMA update, probabilistic early drop/mark, then tail drop."""
-        self._update_avg(now)
-        if self.bytes_queued + pkt.size > self.limit_bytes:
-            self._drop_enqueue(pkt)
+        # Busy-queue fast path inlines the EWMA step; the idle-decay branch
+        # of _update_avg only matters right after a drain.
+        if self._idle_since is not None:
+            self._update_avg(now)
+        else:
+            self.avg += self.weight * (self.bytes_queued - self.avg)
+        size = pkt.size
+        stats = self.stats
+        if self.bytes_queued + size > self.limit_bytes:
+            stats.dropped_enqueue += 1
+            stats.bytes_dropped += size
             self._count = 0
             return False
-        if self._should_drop():
+        # No-drop regime (avg below min_th) short-circuits the lottery.
+        if self.avg < self.min_th:
+            self._count = -1
+        elif self._should_drop():
             if self._try_mark(pkt):
                 pass  # marked instead of dropped; fall through to accept
             else:
-                self._drop_enqueue(pkt)
+                stats.dropped_enqueue += 1
+                stats.bytes_dropped += size
                 return False
-        self._accept(pkt, now)
+        pkt.enqueue_time = now
+        self.bytes_queued += size
+        self.packets_queued += 1
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
         self._queue.append(pkt)
         return True
 
     def dequeue(self, now: int) -> Optional[Packet]:
         """Pop in arrival order; tracks queue-idle onset for EWMA decay."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        pkt = self._queue.popleft()
-        self._account_dequeue(pkt)
-        if not self._queue:
+        pkt = queue.popleft()
+        self.bytes_queued -= pkt.size
+        self.packets_queued -= 1
+        self.stats.dequeued += 1
+        if not queue:
             self._idle_since = now
         return pkt

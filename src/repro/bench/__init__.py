@@ -1,0 +1,13 @@
+"""Benchmark-regression subsystem.
+
+:mod:`repro.bench.workloads` defines the pinned-seed workloads that both
+the pytest-benchmark suite (``benchmarks/bench_engine.py``) and the
+regression harness execute; :mod:`repro.bench.harness` runs them, writes
+machine-readable ``BENCH_<date>_<tag>.json`` reports, and gates on
+regressions against a previous baseline.
+"""
+
+from repro.bench.harness import compare_reports, run_benches, write_report
+from repro.bench.workloads import WORKLOADS
+
+__all__ = ["WORKLOADS", "compare_reports", "run_benches", "write_report"]

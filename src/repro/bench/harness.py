@@ -1,0 +1,272 @@
+"""Benchmark runner + regression gate.
+
+``run_benches`` executes the pinned-seed workloads from
+:mod:`repro.bench.workloads` and produces a machine-readable report:
+per-bench events/sec, wall time, process peak RSS, and a config hash that
+ties the numbers to the exact workload parameters.  ``write_report``
+saves it as ``BENCH_<date>_<tag>.json``; ``compare_reports`` checks a new
+report against a baseline with a relative tolerance budget and returns
+the regressions, so CI can gate (``main()`` exits nonzero on any).
+
+Only benches whose config hash matches the baseline's are compared —
+changing a workload's parameters silently invalidates old numbers, and
+the hash turns that into an explicit "not comparable" instead of a bogus
+pass/fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.workloads import WORKLOADS, WORKLOADS_BY_NAME, WorkloadSpec
+
+SCHEMA_VERSION = 1
+#: Default relative tolerance: a bench regresses when its events/sec falls
+#: more than this fraction below the baseline.
+DEFAULT_TOLERANCE = 0.10
+DEFAULT_REPEATS = 3
+
+
+def config_hash(config: Dict[str, Any]) -> str:
+    """Short stable hash of a workload's pinning parameters."""
+    blob = json.dumps(config, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (0 where unavailable)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return 0
+
+
+def _run_one(spec: WorkloadSpec, *, quick: bool, repeats: int) -> Dict[str, Any]:
+    walls: List[float] = []
+    events = checksum = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        ev, ck = spec.run(quick)
+        walls.append(time.perf_counter() - t0)
+        if events is None:
+            events, checksum = ev, ck
+        elif (ev, ck) != (events, checksum):
+            raise RuntimeError(
+                f"workload {spec.name!r} is not deterministic across repeats: "
+                f"({events}, {checksum}) vs ({ev}, {ck})"
+            )
+    best = min(walls)
+    return {
+        "events": events,
+        "checksum": checksum,
+        "wall_s": best,
+        "wall_all_s": walls,
+        "events_per_sec": events / best if best > 0 else 0.0,
+        "peak_rss_kb": peak_rss_kb(),
+        "config_hash": config_hash(spec.config(quick)),
+        "repeats": len(walls),
+    }
+
+
+def run_benches(
+    names: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+    repeats: int = DEFAULT_REPEATS,
+    tag: str = "",
+    log=None,
+) -> Dict[str, Any]:
+    """Execute the named workloads (default: all) and build a report dict."""
+    specs: Iterable[WorkloadSpec]
+    if names:
+        unknown = [n for n in names if n not in WORKLOADS_BY_NAME]
+        if unknown:
+            raise KeyError(f"unknown workload(s): {', '.join(unknown)}")
+        specs = [WORKLOADS_BY_NAME[n] for n in names]
+    else:
+        specs = WORKLOADS
+
+    benches: Dict[str, Dict[str, Any]] = {}
+    for spec in specs:
+        if log:
+            log(f"running {spec.name} ({'quick' if quick else 'full'}, x{repeats}) ...")
+        benches[spec.name] = _run_one(spec, quick=quick, repeats=repeats)
+        if log:
+            b = benches[spec.name]
+            log(f"  {spec.name}: {b['events_per_sec']:,.0f} events/s "
+                f"({b['events']:,} events in {b['wall_s']:.3f}s)")
+    return {
+        "schema": SCHEMA_VERSION,
+        "date": _dt.date.today().isoformat(),
+        "timestamp": _dt.datetime.now().isoformat(timespec="seconds"),
+        "tag": tag,
+        "quick": quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "benches": benches,
+    }
+
+
+def write_report(report: Dict[str, Any], out_dir: Path, *, tag: str = "") -> Path:
+    """Write ``BENCH_<date>[_<tag>].json`` under ``out_dir``; returns the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = f"_{tag}" if tag else ""
+    path = out_dir / f"BENCH_{report['date']}{suffix}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def find_baseline(out_dir: Path, *, exclude: Optional[Path] = None) -> Optional[Path]:
+    """Most recently modified ``BENCH_*.json`` in ``out_dir`` (minus ``exclude``)."""
+    out_dir = Path(out_dir)
+    if not out_dir.is_dir():
+        return None
+    candidates = [
+        p for p in out_dir.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != Path(exclude).resolve()
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def compare_reports(
+    new: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare per-bench events/sec against a baseline.
+
+    Returns ``(regressions, lines)``: human-readable problem descriptions
+    (empty = gate passes) and a full comparison table.  Benches missing
+    from either side or with mismatched config hashes are reported but
+    never counted as regressions.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    regressions: List[str] = []
+    lines: List[str] = []
+    if bool(new.get("quick")) != bool(baseline.get("quick")):
+        lines.append(
+            "note: quick/full mode mismatch with baseline; nothing is comparable"
+        )
+        return regressions, lines
+    old_benches = baseline.get("benches", {})
+    for name, b in new.get("benches", {}).items():
+        old = old_benches.get(name)
+        if old is None:
+            lines.append(f"{name}: new bench (no baseline)")
+            continue
+        if old.get("config_hash") != b.get("config_hash"):
+            lines.append(f"{name}: config changed (hash {old.get('config_hash')} -> "
+                         f"{b.get('config_hash')}); not comparable")
+            continue
+        old_eps = float(old.get("events_per_sec", 0.0))
+        new_eps = float(b.get("events_per_sec", 0.0))
+        ratio = new_eps / old_eps if old_eps > 0 else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {new_eps:,.0f} events/s vs baseline {old_eps:,.0f} "
+                f"({ratio:.2f}x, tolerance {1.0 - tolerance:.2f}x)"
+            )
+        lines.append(f"{name}: {new_eps:,.0f} vs {old_eps:,.0f} events/s "
+                     f"({ratio:.2f}x) {verdict}")
+    for name in old_benches:
+        if name not in new.get("benches", {}):
+            lines.append(f"{name}: present in baseline but not in this run")
+    return regressions, lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also exposed as ``benchmarks/harness.py`` and
+    ``repro bench``).  Exit code 1 signals a gated regression."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the pinned-seed benchmark suite and gate on regressions.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken workloads (CI smoke; not comparable to full runs)")
+    parser.add_argument("--only", metavar="NAME[,NAME...]",
+                        help="run a subset of workloads")
+    parser.add_argument("--list", action="store_true", help="list workloads and exit")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help=f"timed repeats per bench, best-of (default {DEFAULT_REPEATS})")
+    parser.add_argument("--tag", default="", help="suffix for the report filename")
+    parser.add_argument("--out-dir", type=Path, default=Path("benchmarks/results"),
+                        help="where BENCH_*.json reports live (default benchmarks/results)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline report to compare against "
+                             "(default: newest BENCH_*.json in --out-dir)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help=f"relative events/sec regression budget (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report the comparison but always exit 0")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing the report file")
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"error: --tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    if args.list:
+        for spec in WORKLOADS:
+            print(f"{spec.name}: {spec.params}")
+        return 0
+
+    names = [n.strip() for n in args.only.split(",")] if args.only else None
+    try:
+        report = run_benches(names, quick=args.quick, repeats=args.repeats,
+                             tag=args.tag, log=lambda m: print(m, flush=True))
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or find_baseline(args.out_dir)
+    out_path = None
+    if not args.no_write:
+        out_path = write_report(report, args.out_dir, tag=args.tag)
+        print(f"report written to {out_path}")
+        # Never compare a report against itself (same date + tag overwrite).
+        if baseline_path is not None and args.baseline is None:
+            baseline_path = find_baseline(args.out_dir, exclude=out_path)
+
+    if baseline_path is None:
+        print("no baseline found; skipping regression gate")
+        return 0
+    try:
+        baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    print(f"comparing against {baseline_path} (tolerance {args.tolerance:.0%})")
+    regressions, lines = compare_reports(report, baseline, tolerance=args.tolerance)
+    for line in lines:
+        print("  " + line)
+    if regressions:
+        print(f"{len(regressions)} regression(s) detected", file=sys.stderr)
+        return 0 if args.no_gate else 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

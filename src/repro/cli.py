@@ -219,11 +219,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="describe the experiment grid and presets")
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the pinned-seed benchmark suite and gate on regressions",
+        add_help=False,  # repro.bench.harness owns the full flag set
+    )
+    p_bench.add_argument("bench_args", nargs=argparse.REMAINDER)
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import main as bench_main
+
+    return bench_main(args.bench_args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Dispatch ``bench`` before argparse: REMAINDER refuses a leading
+    # option-like token (python/cpython#61252), which would reject
+    # ``repro bench --list``.  The harness owns the whole flag set.
+    if argv and argv[0] == "bench":
+        from repro.bench.harness import main as bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -62,6 +62,11 @@ def run_packet_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     plan = config.plan
     connections: List[List[Connection]] = [[], []]
+    # Flow ids are pinned per experiment (1..2N in creation order) rather
+    # than drawn from the process-global counter, so reruns of the same
+    # config are bit-identical regardless of what ran earlier in the
+    # process (flow-id-hashed AQMs like fq_codel see the same buckets).
+    next_fid = 1
     for node_idx, cca_name in enumerate(config.cca_pair):
         client = dumbbell.clients[node_idx]
         server = dumbbell.servers[node_idx]
@@ -71,8 +76,10 @@ def run_packet_experiment(config: ExperimentConfig) -> ExperimentResult:
                 server,
                 make_cca(cca_name, cca_rng),
                 mss=config.mss_bytes,
+                flow_id=next_fid,
                 ecn_enabled=config.ecn_mode,
             )
+            next_fid += 1
             conn.start(delay_ns=int(start_rng.uniform(0, START_JITTER_NS)))
             connections[node_idx].append(conn)
 

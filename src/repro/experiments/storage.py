@@ -2,13 +2,19 @@
 
 One line per :class:`ExperimentResult`; append-only, so interrupted
 campaigns resume by skipping configs whose label is already present.
+
+The write handle is opened once per campaign (O_APPEND mode) and kept
+for the store's lifetime: each result is a single buffered write of the
+complete line, flushed immediately.  That keeps appends atomic at the
+line level even when several campaign processes share one results file —
+O_APPEND positions every flushed write at the current end of file.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, List, Set, Union
+from typing import IO, Iterator, List, Optional, Set, Union
 
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.summary import ExperimentResult
@@ -22,12 +28,34 @@ class ResultStore:
     def __init__(self, path: PathLike):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = None
 
     def append(self, result: ExperimentResult) -> None:
         """Append one result as a JSON line (flushed immediately)."""
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(result.to_dict(), sort_keys=True))
-            fh.write("\n")
+        fh = self._fh
+        if fh is None:
+            fh = self._fh = self.path.open("a", encoding="utf-8")
+        fh.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+        fh.flush()
+
+    def close(self) -> None:
+        """Release the write handle (idempotent; reopened on next append)."""
+        fh = self._fh
+        if fh is not None:
+            self._fh = None
+            fh.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __iter__(self) -> Iterator[ExperimentResult]:
         if not self.path.exists():

@@ -5,6 +5,11 @@ and one outbound :class:`~repro.net.link.Link`.  Arriving packets always go
 through the discipline (so CoDel sees a truthful enqueue timestamp even
 when the link is idle) and a dequeue loop keeps the link busy whenever the
 queue is non-empty — the standard qdisc/driver split in Linux.
+
+Hot-path notes: the enqueue/dequeue/transmit callables are prebound at
+:meth:`Interface.attach` / :meth:`Interface.set_qdisc` time so the
+per-packet path does two dict-free calls instead of chasing
+``self.qdisc.enqueue`` attribute chains on every packet.
 """
 
 from __future__ import annotations
@@ -23,7 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover
 class Interface:
     """One attachment point of a node."""
 
-    __slots__ = ("node", "name", "address", "link", "qdisc", "peer", "_busy")
+    __slots__ = (
+        "node",
+        "name",
+        "address",
+        "link",
+        "qdisc",
+        "peer",
+        "_busy",
+        "_sim",
+        "_enqueue",
+        "_dequeue",
+        "_transmit",
+        "_pump_cb",
+    )
 
     def __init__(self, node: "Node", name: str, address: Optional[IPv4Address] = None):
         self.node = node
@@ -33,12 +51,20 @@ class Interface:
         self.qdisc: Optional[QueueDiscipline] = None
         self.peer: Optional["Interface"] = None
         self._busy = False
+        self._sim = node.sim
+        self._enqueue = None
+        self._dequeue = None
+        self._transmit = None
+        self._pump_cb = self._pump
 
     def attach(self, link: Link, peer: "Interface", qdisc: QueueDiscipline) -> None:
         """Wire this interface to its outbound link / far-end interface."""
         self.link = link
         self.peer = peer
         self.qdisc = qdisc
+        self._transmit = link.transmit
+        self._enqueue = qdisc.enqueue
+        self._dequeue = qdisc.dequeue
 
     def set_qdisc(self, qdisc: QueueDiscipline) -> None:
         """Replace the egress discipline (the `tc qdisc replace` analogue).
@@ -49,6 +75,8 @@ class Interface:
         if self.qdisc is not None and not self.qdisc.is_empty:
             raise RuntimeError(f"cannot replace a non-empty qdisc on {self}")
         self.qdisc = qdisc
+        self._enqueue = qdisc.enqueue
+        self._dequeue = qdisc.dequeue
 
     # -- datapath -----------------------------------------------------------------
 
@@ -56,17 +84,16 @@ class Interface:
         """Egress entry point: enqueue, then kick the transmit loop."""
         if self.link is None or self.qdisc is None:
             raise RuntimeError(f"interface {self} is not attached")
-        now = self.node.sim.now
-        if self.qdisc.enqueue(pkt, now) and not self._busy:
+        if self._enqueue(pkt, self._sim.now) and not self._busy:
             self._pump()
 
     def _pump(self) -> None:
-        pkt = self.qdisc.dequeue(self.node.sim.now)
+        pkt = self._dequeue(self._sim.now)
         if pkt is None:
             self._busy = False
             return
         self._busy = True
-        self.link.transmit(pkt, self._pump)
+        self._transmit(pkt, self._pump_cb)
 
     def deliver(self, pkt: Packet) -> None:
         """Ingress: a packet arrived from the link; hand it to the node."""

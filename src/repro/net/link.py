@@ -5,10 +5,17 @@ propagation delay.  The owning :class:`~repro.net.interface.Interface`
 drives it: the link itself is just the timing + delivery piece, plus an
 optional random-loss process used by the anomaly-injection experiments the
 paper lists as future work.
+
+Hot-path notes: serialization delays are memoized per packet size (real
+traffic has a handful of distinct sizes — MSS-sized data and 60-byte
+ACKs), and both timer hops push fire-and-forget heap entries directly
+(the inline expansion of :meth:`~repro.sim.engine.Simulator.call_later`),
+since link events are never cancelled.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Optional
 
 import numpy as np
@@ -29,6 +36,7 @@ class Link:
         "name",
         "loss_rate",
         "_loss_rng",
+        "_tx_cache",
         "bytes_delivered",
         "packets_delivered",
         "packets_lost",
@@ -60,13 +68,18 @@ class Link:
         self.name = name
         self.loss_rate = loss_rate
         self._loss_rng = loss_rng
+        self._tx_cache: dict = {}
         self.bytes_delivered = 0
         self.packets_delivered = 0
         self.packets_lost = 0
 
     def tx_time(self, pkt: Packet) -> int:
-        """Serialization delay for ``pkt`` in nanoseconds."""
-        return tx_time_ns(pkt.size, self.rate_bps)
+        """Serialization delay for ``pkt`` in nanoseconds (memoized by size)."""
+        size = pkt.size
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self._tx_cache[size] = tx_time_ns(size, self.rate_bps)
+        return tx
 
     def transmit(self, pkt: Packet, on_tx_done: Callable[[], None]) -> None:
         """Serialize ``pkt``, then propagate it to the far end.
@@ -74,15 +87,28 @@ class Link:
         ``on_tx_done`` fires when the last bit leaves the local interface
         (i.e. when the interface may start the next packet); delivery at the
         peer happens ``delay_ns`` later.
+
+        Both timer hops push heap entries directly (the expansion of
+        ``sim.call_later``): links schedule two events per packet per hop,
+        making this the single busiest scheduling site in the simulator.
         """
-        tx = self.tx_time(pkt)
-        self.sim.schedule(tx, self._tx_done, pkt, on_tx_done)
+        size = pkt.size
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self._tx_cache[size] = tx_time_ns(size, self.rate_bps)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(sim._heap, (sim.now + tx, seq, None, self._tx_done, (pkt, on_tx_done)))
 
     def _tx_done(self, pkt: Packet, on_tx_done: Callable[[], None]) -> None:
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
             self.packets_lost += 1
         else:
-            self.sim.schedule(self.delay_ns, self._deliver, pkt)
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            heappush(sim._heap, (sim.now + self.delay_ns, seq, None, self._deliver, (pkt,)))
         on_tx_done()
 
     def _deliver(self, pkt: Packet) -> None:

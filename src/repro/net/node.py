@@ -14,7 +14,7 @@ from typing import Dict, Optional, Protocol
 
 from repro.net.address import IPv4Address, Subnet
 from repro.net.interface import Interface
-from repro.net.packet import Packet
+from repro.net.packet import Packet, free_packet
 from repro.net.routing import RoutingTable
 from repro.sim.engine import Simulator
 
@@ -50,8 +50,9 @@ class Node:
                 return iface
         return None
 
-    def receive(self, pkt: Packet, iface: Interface) -> None:
-        """Handle a packet delivered by ``iface``."""
+    def receive(self, pkt: Packet, iface: Optional[Interface] = None) -> None:
+        """Handle a packet delivered by ``iface`` (optional; both node
+        kinds dispatch on the packet alone)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -64,6 +65,9 @@ class Host(Node):
     def __init__(self, sim: Simulator, name: str):
         super().__init__(sim, name)
         self._endpoints: Dict[int, FlowEndpoint] = {}
+        # Prebound dict.get: stays valid because _endpoints is only ever
+        # mutated in place.
+        self._endpoint_for = self._endpoints.get
         self.packets_received = 0
         self.packets_unroutable = 0
 
@@ -77,13 +81,16 @@ class Host(Node):
         """Remove a flow binding (idempotent)."""
         self._endpoints.pop(flow_id, None)
 
-    def receive(self, pkt: Packet, iface: Interface) -> None:
+    def receive(self, pkt: Packet, iface: Optional[Interface] = None) -> None:
         self.packets_received += 1
-        endpoint = self._endpoints.get(pkt.flow_id)
+        endpoint = self._endpoint_for(pkt.flow_id)
         if endpoint is None:
             self.packets_unroutable += 1
             return
         endpoint.handle_packet(pkt)
+        # Every packet terminates here; endpoints never retain the object,
+        # so it can be recycled for the next factory allocation.
+        free_packet(pkt)
 
     def primary_interface(self) -> Interface:
         """The single data interface of a paper-style host (one NIC per node)."""
@@ -101,6 +108,10 @@ class Router(Node):
     def __init__(self, sim: Simulator, name: str):
         super().__init__(sim, name)
         self.routing_table = RoutingTable()
+        # The table's exact-address result cache, shared by reference so the
+        # per-packet fast path below skips a method call.  add_route()
+        # clears it in place, which keeps this alias valid.
+        self._route_cache = self.routing_table._cache
         self.packets_forwarded = 0
         self.packets_unroutable = 0
 
@@ -110,10 +121,13 @@ class Router(Node):
             raise ValueError(f"route must egress a local interface, got {via}")
         self.routing_table.add_route(subnet, via)
 
-    def receive(self, pkt: Packet, iface: Interface) -> None:
-        egress = self.routing_table.lookup(pkt.dst)
+    def receive(self, pkt: Packet, iface: Optional[Interface] = None) -> None:
+        dst = pkt.dst
+        egress = self._route_cache.get(dst.value)
         if egress is None:
-            self.packets_unroutable += 1
-            return
+            egress = self.routing_table.lookup(dst)
+            if egress is None:
+                self.packets_unroutable += 1
+                return
         self.packets_forwarded += 1
         egress.send(pkt)

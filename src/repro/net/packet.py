@@ -10,11 +10,19 @@ Data segments carry the delivery-rate sampling fields BBR needs
 (``delivered``/``delivered_time`` snapshots taken at transmission); ACKs
 carry the cumulative ack, up to :data:`MAX_SACK_BLOCKS` SACK ranges, a
 timestamp echo for RTT sampling, and the ECN-echo flag.
+
+Hot-path notes: the factory functions (:func:`make_data_packet`,
+:func:`make_ack_packet`) draw from a bounded freelist instead of
+allocating, and assign every slot directly rather than going through
+``Packet.__init__``'s keyword machinery.  :class:`~repro.net.node.Host`
+returns consumed packets to the pool via :func:`free_packet` — a released
+packet must never be retained, since the next factory call may recycle
+and overwrite it.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 ACK_SIZE_BYTES = 60
 MAX_SACK_BLOCKS = 3
@@ -91,20 +99,58 @@ class Packet:
         return f"<{kind} flow={self.flow_id} seq={self.seq} size={self.size}>"
 
 
+# --- freelist ----------------------------------------------------------------
+
+#: Upper bound on pooled packets: enough for every packet in flight plus
+#: every queued packet in any realistic run, while bounding memory held
+#: by an idle pool.
+_POOL_CAP = 8192
+_pool: List[Packet] = []
+_pool_pop = _pool.pop
+_pool_append = _pool.append
+_new_packet = Packet.__new__
+
+
+def free_packet(pkt: Packet) -> None:
+    """Return a fully consumed packet to the freelist.
+
+    Callers guarantee no reference to ``pkt`` survives the call; the next
+    :func:`make_data_packet` / :func:`make_ack_packet` may recycle it.
+    """
+    if len(_pool) < _POOL_CAP:
+        _pool_append(pkt)
+
+
+def pool_size() -> int:
+    """Number of packets currently parked on the freelist (introspection)."""
+    return len(_pool)
+
+
 def make_data_packet(
     flow_id: int, src, dst, seq: int, mss: int, now: int, *, is_retx: bool = False, ecn_ect: bool = False
 ) -> Packet:
     """Build a data segment of ``mss`` wire bytes."""
-    return Packet(
-        flow_id,
-        src,
-        dst,
-        mss,
-        seq=seq,
-        send_time=now,
-        is_retx=is_retx,
-        ecn_ect=ecn_ect,
-    )
+    pkt = _pool_pop() if _pool else _new_packet(Packet)
+    pkt.flow_id = flow_id
+    pkt.src = src
+    pkt.dst = dst
+    pkt.size = mss
+    pkt.is_ack = False
+    pkt.seq = seq
+    pkt.ack = -1
+    pkt.sacks = ()
+    pkt.send_time = now
+    pkt.ts_echo = -1
+    pkt.is_retx = is_retx
+    pkt.delivered = 0
+    pkt.delivered_time = 0
+    pkt.first_sent_time = 0
+    pkt.app_limited = False
+    pkt.ecn_ect = ecn_ect
+    pkt.ecn_ce = False
+    pkt.ecn_echo = False
+    pkt.enqueue_time = 0
+    return pkt
 
 
 def make_ack_packet(
@@ -119,16 +165,24 @@ def make_ack_packet(
     ecn_echo: bool = False,
 ) -> Packet:
     """Build a pure ACK."""
-    pkt = Packet(
-        flow_id,
-        src,
-        dst,
-        ACK_SIZE_BYTES,
-        is_ack=True,
-        ack=ack,
-        sacks=sacks[:MAX_SACK_BLOCKS],
-        send_time=now,
-        ts_echo=ts_echo,
-    )
+    pkt = _pool_pop() if _pool else _new_packet(Packet)
+    pkt.flow_id = flow_id
+    pkt.src = src
+    pkt.dst = dst
+    pkt.size = ACK_SIZE_BYTES
+    pkt.is_ack = True
+    pkt.seq = -1
+    pkt.ack = ack
+    pkt.sacks = sacks[:MAX_SACK_BLOCKS]
+    pkt.send_time = now
+    pkt.ts_echo = ts_echo
+    pkt.is_retx = False
+    pkt.delivered = 0
+    pkt.delivered_time = 0
+    pkt.first_sent_time = 0
+    pkt.app_limited = False
+    pkt.ecn_ect = False
+    pkt.ecn_ce = False
     pkt.ecn_echo = ecn_echo
+    pkt.enqueue_time = 0
     return pkt

@@ -31,7 +31,7 @@ class RoutingTable:
 
     def lookup(self, dst: IPv4Address) -> Optional[Interface]:
         """Longest-prefix match; None when no route covers ``dst``."""
-        key = int(dst)
+        key = dst.value
         cached = self._cache.get(key)
         if cached is not None:
             return cached

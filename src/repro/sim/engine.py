@@ -1,36 +1,62 @@
 """The discrete-event simulation engine.
 
-A :class:`Simulator` owns a binary heap of pending :class:`Event` objects.
-Each event carries an absolute firing time in integer nanoseconds, a
-monotonically increasing sequence number (the deterministic tie-breaker for
-events scheduled at the same instant), and a callback.
+A :class:`Simulator` owns a binary heap of pending events.  Each heap
+entry is a 5-tuple ``(time, seq, event, fn, args)``: an absolute firing
+time in integer nanoseconds, a monotonically increasing sequence number
+(the deterministic tie-breaker for events scheduled at the same instant),
+an optional :class:`Event` handle, and the callback.  The ``(int, int)``
+key prefix compares in C, so heapq never calls back into Python for
+ordering.
 
-Events are cancellable: :meth:`Event.cancel` marks the event dead and the
-run loop skips it cheaply instead of re-heapifying.  This is the pattern
-TCP retransmission timers rely on (they are rescheduled on every ACK).
+Two scheduling tiers keep the hot path lean:
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle that supports :meth:`Event.cancel` — the pattern
+  TCP retransmission timers rely on (they are rescheduled on every ACK).
+- :meth:`Simulator.call_later` / :meth:`Simulator.call_at` are the
+  fire-and-forget tier: no handle is allocated at all, which is what the
+  per-packet datapath (link serialization, delivery) uses.
+
+Cancelled events are skipped lazily ("tombstones"), and the heap is
+compacted in place once tombstones outnumber live entries, so timer churn
+cannot degrade pop cost over a long run.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
+
+#: Compact the heap only when there are at least this many tombstones
+#: (small heaps never pay the scan) *and* they outnumber live entries.
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+    """A cancellable scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple, sim=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                # Inline of Simulator._note_cancel — cancel() runs once per
+                # rescheduled TCP timer, i.e. once per ACK.
+                n = sim._tombstones = sim._tombstones + 1
+                if n >= _COMPACT_MIN_TOMBSTONES and n * 2 > len(sim._heap):
+                    sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -40,6 +66,9 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time}ns seq={self.seq} {state} fn={getattr(self.fn, '__qualname__', self.fn)}>"
+
+
+_new_event = Event.__new__
 
 
 class Simulator:
@@ -56,36 +85,93 @@ class Simulator:
     [2, 1]
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "_events_processed")
+    __slots__ = ("now", "_heap", "_seq", "_running", "_events_processed", "_tombstones")
 
     def __init__(self) -> None:
         self.now: int = 0
-        # Heap entries are (time, seq, Event): the int pair compares in C,
-        # so heapq never falls back to Event.__lt__ (the hot path's cost).
         self._heap: list = []
         self._seq: int = 0
         self._running = False
         self._events_processed: int = 0
+        self._tombstones: int = 0
 
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now.  Cancellable."""
         if delay_ns < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, fn, *args)
+        time_ns = self.now + delay_ns
+        seq = self._seq
+        self._seq = seq + 1
+        # Direct slot assignment skips type.__call__/__init__ dispatch —
+        # measurable when millions of timers are armed.
+        ev = _new_event(Event)
+        ev.time = time_ns
+        ev.seq = seq
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
+        ev._sim = self
+        heappush(self._heap, (time_ns, seq, ev, fn, args))
+        return ev
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        """Schedule ``fn(*args)`` at absolute time ``time_ns``.  Cancellable."""
         if time_ns < self.now:
             raise ValueError(
                 f"cannot schedule at t={time_ns} before now={self.now}"
             )
         seq = self._seq
         self._seq = seq + 1
-        ev = Event(time_ns, seq, fn, args)
-        heapq.heappush(self._heap, (time_ns, seq, ev))
+        ev = _new_event(Event)
+        ev.time = time_ns
+        ev.seq = seq
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
+        ev._sim = self
+        heappush(self._heap, (time_ns, seq, ev, fn, args))
         return ev
+
+    def call_later(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` is allocated.
+
+        The per-packet datapath uses this tier; it is meaningfully cheaper
+        when millions of events are scheduled and none are ever cancelled.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay_ns})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + delay_ns, seq, None, fn, args))
+
+    def call_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time_ns, seq, None, fn, args))
+
+    # -- tombstone management ---------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Account a newly cancelled pending event; compact when dominated."""
+        n = self._tombstones = self._tombstones + 1
+        if n >= _COMPACT_MIN_TOMBSTONES and n * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones and restore the heap invariant."""
+        heap = self._heap
+        # In-place rebuild (slice assignment) so a run() loop holding a
+        # local reference to the list keeps seeing the live heap.
+        heap[:] = [e for e in heap if e[2] is None or not e[2].cancelled]
+        heapify(heap)
+        self._tombstones = 0
 
     # -- execution ------------------------------------------------------------
 
@@ -99,20 +185,41 @@ class Simulator:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
         heap = self._heap
-        pop = heapq.heappop
+        pop = heappop
+        fired = 0
         try:
-            while heap:
-                time_ns, _, ev = heap[0]
-                if ev.cancelled:
-                    pop(heap)
-                    continue
-                if until_ns is not None and time_ns > until_ns:
-                    break
-                pop(heap)
-                self.now = time_ns
-                self._events_processed += 1
-                ev.fn(*ev.args)
+            if until_ns is None:
+                while heap:
+                    time_ns, _, ev, fn, args = pop(heap)
+                    if ev is not None:
+                        if ev.cancelled:
+                            self._tombstones -= 1
+                            continue
+                        ev.cancelled = True  # consumed: later cancel() is a no-op
+                    self.now = time_ns
+                    fired += 1
+                    fn(*args)
+            else:
+                # Pop unconditionally and push back the single overshooting
+                # entry at the end — one heap operation per event instead of
+                # a peek + pop pair.
+                while heap:
+                    entry = pop(heap)
+                    time_ns = entry[0]
+                    if time_ns > until_ns:
+                        heappush(heap, entry)
+                        break
+                    ev = entry[2]
+                    if ev is not None:
+                        if ev.cancelled:
+                            self._tombstones -= 1
+                            continue
+                        ev.cancelled = True  # consumed
+                    self.now = time_ns
+                    fired += 1
+                    entry[3](*entry[4])
         finally:
+            self._events_processed += fired
             self._running = False
         if until_ns is not None and self.now < until_ns:
             self.now = until_ns
@@ -121,12 +228,15 @@ class Simulator:
         """Execute the single next pending event.  Returns False if none left."""
         heap = self._heap
         while heap:
-            time_ns, _, ev = heapq.heappop(heap)
-            if ev.cancelled:
-                continue
+            time_ns, _, ev, fn, args = heappop(heap)
+            if ev is not None:
+                if ev.cancelled:
+                    self._tombstones -= 1
+                    continue
+                ev.cancelled = True  # consumed
             self.now = time_ns
             self._events_processed += 1
-            ev.fn(*ev.args)
+            fn(*args)
             return True
         return False
 
@@ -145,6 +255,7 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Firing time of the next live event, or None if the heap is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and heap[0][2] is not None and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._tombstones -= 1
         return heap[0][0] if heap else None

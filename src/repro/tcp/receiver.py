@@ -66,11 +66,13 @@ class TcpReceiver:
         if seq == self.rcv_nxt:
             new_data = True
             self.rcv_nxt += 1
-            # Drain any contiguous out-of-order run.
-            drained = self._ooo.pop_first_if_starts_at(self.rcv_nxt)
-            if drained is not None:
-                self.rcv_nxt = drained[1]
-                self._forget_range(drained)
+            # Drain any contiguous out-of-order run (skip the call entirely
+            # in the common hole-free case).
+            if self._ooo:
+                drained = self._ooo.pop_first_if_starts_at(self.rcv_nxt)
+                if drained is not None:
+                    self.rcv_nxt = drained[1]
+                    self._forget_range(drained)
         elif seq > self.rcv_nxt:
             if seq in self._ooo:
                 self.duplicate_segments += 1
@@ -125,7 +127,7 @@ class TcpReceiver:
             self.remote_addr,
             self.rcv_nxt,
             self.clock(),
-            sacks=self._sack_blocks(),
+            sacks=self._sack_blocks() if self._recent_ranges else (),
             ts_echo=data_pkt.send_time,
             ecn_echo=data_pkt.ecn_ce,
         )

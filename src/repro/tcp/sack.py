@@ -14,6 +14,7 @@ per-ACK work stays proportional to what the ACK actually acknowledged.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -48,6 +49,16 @@ class Scoreboard:
         self.sacked_count = 0
         self._loss_scan = 0
         self._retx_queue: Deque[int] = deque()
+        # Disjoint sorted coverage of seq ranges already processed by
+        # apply_sacks (parallel start/end lists, ranges half-open).  SACK
+        # blocks repeat the same ranges on every ACK until the hole fills
+        # (RFC 2018); per-ACK work must only touch the *new* parts.  A
+        # covered seq can never need re-processing: only apply_sacks sets
+        # ``sacked``, cumulative removal never resurrects an entry, and new
+        # segments are always registered at/above snd_nxt, which bounds all
+        # prior coverage.
+        self._cov_starts: List[int] = []
+        self._cov_ends: List[int] = []
 
     # -- transmission ------------------------------------------------------------
 
@@ -82,27 +93,77 @@ class Scoreboard:
             self.pipe -= entry.copies
         if self._loss_scan < new_una:
             self._loss_scan = new_una
+        # Coverage below the new cumulative ack can never be consulted
+        # again (blocks are clamped to snd_una); prune to keep the bisects
+        # over a handful of ranges.
+        ends = self._cov_ends
+        if ends and ends[0] <= new_una:
+            starts = self._cov_starts
+            while ends and ends[0] <= new_una:
+                del starts[0]
+                del ends[0]
         return delivered
+
+    def _cover_add(self, lo: int, hi: int) -> None:
+        """Merge the half-open range [lo, hi) into the processed coverage."""
+        starts, ends = self._cov_starts, self._cov_ends
+        i = bisect_left(starts, lo)
+        if i > 0 and ends[i - 1] >= lo:
+            i -= 1
+            lo = starts[i]
+            if ends[i] > hi:
+                hi = ends[i]
+        j = i
+        n = len(starts)
+        while j < n and starts[j] <= hi:
+            if ends[j] > hi:
+                hi = ends[j]
+            j += 1
+        starts[i:j] = [lo]
+        ends[i:j] = [hi]
 
     def apply_sacks(
         self, sacks: Tuple[Tuple[int, int], ...], snd_una: int, snd_nxt: int
     ) -> List[SegmentSendState]:
         """Process SACK blocks; return send-states of newly SACKed segments."""
         delivered: List[SegmentSendState] = []
+        if not sacks:
+            return delivered
+        entries_get = self.entries.get
+        starts, ends = self._cov_starts, self._cov_ends
         for start, end in sacks:
-            lo = max(start, snd_una)
-            hi = min(end, snd_nxt)
-            for seq in range(lo, hi):
-                entry = self.entries.get(seq)
-                if entry is None or entry.sacked:
-                    continue
-                entry.sacked = True
-                self.sacked_count += 1
-                self.pipe -= entry.copies
-                entry.copies = 0
-                delivered.append(entry.send_state)
-                if seq > self.high_sacked:
-                    self.high_sacked = seq
+            lo = start if start > snd_una else snd_una
+            hi = end if end < snd_nxt else snd_nxt
+            if lo >= hi:
+                continue
+            # Walk only the uncovered gaps of [lo, hi); ascending order, so
+            # newly SACKed segments are delivered exactly as a full scan
+            # would produce them.
+            pos = lo
+            i = bisect_right(starts, pos) - 1
+            if i >= 0 and ends[i] > pos:
+                pos = ends[i]
+            i += 1
+            n = len(starts)
+            while pos < hi:
+                gap_end = starts[i] if i < n and starts[i] < hi else hi
+                for seq in range(pos, gap_end):
+                    entry = entries_get(seq)
+                    if entry is None or entry.sacked:
+                        continue
+                    entry.sacked = True
+                    self.sacked_count += 1
+                    self.pipe -= entry.copies
+                    entry.copies = 0
+                    delivered.append(entry.send_state)
+                    if seq > self.high_sacked:
+                        self.high_sacked = seq
+                if i < n and starts[i] < hi:
+                    pos = ends[i]
+                    i += 1
+                else:
+                    break
+            self._cover_add(lo, hi)
         return delivered
 
     # -- loss detection ------------------------------------------------------------

@@ -152,23 +152,25 @@ class TcpSender:
             round_start = True
 
         sample = sampler.finish_ack(now)
+        rtt = self.rtt
+        # Positional construction (fields in AckEvent declaration order);
+        # in_recovery is RECOVERY only — LOSS (post-RTO) slow start must
+        # still grow the window.
         ev = AckEvent(
-            now_ns=now,
-            newly_acked=newly_acked,
-            newly_sacked=newly_sacked,
-            newly_lost=newly_lost,
-            rtt_ns=self.rtt.latest_rtt_ns,
-            min_rtt_ns=self.rtt.min_rtt_ns,
-            srtt_ns=self.rtt.srtt_ns,
-            delivery_rate_pps=sample.delivery_rate_pps if sample else None,
-            is_app_limited=sample.is_app_limited if sample else False,
-            inflight=self.scoreboard.pipe,
-            round_start=round_start,
-            round_count=self.round_count,
-            # LOSS (post-RTO) slow start must grow the window; only fast
-            # recovery freezes growth.
-            in_recovery=self.state == RECOVERY,
-            total_delivered=sampler.delivered,
+            now,
+            newly_acked,
+            newly_sacked,
+            newly_lost,
+            rtt.latest_rtt_ns,
+            rtt.min_rtt_ns,
+            rtt.srtt_ns,
+            sample.delivery_rate_pps if sample else None,
+            sample.is_app_limited if sample else False,
+            self.scoreboard.pipe,
+            round_start,
+            self.round_count,
+            self.state == RECOVERY,
+            sampler.delivered,
         )
         self.cca.on_ack(ev)
         if pkt.ecn_echo:
@@ -198,11 +200,19 @@ class TcpSender:
             return
         now = self.sim.now
         pacing_rate = self.cca.pacing_rate_pps
+        scoreboard = self.scoreboard
+        total_segments = self.total_segments
+        # _cwnd_limit() and _has_new_data() inlined: this loop gates every
+        # single transmission.
+        cwnd = self.cca.cwnd
+        cwnd_limit = 1 if cwnd < 1 else int(cwnd)
         while True:
-            if self.scoreboard.pipe >= self._cwnd_limit():
+            if scoreboard.pipe >= cwnd_limit:
                 return
-            retx_seq = self.scoreboard.next_retx(self.snd_una)
-            if retx_seq is None and not self._has_new_data():
+            retx_seq = scoreboard.next_retx(self.snd_una)
+            if retx_seq is None and (
+                total_segments is not None and self.snd_nxt >= total_segments
+            ):
                 return
             if pacing_rate is not None and pacing_rate > 0:
                 if now < self._pacing_next_ns:

@@ -1,0 +1,179 @@
+"""Unit tests for the benchmark harness and its regression gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULT_TOLERANCE,
+    compare_reports,
+    config_hash,
+    find_baseline,
+    main,
+    run_benches,
+    write_report,
+)
+from repro.bench.workloads import WORKLOADS, WORKLOADS_BY_NAME
+
+
+def _report(benches, *, quick=False, date="2026-01-01", tag=""):
+    return {
+        "schema": 1,
+        "date": date,
+        "timestamp": f"{date}T00:00:00",
+        "tag": tag,
+        "quick": quick,
+        "host": {},
+        "benches": benches,
+    }
+
+
+def _bench(eps, config_hash="abc"):
+    return {
+        "events": 1000,
+        "checksum": 42,
+        "wall_s": 1000 / eps,
+        "events_per_sec": eps,
+        "peak_rss_kb": 1,
+        "config_hash": config_hash,
+        "repeats": 1,
+    }
+
+
+# --- comparison / gate logic -------------------------------------------------
+
+
+def test_compare_flags_synthetic_regression():
+    baseline = _report({"w": _bench(100_000.0)})
+    regressed = _report({"w": _bench(80_000.0)})
+    regressions, lines = compare_reports(regressed, baseline, tolerance=0.10)
+    assert len(regressions) == 1 and "w" in regressions[0]
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_compare_passes_within_tolerance():
+    baseline = _report({"w": _bench(100_000.0)})
+    slightly_slower = _report({"w": _bench(95_000.0)})
+    regressions, _ = compare_reports(slightly_slower, baseline, tolerance=0.10)
+    assert regressions == []
+
+
+def test_compare_speedup_is_never_a_regression():
+    baseline = _report({"w": _bench(100_000.0)})
+    faster = _report({"w": _bench(150_000.0)})
+    regressions, _ = compare_reports(faster, baseline)
+    assert regressions == []
+
+
+def test_compare_skips_mismatched_config_hash():
+    baseline = _report({"w": _bench(100_000.0, config_hash="old")})
+    new = _report({"w": _bench(10_000.0, config_hash="new")})
+    regressions, lines = compare_reports(new, baseline)
+    assert regressions == []
+    assert any("not comparable" in line for line in lines)
+
+
+def test_compare_skips_quick_vs_full():
+    baseline = _report({"w": _bench(100_000.0)}, quick=False)
+    new = _report({"w": _bench(10.0)}, quick=True)
+    regressions, lines = compare_reports(new, baseline)
+    assert regressions == []
+    assert any("mismatch" in line for line in lines)
+
+
+def test_compare_reports_new_and_missing_benches():
+    baseline = _report({"gone": _bench(1.0)})
+    new = _report({"fresh": _bench(1.0)})
+    regressions, lines = compare_reports(new, baseline)
+    assert regressions == []
+    assert any("new bench" in line for line in lines)
+    assert any("not in this run" in line for line in lines)
+
+
+def test_compare_rejects_bad_tolerance():
+    with pytest.raises(ValueError):
+        compare_reports(_report({}), _report({}), tolerance=1.0)
+
+
+# --- report files ------------------------------------------------------------
+
+
+def test_write_and_find_baseline(tmp_path):
+    p1 = write_report(_report({}, date="2026-01-01"), tmp_path)
+    p2 = write_report(_report({}, date="2026-01-02"), tmp_path, tag="opt")
+    assert p1.name == "BENCH_2026-01-01.json"
+    assert p2.name == "BENCH_2026-01-02_opt.json"
+    # Newest by mtime wins; exclude lets a fresh report find its predecessor.
+    assert find_baseline(tmp_path) == p2
+    assert find_baseline(tmp_path, exclude=p2) == p1
+    assert find_baseline(tmp_path / "nope") is None
+
+
+def test_config_hash_stability():
+    cfg = {"events": 100, "seed": 1}
+    assert config_hash(cfg) == config_hash(dict(reversed(list(cfg.items()))))
+    assert config_hash(cfg) != config_hash({"events": 101, "seed": 1})
+
+
+# --- end-to-end: main() exit codes -------------------------------------------
+
+
+def test_main_exits_nonzero_on_synthetic_regression(tmp_path, capsys):
+    """The committed acceptance check: a regressed run must gate (exit 1).
+
+    Run one real quick workload, then plant a baseline claiming the same
+    config hash ran 100x faster — main() must detect the regression.
+    """
+    out = tmp_path / "results"
+    rc = main(["--quick", "--only", "event_loop", "--repeats", "1",
+               "--out-dir", str(out), "--tag", "real"])
+    assert rc == 0  # no baseline yet: no gate
+    real = json.loads(find_baseline(out).read_text())
+    inflated = {
+        name: dict(b, events_per_sec=b["events_per_sec"] * 100)
+        for name, b in real["benches"].items()
+    }
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(_report(inflated, quick=True)))
+
+    rc = main(["--quick", "--only", "event_loop", "--repeats", "1",
+               "--no-write", "--baseline", str(baseline_path)])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # --no-gate reports but never fails.
+    rc = main(["--quick", "--only", "event_loop", "--repeats", "1",
+               "--no-gate", "--no-write", "--baseline", str(baseline_path)])
+    assert rc == 0
+
+
+def test_main_passes_against_honest_baseline(tmp_path):
+    out = tmp_path / "results"
+    assert main(["--quick", "--only", "timer_churn", "--repeats", "1",
+                 "--out-dir", str(out), "--tag", "a"]) == 0
+    # Second run compares against the first; same machine, generous budget.
+    assert main(["--quick", "--only", "timer_churn", "--repeats", "1",
+                 "--out-dir", str(out), "--tag", "b", "--tolerance", "0.9"]) == 0
+
+
+def test_main_rejects_unknown_workload(tmp_path):
+    assert main(["--only", "no_such_bench", "--no-write",
+                 "--out-dir", str(tmp_path)]) == 2
+
+
+def test_main_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for spec in WORKLOADS:
+        assert spec.name in out
+
+
+# --- workload determinism ----------------------------------------------------
+
+
+def test_workloads_are_deterministic_quick():
+    """Same seed => same (events, checksum) on back-to-back runs."""
+    for name in ("event_loop", "timer_churn"):
+        spec = WORKLOADS_BY_NAME[name]
+        assert spec.run(quick=True) == spec.run(quick=True)

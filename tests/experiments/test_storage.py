@@ -70,3 +70,62 @@ def test_creates_parent_dir(tmp_path):
     store = ResultStore(tmp_path / "deep" / "dir" / "r.jsonl")
     store.append(_result())
     assert store.path.exists()
+
+
+def test_append_reuses_one_handle(tmp_path):
+    """The write handle is opened once and reused across appends."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    assert store._fh is None
+    store.append(_result(1))
+    fh = store._fh
+    assert fh is not None
+    store.append(_result(2))
+    assert store._fh is fh
+    store.close()
+    assert store._fh is None
+    # Reopens transparently after close.
+    store.append(_result(3))
+    assert len(store.load()) == 3
+
+
+def test_store_context_manager_closes(tmp_path):
+    with ResultStore(tmp_path / "r.jsonl") as store:
+        store.append(_result(1))
+        assert store._fh is not None
+    assert store._fh is None
+    assert len(store.load()) == 1
+
+
+def _append_worker(path, seed_base, count):
+    store = ResultStore(path)
+    for i in range(count):
+        store.append(_result(seed_base + i))
+    store.close()
+
+
+def test_concurrent_appends_from_processes(tmp_path):
+    """Several processes appending to one file never corrupt a line.
+
+    Each store holds its own O_APPEND handle and writes whole flushed
+    lines, so interleaved appends from concurrent campaign shards must
+    all survive and parse.
+    """
+    import multiprocessing
+
+    path = tmp_path / "shared.jsonl"
+    workers, per_worker = 4, 25
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_append_worker, args=(path, w * 1000, per_worker))
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+        assert p.exitcode == 0
+
+    loaded = ResultStore(path).load()  # raises on any corrupt line
+    assert len(loaded) == workers * per_worker
+    seeds = sorted(r.config["seed"] for r in loaded)
+    assert seeds == sorted(w * 1000 + i for w in range(workers) for i in range(per_worker))

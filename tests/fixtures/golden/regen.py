@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures.
+
+Run from the repo root ONLY when a simulated-behavior change is intended
+(new algorithm constant, different drop logic, ...) — never to paper over
+a hot-path refactor that should have been behavior-preserving::
+
+    PYTHONPATH=src python tests/fixtures/golden/regen.py
+
+Each fixture is the full normalized ``ExperimentResult.to_dict()`` of one
+pinned-seed config from ``tests/helpers.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+_here = Path(__file__).resolve()
+_repo = _here.parents[3]
+sys.path.insert(0, str(_repo / "src"))
+sys.path.insert(0, str(_repo / "tests"))
+
+from helpers import GOLDEN_CONFIGS, golden_result_dict  # noqa: E402
+
+
+def main() -> int:
+    out_dir = _here.parent
+    for name in GOLDEN_CONFIGS:
+        d = golden_result_dict(name)
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(d, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {path} (events={d.get('events_processed')}, "
+              f"jain={d.get('jain_index'):.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

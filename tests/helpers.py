@@ -102,6 +102,59 @@ class LoopbackNet:
         self.sender.start(delay_ns)
 
 
+# --- golden-trace fixtures ---------------------------------------------------
+#
+# Pinned-seed configs whose full ExperimentResult dicts are frozen under
+# tests/fixtures/golden/.  One per AQM on the packet engine plus one fluid
+# run, so a hot-path "optimization" that changes any simulated outcome —
+# a drop, a mark, one segment — fails the exact-match test.  Regenerate
+# (only after an *intended* behavior change) with:
+#
+#     PYTHONPATH=src python tests/fixtures/golden/regen.py
+
+GOLDEN_CONFIGS = {
+    "packet_fifo": dict(
+        cca_pair=("cubic", "reno"), aqm="fifo", engine="packet"),
+    "packet_red": dict(
+        cca_pair=("bbrv1", "cubic"), aqm="red", engine="packet"),
+    "packet_codel": dict(
+        cca_pair=("cubic", "cubic"), aqm="codel", engine="packet"),
+    "packet_fq_codel": dict(
+        cca_pair=("bbrv2", "cubic"), aqm="fq_codel", engine="packet"),
+    "packet_pie": dict(
+        cca_pair=("htcp", "cubic"), aqm="pie", engine="packet"),
+    "fluid_fifo": dict(
+        cca_pair=("cubic", "cubic"), aqm="fifo", engine="fluid",
+        bottleneck_bw_bps=500e6, duration_s=10.0),
+}
+
+GOLDEN_DEFAULTS = dict(
+    bottleneck_bw_bps=50e6,
+    buffer_bdp=2.0,
+    duration_s=3.0,
+    mss_bytes=1500,
+    seed=7,
+    flows_per_node=1,
+)
+
+
+def golden_config(name: str):
+    """Build the pinned ExperimentConfig for one golden fixture."""
+    from repro.experiments.config import ExperimentConfig
+
+    params = {**GOLDEN_DEFAULTS, **GOLDEN_CONFIGS[name]}
+    return ExperimentConfig(**params)
+
+
+def golden_result_dict(name: str) -> dict:
+    """Run one golden config and return its normalized result dict."""
+    from repro.experiments.runner import run_experiment
+
+    d = run_experiment(golden_config(name)).to_dict()
+    d.pop("wallclock_s", None)  # host-dependent, never comparable
+    return d
+
+
 def drop_seqs(*seqs: int) -> Callable[[Packet], bool]:
     """Drop hook dropping the FIRST transmission of the given seqs."""
     pending = set(seqs)

@@ -1,0 +1,40 @@
+"""Golden-trace regression tests.
+
+Each pinned-seed config's full ``ExperimentResult`` is frozen as JSON
+under ``tests/fixtures/golden/``; the simulator must reproduce it **bit
+for bit**.  This is the contract that lets the packet-engine hot path be
+refactored aggressively: any change to what is simulated — one extra
+drop, a different ECN mark, a reordered event — fails here, while pure
+speedups pass untouched.
+
+Regenerate (only for intended behavior changes):
+
+    PYTHONPATH=src python tests/fixtures/golden/regen.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from helpers import GOLDEN_CONFIGS, golden_result_dict
+
+FIXTURE_DIR = Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+def test_golden_trace_exact_match(name):
+    fixture_path = FIXTURE_DIR / f"{name}.json"
+    assert fixture_path.exists(), (
+        f"missing golden fixture {fixture_path}; run "
+        "`PYTHONPATH=src python tests/fixtures/golden/regen.py`"
+    )
+    expected = json.loads(fixture_path.read_text(encoding="utf-8"))
+    actual = golden_result_dict(name)
+    # json round-trip the actual dict so tuples/lists and int/float
+    # representations are compared in their serialized form.
+    actual = json.loads(json.dumps(actual))
+    assert actual == expected, (
+        f"golden trace {name!r} diverged — a supposedly behavior-preserving "
+        "change altered simulation results"
+    )
