@@ -61,6 +61,15 @@ def runs_table(results: ResultSet) -> List[Dict[str, Any]]:
             total_retransmits=r.total_retransmits,
             bottleneck_drops=r.bottleneck_drops,
         )
+        # Telemetry annotations (present when the run had --telemetry on);
+        # scalar-only, so the CSV stays pandas-loadable either way.
+        obs = r.extra.get("obs") if isinstance(r.extra, dict) else None
+        if obs:
+            row.update(
+                obs_events_per_sec=obs.get("events_per_sec"),
+                obs_peak_rss_kb=obs.get("peak_rss_kb"),
+                obs_trace_events=obs.get("trace_events"),
+            )
         rows.append(row)
     return rows
 

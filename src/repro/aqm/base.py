@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net.packet import Packet
+from repro.sim.trace import NULL_TRACER
 
 
 class QueueStats:
@@ -61,7 +62,7 @@ class QueueStats:
 class QueueDiscipline:
     """Abstract base.  Subclasses implement enqueue/dequeue."""
 
-    __slots__ = ("limit_bytes", "ecn_mode", "bytes_queued", "packets_queued", "stats")
+    __slots__ = ("limit_bytes", "ecn_mode", "bytes_queued", "packets_queued", "stats", "tracer")
 
     def __init__(self, limit_bytes: int, *, ecn_mode: bool = False):
         if limit_bytes <= 0:
@@ -71,6 +72,9 @@ class QueueDiscipline:
         self.bytes_queued = 0
         self.packets_queued = 0
         self.stats = QueueStats()
+        # Flight-recorder hook; consulted only on drop paths, so disabled
+        # tracing costs nothing on the accept/dequeue fast path.
+        self.tracer = NULL_TRACER
 
     # -- required API -----------------------------------------------------------
 
@@ -96,16 +100,30 @@ class QueueDiscipline:
         self.packets_queued -= 1
         self.stats.dequeued += 1
 
-    def _drop_enqueue(self, pkt: Packet) -> None:
+    def _drop_enqueue(self, pkt: Packet, now: int = -1) -> None:
         self.stats.dropped_enqueue += 1
         self.stats.bytes_dropped += pkt.size
+        if self.tracer.enabled:
+            self.tracer.record(
+                "queue_drop", now, point="enqueue", flow=pkt.flow_id, seq=pkt.seq
+            )
 
-    def _drop_dequeue(self, pkt: Packet) -> None:
+    def _drop_dequeue(self, pkt: Packet, now: int = -1) -> None:
         # Packet was queued; remove its accounting and record the drop.
         self.bytes_queued -= pkt.size
         self.packets_queued -= 1
         self.stats.dropped_dequeue += 1
         self.stats.bytes_dropped += pkt.size
+        if self.tracer.enabled:
+            # now defaults to the packet's enqueue time when the drop site
+            # has no clock in scope (good enough for post-mortems).
+            self.tracer.record(
+                "queue_drop",
+                now if now >= 0 else pkt.enqueue_time,
+                point="dequeue",
+                flow=pkt.flow_id,
+                seq=pkt.seq,
+            )
 
     def _try_mark(self, pkt: Packet) -> bool:
         """ECN-mark instead of dropping, when enabled and the packet is ECT."""

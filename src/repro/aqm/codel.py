@@ -142,6 +142,10 @@ class CoDelQueue(QueueDiscipline):
         if self.bytes_queued + size > self.limit_bytes:
             stats.dropped_enqueue += 1
             stats.bytes_dropped += size
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "queue_drop", now, point="tail", flow=pkt.flow_id, seq=pkt.seq
+                )
             return False
         pkt.enqueue_time = now
         self.bytes_queued += size
@@ -166,6 +170,13 @@ class CoDelQueue(QueueDiscipline):
         # _pop already removed the packet from backlog accounting.
         self.stats.dropped_dequeue += 1
         self.stats.bytes_dropped += pkt.size
+        if self.tracer.enabled:
+            # No clock in scope here: stamp with the victim's enqueue time
+            # (the sojourn start), which is what CoDel judged it by.
+            self.tracer.record(
+                "queue_drop", pkt.enqueue_time, point="codel",
+                flow=pkt.flow_id, seq=pkt.seq,
+            )
 
     def dequeue(self, now: int) -> Optional[Packet]:
         """Pop through the CoDel sojourn-based drop law."""

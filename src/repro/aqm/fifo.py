@@ -32,6 +32,10 @@ class FifoQueue(QueueDiscipline):
         if self.bytes_queued + size > self.limit_bytes:
             stats.dropped_enqueue += 1
             stats.bytes_dropped += size
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "queue_drop", now, point="tail", flow=pkt.flow_id, seq=pkt.seq
+                )
             return False
         pkt.enqueue_time = now
         self.bytes_queued += size

@@ -135,6 +135,11 @@ class FqCoDelQueue(QueueDiscipline):
         self.packets_queued -= 1
         self.stats.dropped_enqueue += 1
         self.stats.bytes_dropped += victim.size
+        if self.tracer.enabled:
+            self.tracer.record(
+                "queue_drop", victim.enqueue_time, point="evict",
+                flow=victim.flow_id, seq=victim.seq, bucket=bid,
+            )
 
     # -- discipline API -----------------------------------------------------------
 
@@ -221,6 +226,12 @@ class FqCoDelQueue(QueueDiscipline):
     def _on_codel_drop(self, pkt: Packet) -> None:
         self.stats.dropped_dequeue += 1
         self.stats.bytes_dropped += pkt.size
+        if self.tracer.enabled:
+            # Stamped with the sojourn start (see CoDelQueue._on_codel_drop).
+            self.tracer.record(
+                "queue_drop", pkt.enqueue_time, point="codel",
+                flow=pkt.flow_id, seq=pkt.seq,
+            )
 
     @property
     def active_buckets(self) -> int:

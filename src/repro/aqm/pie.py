@@ -154,11 +154,19 @@ class PieQueue(QueueDiscipline):
         if self.bytes_queued + size > self.limit_bytes:
             stats.dropped_enqueue += 1
             stats.bytes_dropped += size
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "queue_drop", now, point="tail", flow=pkt.flow_id, seq=pkt.seq
+                )
             return False
         if self._should_drop(pkt):
             if not self._try_mark(pkt):
                 stats.dropped_enqueue += 1
                 stats.bytes_dropped += size
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "queue_drop", now, point="early", flow=pkt.flow_id, seq=pkt.seq
+                    )
                 return False
         pkt.enqueue_time = now
         self.bytes_queued += size

@@ -156,6 +156,10 @@ class RedQueue(QueueDiscipline):
             stats.dropped_enqueue += 1
             stats.bytes_dropped += size
             self._count = 0
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "queue_drop", now, point="tail", flow=pkt.flow_id, seq=pkt.seq
+                )
             return False
         # No-drop regime (avg below min_th) short-circuits the lottery.
         if self.avg < self.min_th:
@@ -166,6 +170,10 @@ class RedQueue(QueueDiscipline):
             else:
                 stats.dropped_enqueue += 1
                 stats.bytes_dropped += size
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "queue_drop", now, point="early", flow=pkt.flow_id, seq=pkt.seq
+                    )
                 return False
         pkt.enqueue_time = now
         self.bytes_queued += size

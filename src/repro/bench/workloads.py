@@ -94,6 +94,34 @@ def single_flow_datapath(duration_s: float, bw_mbps: float = 20.0) -> Tuple[int,
     return db.sim.events_processed, conn.receiver.bytes_received
 
 
+def datapath_obs_disabled(duration_s: float, bw_mbps: float = 20.0) -> Tuple[int, int]:
+    """``single_flow_datapath`` with disabled telemetry wired in.
+
+    Regression gate for the telemetry subsystem's core promise: wiring a
+    *disabled* registry plus the null tracer into the full stack must not
+    slow the datapath.  Compare this row against ``single_flow_datapath``
+    in the same report — the events/sec should match within noise, and the
+    baseline comparison catches anyone sneaking per-packet work into the
+    disabled path.
+    """
+    from repro.cca.registry import make_cca
+    from repro.obs.instrument import instrument_experiment
+    from repro.obs.metrics import MetricsRegistry
+    from repro.tcp.connection import open_connection
+    from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+    from repro.units import mbps, seconds
+
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(bw_mbps), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500, flow_id=1)
+    registry = MetricsRegistry(enabled=False)
+    instrument_experiment(registry, db, [conn.sender], cwnd_interval_ns=None)
+    conn.start()
+    db.network.run(seconds(duration_s))
+    return db.sim.events_processed, conn.receiver.bytes_received
+
+
 def contended_datapath_aqm(duration_s: float, aqm: str, bw_mbps: float = 20.0) -> Tuple[int, int]:
     """Two competing flows (BBRv1 vs CUBIC) through a non-trivial AQM.
 
@@ -154,6 +182,12 @@ WORKLOADS: Tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
         "single_flow_datapath",
         single_flow_datapath,
+        params={"duration_s": 5.0},
+        quick_params={"duration_s": 5.0 / QUICK_FACTOR},
+    ),
+    WorkloadSpec(
+        "datapath_obs_disabled",
+        datapath_obs_disabled,
         params={"duration_s": 5.0},
         quick_params={"duration_s": 5.0 / QUICK_FACTOR},
     ),

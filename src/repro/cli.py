@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
@@ -30,13 +31,23 @@ from repro.analysis.report import (
 )
 from repro.analysis.table3 import build_table3, render_table3
 from repro.analysis.validate import render_claims, validate_claims
-from repro.experiments.campaign import print_progress, run_campaign
+from repro.experiments.campaign import CampaignProgress, run_campaign
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.matrix import full_matrix
 from repro.experiments.presets import PRESETS, get_preset
 from repro.experiments.runner import run_experiment
 from repro.experiments.storage import ResultStore
+from repro.obs.cli import add_obs_parser
+from repro.obs.session import DEFAULT_TELEMETRY_DIR, TelemetryOptions
 from repro.units import format_rate
+
+
+def _telemetry_options(args: argparse.Namespace) -> Optional[TelemetryOptions]:
+    """Build TelemetryOptions from run/sweep flags; None when telemetry is off."""
+    trace_dump = bool(getattr(args, "trace_dump", False))
+    if not args.telemetry and not trace_dump:
+        return None
+    return TelemetryOptions(dir=args.telemetry_dir, trace_dump=trace_dump)
 
 
 def parse_rate(text: str) -> float:
@@ -65,7 +76,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         flows_per_node=args.flows,
     )
-    result = run_experiment(cfg)
+    telemetry = _telemetry_options(args)
+    result = run_experiment(cfg, telemetry)
     print(f"config      : {cfg.label()}")
     print(f"engine      : {result.engine}")
     for s in result.senders:
@@ -75,6 +87,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"retransmits : {result.total_retransmits}")
     print(f"drops       : {result.bottleneck_drops}")
     print(f"wallclock   : {result.wallclock_s:.2f}s")
+    obs = result.extra.get("obs") if isinstance(result.extra, dict) else None
+    if obs:
+        print(f"run log     : {obs['run_log']} ({obs['events_per_sec']:.0f} ev/s)")
     return 0
 
 
@@ -83,15 +98,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.limit:
         configs = configs[: args.limit]
     store = ResultStore(args.out) if args.out else None
-    results = run_campaign(
-        configs,
-        store=store,
-        jobs=args.jobs,
-        resume=not args.no_resume,
-        progress=print_progress if not args.quiet else None,
+    telemetry = _telemetry_options(args)
+    campaign_log = (
+        Path(telemetry.dir) / "campaign.jsonl" if telemetry is not None else None
     )
-    print(f"completed {len(results)} runs")
-    return 0
+    tracker = CampaignProgress(campaign_log, quiet=args.quiet)
+    try:
+        results = run_campaign(
+            configs,
+            store=store,
+            jobs=args.jobs,
+            resume=not args.no_resume,
+            progress=tracker,
+            on_failure=tracker.failure,
+            telemetry=telemetry,
+        )
+    finally:
+        tracker.close()
+    counts = results.summary()
+    print(f"completed {counts['ok']} runs" + (f", {counts['failed']} FAILED" if counts["failed"] else ""))
+    return 2 if counts["failed"] else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -186,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--engine", default="packet", choices=["packet", "fluid"])
     p_run.add_argument("--scale", type=float, default=1.0, help="divide all link rates by this")
     p_run.add_argument("--flows", type=int, default=None, help="flows per sender node (default: Table 2)")
+    p_run.add_argument("--telemetry", action="store_true", help="write a JSONL run log + manifest")
+    p_run.add_argument("--telemetry-dir", default=DEFAULT_TELEMETRY_DIR, help="run log directory")
+    p_run.add_argument(
+        "--trace-dump",
+        action="store_true",
+        help="dump the flight-recorder window after the run (implies --telemetry)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a preset campaign")
@@ -195,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--limit", type=int, default=0, help="run only the first N configs")
     p_sweep.add_argument("--no-resume", action="store_true")
     p_sweep.add_argument("--quiet", action="store_true")
+    p_sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="per-run JSONL logs + live campaign.jsonl in --telemetry-dir",
+    )
+    p_sweep.add_argument("--telemetry-dir", default=DEFAULT_TELEMETRY_DIR, help="run log directory")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="render tables/figures from stored results")
@@ -219,6 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="describe the experiment grid and presets")
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    add_obs_parser(sub)
 
     p_bench = sub.add_parser(
         "bench",

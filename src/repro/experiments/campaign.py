@@ -5,24 +5,135 @@ The paper's study is embarrassingly parallel across its 810 configurations;
 CPU-bound pure Python, so processes, not threads) and streams results into
 a :class:`~repro.experiments.storage.ResultStore` as they complete, which
 makes interrupted sweeps resumable.
+
+A worker raising no longer aborts the pool: the exception is captured as a
+:class:`FailedRun` row (with the traceback string), appended to a sibling
+``<store>.failures.jsonl`` file, and counted in the returned
+:class:`CampaignResult`.  Failed configs are *not* written to the result
+store, so a resumed campaign retries them.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import sys
-from typing import Callable, List, Optional, Sequence
+import time
+import traceback as _traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.storage import ResultStore
 from repro.metrics.summary import ExperimentResult
+from repro.obs.session import TelemetryOptions
+
+
+@dataclass
+class FailedRun:
+    """One configuration that raised instead of producing a result."""
+
+    config: Dict[str, Any]
+    label: str
+    error: str
+    traceback: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, one line of ``<store>.failures.jsonl``."""
+        return {
+            "config": self.config,
+            "label": self.label,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FailedRun":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            config=d["config"],
+            label=d["label"],
+            error=d["error"],
+            traceback=d.get("traceback", ""),
+        )
+
+
+class CampaignResult(List[ExperimentResult]):
+    """Completion-ordered results plus the failures captured along the way.
+
+    A plain list subclass so existing callers (``len``, iteration,
+    indexing) keep working unchanged.
+    """
+
+    def __init__(self, results: Optional[Sequence[ExperimentResult]] = None):
+        super().__init__(results or [])
+        self.failures: List[FailedRun] = []
+
+    def summary(self) -> Dict[str, int]:
+        """Counts for campaign-end reporting: ok / failed / total."""
+        return {
+            "ok": len(self),
+            "failed": len(self.failures),
+            "total": len(self) + len(self.failures),
+        }
+
+
+def failures_path(store: ResultStore) -> Path:
+    """Sibling JSONL file holding :class:`FailedRun` rows for ``store``.
+
+    Kept out of the main store file, whose loader treats every line as an
+    :class:`ExperimentResult`.
+    """
+    return store.path.with_suffix(".failures.jsonl")
+
+
+def _append_failure(store: Optional[ResultStore], failure: FailedRun) -> None:
+    if store is None:
+        return
+    path = failures_path(store)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(failure.to_dict(), sort_keys=True) + "\n")
+        fh.flush()
+
+
+def load_failures(store: ResultStore) -> List[FailedRun]:
+    """Read the failure rows recorded alongside ``store`` (empty if none)."""
+    path = failures_path(store)
+    if not path.exists():
+        return []
+    rows: List[FailedRun] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(FailedRun.from_dict(json.loads(line)))
+    return rows
 
 
 def _run_one(config_dict: dict) -> dict:
     """Pool worker: dict in, dict out (cheap to pickle)."""
     result = run_experiment(ExperimentConfig.from_dict(config_dict))
     return result.to_dict()
+
+
+def _run_one_safe(payload: tuple) -> dict:
+    """Exception-capturing pool worker: tagged ``ok``/``err`` dict out."""
+    config_dict, telemetry_dict = payload
+    telemetry = TelemetryOptions.from_dict(telemetry_dict) if telemetry_dict else None
+    try:
+        result = run_experiment(ExperimentConfig.from_dict(config_dict), telemetry)
+        return {"ok": result.to_dict()}
+    except Exception as exc:
+        return {
+            "err": FailedRun(
+                config=config_dict,
+                label=ExperimentConfig.from_dict(config_dict).label(),
+                error=repr(exc),
+                traceback=_traceback.format_exc(),
+            ).to_dict()
+        }
 
 
 def run_campaign(
@@ -32,27 +143,32 @@ def run_campaign(
     jobs: int = 1,
     resume: bool = True,
     progress: Optional[Callable[[int, int, ExperimentResult], None]] = None,
-) -> List[ExperimentResult]:
+    on_failure: Optional[Callable[[int, int, FailedRun], None]] = None,
+    telemetry: Optional[TelemetryOptions] = None,
+) -> CampaignResult:
     """Run every config; returns results in completion order.
 
     With ``store`` and ``resume``, configs whose label already exists in
     the store are skipped and their stored results returned instead.
+    ``progress``/``on_failure`` fire per completed config with a shared
+    ``finished`` count covering both outcomes.  ``telemetry`` is handed to
+    every worker, giving each run its own JSONL run log.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
 
-    done: List[ExperimentResult] = []
+    done = CampaignResult()
     todo: List[ExperimentConfig] = list(configs)
     if store is not None and resume:
         have = store.completed_labels()
         if have:
             wanted = {c.label() for c in todo}
-            done = [
+            done.extend(
                 r
                 for r in store
                 if ExperimentConfig.from_dict(r.config).label() in wanted
                 and ExperimentConfig.from_dict(r.config).label() in have
-            ]
+            )
             todo = [c for c in todo if c.label() not in have]
 
     total = len(todo)
@@ -67,15 +183,41 @@ def run_campaign(
         if progress is not None:
             progress(finished, total, result)
 
+    def _record_failure(failure: FailedRun) -> None:
+        nonlocal finished
+        finished += 1
+        done.failures.append(failure)
+        _append_failure(store, failure)
+        if on_failure is not None:
+            on_failure(finished, total, failure)
+
+    telemetry_dict = telemetry.to_dict() if telemetry is not None else None
+
     if jobs == 1 or total <= 1:
         for cfg in todo:
-            _record(run_experiment(cfg))
+            try:
+                result = run_experiment(cfg, telemetry)
+            except Exception as exc:
+                _record_failure(
+                    FailedRun(
+                        config=cfg.to_dict(),
+                        label=cfg.label(),
+                        error=repr(exc),
+                        traceback=_traceback.format_exc(),
+                    )
+                )
+                continue
+            _record(result)
         return done
 
     ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
+    payloads = [(c.to_dict(), telemetry_dict) for c in todo]
     with ctx.Pool(processes=jobs) as pool:
-        for result_dict in pool.imap_unordered(_run_one, [c.to_dict() for c in todo]):
-            _record(ExperimentResult.from_dict(result_dict))
+        for tagged in pool.imap_unordered(_run_one_safe, payloads):
+            if "ok" in tagged:
+                _record(ExperimentResult.from_dict(tagged["ok"]))
+            else:
+                _record_failure(FailedRun.from_dict(tagged["err"]))
     return done
 
 
@@ -88,3 +230,82 @@ def print_progress(finished: int, total: int, result: ExperimentResult) -> None:
         f"retx={result.total_retransmits} ({result.wallclock_s:.1f}s)",
         flush=True,
     )
+
+
+def print_failure(finished: int, total: int, failure: FailedRun) -> None:
+    """Failure-side companion to :func:`print_progress`."""
+    print(
+        f"[{finished}/{total}] {failure.label}: FAILED {failure.error}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+class CampaignProgress:
+    """Live campaign progress: events/sec, ETA, and optional JSONL feed.
+
+    Wraps the plain print callbacks with wall-clock bookkeeping.  Pass the
+    instance itself as ``progress=`` and its :meth:`failure` method as
+    ``on_failure=``.  With ``log_path`` set, every completion also appends
+    a ``campaign_progress`` record (see ``docs/OBSERVABILITY.md``) that
+    ``repro obs tail`` renders.
+    """
+
+    def __init__(
+        self,
+        log_path: Optional[Path] = None,
+        *,
+        quiet: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._clock = clock
+        self._start = clock()
+        self._events = 0
+        self._failed = 0
+        self._quiet = quiet
+        self._writer = None
+        if log_path is not None:
+            from repro.obs.runlog import RunLogWriter
+
+            self._writer = RunLogWriter(log_path)
+
+    def _eta_s(self, finished: int, total: int) -> float:
+        elapsed = self._clock() - self._start
+        if finished == 0 or finished >= total:
+            return 0.0
+        return elapsed / finished * (total - finished)
+
+    def _emit(self, finished: int, total: int, label: str) -> None:
+        if self._writer is not None:
+            elapsed = self._clock() - self._start
+            self._writer.write(
+                "campaign_progress",
+                finished=finished,
+                total=total,
+                failed=self._failed,
+                label=label,
+                eta_s=self._eta_s(finished, total),
+                events_per_sec=self._events / elapsed if elapsed > 0 else 0.0,
+            )
+
+    def __call__(self, finished: int, total: int, result: ExperimentResult) -> None:
+        self._events += result.events_processed
+        if not self._quiet:
+            print_progress(finished, total, result)
+            eta = self._eta_s(finished, total)
+            if eta:
+                print(f"    eta ~{eta:.0f}s", flush=True)
+        self._emit(finished, total, ExperimentConfig.from_dict(result.config).label())
+
+    def failure(self, finished: int, total: int, failure: FailedRun) -> None:
+        """``on_failure`` companion callback to ``__call__``."""
+        self._failed += 1
+        if not self._quiet:
+            print_failure(finished, total, failure)
+        self._emit(finished, total, failure.label)
+
+    def close(self) -> None:
+        """Close the campaign.jsonl writer, if one was opened."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

@@ -11,7 +11,7 @@ dispatched to :mod:`repro.fluid.runner`.
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.cca.registry import make_cca
 from repro.experiments.config import ExperimentConfig
@@ -20,6 +20,7 @@ from repro.metrics.queue_monitor import QueueMonitor
 from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
 from repro.metrics.timeseries import ThroughputSampler
 from repro.metrics.utilization import link_utilization
+from repro.obs.session import TelemetryOptions, TelemetrySession
 from repro.tcp.connection import Connection, open_connection
 from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
 from repro.units import milliseconds, seconds
@@ -28,18 +29,59 @@ from repro.units import milliseconds, seconds
 #: process spawns (and desynchronizing slow-start among parallel streams).
 START_JITTER_NS = milliseconds(100)
 
+#: Cadence (simulated time) of run-log progress records when telemetry is on.
+PROGRESS_INTERVAL_NS = seconds(1)
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one configuration with the engine it names."""
+
+def run_experiment(
+    config: ExperimentConfig,
+    telemetry: Optional[TelemetryOptions] = None,
+) -> ExperimentResult:
+    """Execute one configuration with the engine it names.
+
+    ``telemetry``, when given, opens a :class:`TelemetrySession` around the
+    run: manifest + metrics + summary records go to a JSONL run log, and a
+    failure dumps the flight-recorder window.  Telemetry is deliberately
+    *not* part of :class:`ExperimentConfig` — it never perturbs outcomes
+    (every flow/queue statistic is bit-identical with it on or off; only
+    ``events_processed`` additionally counts the sampler's timer events).
+    """
     if config.engine == "fluid":
         from repro.fluid.runner import run_fluid_experiment
 
-        return run_fluid_experiment(config)
-    return run_packet_experiment(config)
+        session = TelemetrySession.start(config, telemetry)
+        if session is None:
+            return run_fluid_experiment(config)
+        try:
+            result = run_fluid_experiment(config)
+        except Exception as exc:
+            session.record_failure(exc)
+            raise
+        session.finish(result)
+        return result
+    return run_packet_experiment(config, telemetry=telemetry)
 
 
-def run_packet_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_packet_experiment(
+    config: ExperimentConfig,
+    telemetry: Optional[TelemetryOptions] = None,
+) -> ExperimentResult:
     """Packet-level (discrete-event) execution of one configuration."""
+    session = TelemetrySession.start(config, telemetry)
+    if session is None:
+        return _execute_packet(config, None)
+    try:
+        result = _execute_packet(config, session)
+    except Exception as exc:
+        session.record_failure(exc)
+        raise
+    session.finish(result)
+    return result
+
+
+def _execute_packet(
+    config: ExperimentConfig, session: Optional[TelemetrySession]
+) -> ExperimentResult:
     wall_start = time.perf_counter()
     dumbbell = build_dumbbell(
         DumbbellConfig(
@@ -82,6 +124,17 @@ def run_packet_experiment(config: ExperimentConfig) -> ExperimentResult:
             next_fid += 1
             conn.start(delay_ns=int(start_rng.uniform(0, START_JITTER_NS)))
             connections[node_idx].append(conn)
+
+    if session is not None:
+        senders = [conn.sender for conns in connections for conn in conns]
+        session.instrument(dumbbell, senders)
+        sim = net.sim
+
+        def _progress() -> None:
+            session.progress(sim.now / 1e9)
+            sim.call_later(PROGRESS_INTERVAL_NS, _progress)
+
+        sim.call_later(PROGRESS_INTERVAL_NS, _progress)
 
     # Snapshot byte counters at the warmup boundary so excluded-warmup
     # throughput only counts bytes delivered inside the measured window.

@@ -103,6 +103,28 @@ class Interface:
     def is_busy(self) -> bool:
         return self._busy
 
+    def telemetry(self) -> dict:
+        """Egress-point snapshot: qdisc counters + link counters + state.
+
+        Pull-based aggregation over counters the datapath already keeps —
+        reading it costs nothing on the per-packet path.
+        """
+        out: dict = {"interface": f"{self.node.name}:{self.name}", "busy": self._busy}
+        if self.qdisc is not None:
+            stats = self.qdisc.stats
+            out["queue"] = {
+                "backlog_bytes": self.qdisc.bytes_queued,
+                "backlog_packets": self.qdisc.packets_queued,
+                "enqueued": stats.enqueued,
+                "dequeued": stats.dequeued,
+                "dropped_enqueue": stats.dropped_enqueue,
+                "dropped_dequeue": stats.dropped_dequeue,
+                "ecn_marked": stats.ecn_marked,
+            }
+        if self.link is not None:
+            out["link"] = self.link.telemetry()
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover
         addr = f" {self.address}" if self.address is not None else ""
         return f"<Interface {self.node.name}:{self.name}{addr}>"

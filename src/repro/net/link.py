@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER
 from repro.units import tx_time_ns
 
 
@@ -40,6 +41,7 @@ class Link:
         "bytes_delivered",
         "packets_delivered",
         "packets_lost",
+        "tracer",
     )
 
     def __init__(
@@ -72,6 +74,8 @@ class Link:
         self.bytes_delivered = 0
         self.packets_delivered = 0
         self.packets_lost = 0
+        # Flight-recorder hook; only consulted on the (rare) loss path.
+        self.tracer = NULL_TRACER
 
     def tx_time(self, pkt: Packet) -> int:
         """Serialization delay for ``pkt`` in nanoseconds (memoized by size)."""
@@ -104,6 +108,11 @@ class Link:
     def _tx_done(self, pkt: Packet, on_tx_done: Callable[[], None]) -> None:
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
             self.packets_lost += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "link_loss", self.sim.now,
+                    link=self.name, flow=pkt.flow_id, seq=pkt.seq,
+                )
         else:
             sim = self.sim
             seq = sim._seq
@@ -115,3 +124,13 @@ class Link:
         self.bytes_delivered += pkt.size
         self.packets_delivered += 1
         self.deliver(pkt)
+
+    def telemetry(self) -> dict:
+        """Delivery/loss counters for the observability layer (pull-based)."""
+        return {
+            "name": self.name,
+            "rate_bps": self.rate_bps,
+            "bytes_delivered": self.bytes_delivered,
+            "packets_delivered": self.packets_delivered,
+            "packets_lost": self.packets_lost,
+        }

@@ -1,0 +1,251 @@
+"""`repro obs` — inspect run logs, campaigns, and export metrics.
+
+    repro obs summary  telemetry/<label>.jsonl     # human-readable run digest
+    repro obs validate telemetry/<label>.jsonl     # schema gate (CI smoke)
+    repro obs prom     telemetry/<label>.jsonl     # Prometheus text format
+    repro obs tail     telemetry/                  # latest campaign status
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.obs.export import snapshot_to_prometheus
+from repro.obs.runlog import read_run_log, validate_run_log
+
+
+def _records_by_type(records: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for r in records:
+        grouped.setdefault(r.get("record", "?"), []).append(r)
+    return grouped
+
+
+def _fmt_count(value: float) -> str:
+    value = float(value)
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:g}"
+
+
+#: Counter keys surfaced in the summary headline (rendered key -> title).
+_HEADLINE_COUNTERS = (
+    ("sim_events_processed_total", "events"),
+    ('queue_dropped_enqueue_total{queue="bottleneck"}', "drops (enqueue)"),
+    ('queue_dropped_dequeue_total{queue="bottleneck"}', "drops (dequeue)"),
+    ('queue_ecn_marked_total{queue="bottleneck"}', "ecn marks"),
+    ("tcp_segments_sent_total", "segments sent"),
+    ("tcp_retransmits_total", "retransmits"),
+    ("tcp_rto_total", "RTOs"),
+    ("tcp_fast_recoveries_total", "fast recoveries"),
+)
+
+
+def render_summary(records: List[Dict[str, Any]], *, source: str = "") -> str:
+    """Human-readable digest of one run log."""
+    grouped = _records_by_type(records)
+    lines: List[str] = []
+    manifest = (grouped.get("manifest") or [{}])[0]
+    if manifest:
+        lines.append(f"run         : {manifest.get('label', '?')}")
+        lines.append(
+            f"manifest    : engine={manifest.get('engine', '?')} "
+            f"seed={manifest.get('seed', '?')} "
+            f"config_hash={manifest.get('config_hash', '?')} "
+            f"repro={manifest.get('repro_version', '?')}"
+        )
+    summary = (grouped.get("summary") or [{}])[-1]
+    if summary:
+        status = summary.get("status", "?")
+        lines.append(
+            f"status      : {status}  wall={summary.get('wall_s', 0.0):.2f}s  "
+            f"events={_fmt_count(summary.get('events', 0))}  "
+            f"rate={_fmt_count(summary.get('events_per_sec', 0.0))} ev/s  "
+            f"rss={summary.get('peak_rss_kb', 0)}KiB"
+        )
+        if status == "error":
+            lines.append(f"error       : {summary.get('error', '?')}")
+            if summary.get("trace_dump"):
+                lines.append(f"trace dump  : {summary['trace_dump']} "
+                             f"({summary.get('trace_events_dumped', '?')} events)")
+        else:
+            lines.append(
+                f"outcome     : J={summary.get('jain_index', float('nan')):.4f}  "
+                f"phi={summary.get('link_utilization', float('nan')):.4f}  "
+                f"retx={summary.get('total_retransmits', '?')}  "
+                f"drops={summary.get('bottleneck_drops', '?')}"
+            )
+    metrics = (grouped.get("metrics") or [{}])[-1]
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters    :")
+        shown = set()
+        for key, title in _HEADLINE_COUNTERS:
+            if key in counters:
+                shown.add(key)
+                lines.append(f"  {title:<22s} {_fmt_count(counters[key]):>10s}")
+        for key in sorted(counters):
+            if key not in shown:
+                lines.append(f"  {key:<40s} {_fmt_count(counters[key]):>10s}")
+    for key, hist in sorted(metrics.get("histograms", {}).items()):
+        count = hist.get("count", 0)
+        if count:
+            mean = hist.get("sum", 0.0) / count
+            lines.append(f"  {key:<22s} n={count} mean={mean:.1f}")
+    if source:
+        lines.append(f"source      : {source}")
+    return "\n".join(lines)
+
+
+def render_campaign_tail(records: List[Dict[str, Any]]) -> str:
+    """Latest state of a campaign from its ``campaign_progress`` records."""
+    progress = [r for r in records if r.get("record") == "campaign_progress"]
+    if not progress:
+        return "no campaign progress records"
+    last = progress[-1]
+    failed = last.get("failed", 0)
+    lines = [
+        f"campaign    : {last.get('finished', '?')}/{last.get('total', '?')} done"
+        + (f", {failed} FAILED" if failed else "")
+        + f", ETA {last.get('eta_s', 0.0):.0f}s",
+        f"last run    : {last.get('label', '?')} "
+        f"({_fmt_count(last.get('events_per_sec', 0.0))} ev/s)",
+    ]
+    recent = progress[-5:]
+    if len(recent) > 1:
+        lines.append("recent      :")
+        for r in recent[:-1]:
+            lines.append(
+                f"  [{r.get('finished', '?')}/{r.get('total', '?')}] {r.get('label', '?')}"
+            )
+    return "\n".join(lines)
+
+
+def _resolve_logs(path: Path) -> List[Path]:
+    if path.is_dir():
+        return sorted(
+            p for p in path.glob("*.jsonl") if not p.name.endswith(".trace.jsonl")
+        )
+    return [path]
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    """``repro obs summary``: digest of one or every run log in a directory."""
+    paths = _resolve_logs(Path(args.log))
+    if not paths:
+        print(f"no run logs under {args.log}", file=sys.stderr)
+        return 1
+    blocks = []
+    for p in paths:
+        if p.name == "campaign.jsonl":
+            continue
+        blocks.append(render_summary(read_run_log(p), source=str(p)))
+    print("\n\n".join(blocks))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """``repro obs validate``: schema-check run logs; exit 1 on problems."""
+    paths = _resolve_logs(Path(args.log))
+    if not paths:
+        print(f"no run logs under {args.log}", file=sys.stderr)
+        return 1
+    bad = 0
+    for p in paths:
+        if p.name == "campaign.jsonl":
+            continue
+        try:
+            errors = validate_run_log(read_run_log(p))
+        except (OSError, ValueError) as exc:
+            errors = [str(exc)]
+        if errors:
+            bad += 1
+            for e in errors:
+                print(f"{p}: {e}", file=sys.stderr)
+        else:
+            print(f"{p}: valid ({sum(1 for _ in open(p, encoding='utf-8'))} records)")
+    return 1 if bad else 0
+
+
+def cmd_prom(args: argparse.Namespace) -> int:
+    """``repro obs prom``: export a run log's metrics as Prometheus text.
+
+    Given a directory, exports the most recently modified run log in it.
+    """
+    path = Path(args.log)
+    if path.is_dir():
+        logs = [p for p in _resolve_logs(path) if p.name != "campaign.jsonl"]
+        if not logs:
+            print(f"no run logs under {args.log}", file=sys.stderr)
+            return 1
+        path = max(logs, key=lambda p: p.stat().st_mtime)
+    records = read_run_log(path)
+    metrics = [r for r in records if r.get("record") == "metrics"]
+    if not metrics:
+        print(f"no metrics record in {args.log}", file=sys.stderr)
+        return 1
+    text = snapshot_to_prometheus(metrics[-1])
+    if args.out and args.out != "-":
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {len(text.splitlines())} lines to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """``repro obs tail``: latest status of a campaign (or run-log dir)."""
+    path = Path(args.log)
+    campaign = path / "campaign.jsonl" if path.is_dir() else path
+    if campaign.exists():
+        print(render_campaign_tail(read_run_log(campaign)))
+        return 0
+    # No campaign log: fall back to one-line-per-run-log status.
+    paths = _resolve_logs(path)
+    if not paths:
+        print(f"nothing to tail under {args.log}", file=sys.stderr)
+        return 1
+    for p in paths:
+        try:
+            records = read_run_log(p)
+        except ValueError as exc:
+            print(f"{p.name}: unreadable ({exc})")
+            continue
+        summaries = [r for r in records if r.get("record") == "summary"]
+        if summaries:
+            s = summaries[-1]
+            print(f"{p.name}: {s.get('status')} "
+                  f"({_fmt_count(s.get('events_per_sec', 0.0))} ev/s)")
+        else:
+            print(f"{p.name}: running ({len(records)} records)")
+    return 0
+
+
+def add_obs_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``obs`` subcommand tree on the top-level CLI parser."""
+    p_obs = sub.add_parser("obs", help="inspect telemetry run logs and export metrics")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_sum = obs_sub.add_parser("summary", help="render a run log (or telemetry dir) digest")
+    p_sum.add_argument("log", help="run-log .jsonl file or telemetry directory")
+    p_sum.set_defaults(func=cmd_summary)
+
+    p_val = obs_sub.add_parser("validate", help="schema-check run logs; exit 1 on problems")
+    p_val.add_argument("log", help="run-log .jsonl file or telemetry directory")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_prom = obs_sub.add_parser("prom", help="export a run log's metrics as Prometheus text")
+    p_prom.add_argument("log", help="run-log .jsonl file (or telemetry dir: newest log)")
+    p_prom.add_argument("--out", default="-", help="output file ('-' = stdout)")
+    p_prom.set_defaults(func=cmd_prom)
+
+    p_tail = obs_sub.add_parser("tail", help="latest status of a (live) campaign directory")
+    p_tail.add_argument("log", help="telemetry directory or campaign.jsonl")
+    p_tail.set_defaults(func=cmd_tail)

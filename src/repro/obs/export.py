@@ -1,0 +1,118 @@
+"""Prometheus text-format export.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` (or a run log's
+``metrics`` record) in the Prometheus exposition format (text/plain
+version 0.0.4): ``# HELP`` / ``# TYPE`` headers, cumulative histogram
+buckets with ``le`` labels, and a trailing newline — parseable by any
+Prometheus scraper or ``promtool check metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from repro.obs.metrics import MetricsRegistry, _render_labels
+
+#: Prefix applied to every exported metric family.
+METRIC_PREFIX = "repro_"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _merge_labels(base: Dict[str, str], extra: Dict[str, str]) -> Dict[str, str]:
+    merged = dict(base)
+    merged.update(extra)
+    return merged
+
+
+def _render_histogram(name: str, labels: Dict[str, str], hist: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    cumulative = 0
+    buckets = list(hist.get("buckets", []))
+    counts = list(hist.get("counts", []))
+    for bound, count in zip(buckets, counts):
+        cumulative += count
+        lines.append(
+            f"{name}_bucket{_render_labels(_merge_labels(labels, {'le': _format_value(float(bound))}))}"
+            f" {cumulative}"
+        )
+    # The +Inf bucket includes the overflow slot (and any surplus counts).
+    cumulative += sum(counts[len(buckets):])
+    lines.append(
+        f"{name}_bucket{_render_labels(_merge_labels(labels, {'le': '+Inf'}))} {cumulative}"
+    )
+    lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(hist.get('sum', 0.0))}")
+    lines.append(f"{name}_count{_render_labels(labels)} {cumulative}")
+    return lines
+
+
+def _split_key(key: str) -> tuple:
+    """Split a rendered instrument key back into (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    rest = rest.rstrip("}")
+    labels: Dict[str, str] = {}
+    for part in _split_label_parts(rest):
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"').replace('\\"', '"').replace("\\\\", "\\")
+    return name, labels
+
+
+def _split_label_parts(rendered: str) -> List[str]:
+    parts: List[str] = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(rendered):
+        ch = rendered[i]
+        if ch == '"' and (i == 0 or rendered[i - 1] != "\\"):
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if current:
+        parts.append(current)
+    return parts
+
+
+def snapshot_to_prometheus(snapshot: Dict[str, Any], *, prefix: str = METRIC_PREFIX) -> str:
+    """Render a registry snapshot (or run-log ``metrics`` record) as
+    Prometheus text format."""
+    lines: List[str] = []
+    typed = [
+        ("counter", snapshot.get("counters", {})),
+        ("gauge", snapshot.get("gauges", {})),
+    ]
+    seen_families = set()
+    for kind, section in typed:
+        for key in sorted(section):
+            name, labels = _split_key(key)
+            family = prefix + name
+            if family not in seen_families:
+                seen_families.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+            lines.append(f"{family}{_render_labels(labels)} {_format_value(section[key])}")
+    for key in sorted(snapshot.get("histograms", {})):
+        name, labels = _split_key(key)
+        family = prefix + name
+        if family not in seen_families:
+            seen_families.add(family)
+            lines.append(f"# TYPE {family} histogram")
+        lines.extend(_render_histogram(family, labels, snapshot["histograms"][key]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_prometheus(registry: MetricsRegistry, *, prefix: str = METRIC_PREFIX) -> str:
+    """Render a live registry as Prometheus text format."""
+    return snapshot_to_prometheus(registry.snapshot(), prefix=prefix)

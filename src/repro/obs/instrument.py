@@ -1,0 +1,158 @@
+"""Bind registry instruments to the hot objects of a running experiment.
+
+The datapath already counts everything interesting (the simulator counts
+events, links count packets and bytes, qdiscs count drops and marks,
+senders count segments and retransmissions) — instrumentation here is
+*pull-based*: callback-backed counters/gauges read those counters at
+snapshot time, adding nothing to the per-packet path.  The only push-mode
+instrumentation is :class:`CwndSampler`, which samples each sender's cwnd
+and sRTT into histograms on a simulated-time cadence (the same pattern as
+:class:`~repro.metrics.queue_monitor.QueueMonitor`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles avoided at runtime
+    from repro.net.link import Link
+    from repro.aqm.base import QueueDiscipline
+    from repro.sim.engine import Simulator
+    from repro.tcp.sender import TcpSender
+
+#: cwnd histogram bounds, in segments (covers 1 .. 64k-segment windows).
+CWND_BUCKETS = tuple(float(2 ** i) for i in range(17))
+#: sRTT histogram bounds, in milliseconds.
+SRTT_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0,
+                   150.0, 200.0, 300.0, 500.0, 1000.0)
+
+
+def instrument_simulator(registry: MetricsRegistry, sim: "Simulator") -> None:
+    """Event-loop health: events executed, heap depth, simulated clock."""
+    registry.counter("sim_events_processed_total",
+                     "Events executed by the simulator", fn=lambda: sim.events_processed)
+    registry.gauge("sim_pending_events",
+                   "Queued heap entries (incl. tombstones)", fn=lambda: sim.pending)
+    registry.gauge("sim_time_seconds",
+                   "Simulated clock", fn=lambda: sim.now / 1e9)
+
+
+def instrument_link(registry: MetricsRegistry, link: "Link", name: str) -> None:
+    """Per-link delivery and loss counters."""
+    labels = {"link": name}
+    registry.counter("link_packets_delivered_total",
+                     "Packets delivered at the far end", labels=labels,
+                     fn=lambda: link.packets_delivered)
+    registry.counter("link_bytes_delivered_total",
+                     "Bytes delivered at the far end", labels=labels,
+                     fn=lambda: link.bytes_delivered)
+    registry.counter("link_packets_lost_total",
+                     "Packets dropped by the link's random-loss process", labels=labels,
+                     fn=lambda: link.packets_lost)
+
+
+def instrument_qdisc(registry: MetricsRegistry, qdisc: "QueueDiscipline", name: str) -> None:
+    """Queue-discipline counters and backlog gauges."""
+    labels = {"queue": name}
+    stats = qdisc.stats
+    registry.counter("queue_enqueued_total", "Packets accepted", labels=labels,
+                     fn=lambda: stats.enqueued)
+    registry.counter("queue_dequeued_total", "Packets dequeued", labels=labels,
+                     fn=lambda: stats.dequeued)
+    registry.counter("queue_dropped_enqueue_total", "Enqueue-time drops", labels=labels,
+                     fn=lambda: stats.dropped_enqueue)
+    registry.counter("queue_dropped_dequeue_total", "Dequeue-time (AQM) drops", labels=labels,
+                     fn=lambda: stats.dropped_dequeue)
+    registry.counter("queue_ecn_marked_total", "ECN CE marks", labels=labels,
+                     fn=lambda: stats.ecn_marked)
+    registry.counter("queue_bytes_dropped_total", "Bytes dropped", labels=labels,
+                     fn=lambda: stats.bytes_dropped)
+    registry.gauge("queue_backlog_bytes", "Instantaneous backlog", labels=labels,
+                   fn=lambda: qdisc.bytes_queued)
+    registry.gauge("queue_backlog_packets", "Instantaneous backlog", labels=labels,
+                   fn=lambda: qdisc.packets_queued)
+
+
+def instrument_senders(registry: MetricsRegistry, senders: Sequence["TcpSender"]) -> None:
+    """Aggregate TCP counters over all flows (resolved at snapshot time)."""
+    senders = list(senders)
+    registry.counter("tcp_segments_sent_total", "Data segments transmitted",
+                     fn=lambda: sum(s.segments_sent for s in senders))
+    registry.counter("tcp_retransmits_total", "Retransmitted segments",
+                     fn=lambda: sum(s.retransmits for s in senders))
+    registry.counter("tcp_rto_total", "Retransmission timeouts",
+                     fn=lambda: sum(s.rto_count for s in senders))
+    registry.counter("tcp_fast_recoveries_total", "Fast-recovery episodes",
+                     fn=lambda: sum(s.fast_recoveries for s in senders))
+    registry.counter("tcp_bytes_sent_total", "Payload bytes transmitted",
+                     fn=lambda: sum(s.bytes_sent for s in senders))
+    registry.gauge("tcp_flows", "Number of instrumented flows", fn=lambda: len(senders))
+
+
+class CwndSampler:
+    """Periodically sample every sender's cwnd and sRTT into histograms."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sim: "Simulator",
+        senders: Sequence["TcpSender"],
+        interval_ns: int,
+    ):
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.senders = list(senders)
+        self.interval_ns = interval_ns
+        self.cwnd_hist = registry.histogram(
+            "tcp_cwnd_segments", "Sampled congestion windows", buckets=CWND_BUCKETS
+        )
+        self.srtt_hist = registry.histogram(
+            "tcp_srtt_ms", "Sampled smoothed RTTs", buckets=SRTT_BUCKETS_MS
+        )
+        self.samples = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (first sample one interval from now)."""
+        if self._running:
+            raise RuntimeError("sampler already started")
+        self._running = True
+        self.sim.schedule(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        cwnd_observe = self.cwnd_hist.observe
+        srtt_observe = self.srtt_hist.observe
+        for sender in self.senders:
+            cwnd_observe(sender.cca.cwnd)
+            srtt = sender.rtt.srtt_ns
+            if srtt:  # None until the first RTT sample
+                srtt_observe(srtt / 1e6)
+        self.samples += 1
+        self.sim.schedule(self.interval_ns, self._tick)
+
+
+def instrument_experiment(
+    registry: MetricsRegistry,
+    dumbbell,
+    senders: Sequence["TcpSender"],
+    *,
+    cwnd_interval_ns: Optional[int] = None,
+) -> Optional[CwndSampler]:
+    """Wire a built dumbbell + flow set into the registry.
+
+    Instruments the simulator, the bottleneck link and qdisc, and the TCP
+    aggregate; optionally starts a :class:`CwndSampler`.  Returns the
+    sampler (or None) so the caller can read ``samples``.
+    """
+    instrument_simulator(registry, dumbbell.sim)
+    instrument_link(registry, dumbbell.bottleneck_link, "bottleneck")
+    instrument_qdisc(registry, dumbbell.bottleneck_qdisc, "bottleneck")
+    instrument_senders(registry, senders)
+    sampler: Optional[CwndSampler] = None
+    if cwnd_interval_ns and registry.enabled:
+        sampler = CwndSampler(registry, dumbbell.sim, senders, cwnd_interval_ns)
+        sampler.start()
+    return sampler

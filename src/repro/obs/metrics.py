@@ -1,0 +1,294 @@
+"""Counter/gauge/histogram metrics registry.
+
+The registry is the aggregation point of the telemetry subsystem: hot
+objects (simulator, links, qdiscs, senders) are *pulled* from at snapshot
+time via callback-backed instruments, so attaching telemetry adds zero
+per-packet work to the datapath.  Push-style instruments (``inc`` /
+``observe``) exist for the few places that have no pre-existing counter,
+e.g. the cwnd sampler's histograms.
+
+Disabled registries hand out a shared :data:`NULL_INSTRUMENT` whose
+mutators are no-ops and register nothing, so instrumented code can call
+``registry.counter(...).inc()`` unconditionally: with telemetry off the
+whole chain is a couple of attribute lookups and never touches shared
+state (important for the multiprocess campaign workers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Default histogram buckets: powers of two, a good fit for cwnd-in-segments
+#: and queue-backlog-in-packets style distributions.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2 ** i) for i in range(15))
+
+
+def _render_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """Monotonic count.  Either push (``inc``) or pull (``fn`` callback)."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn")
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self._value = 0
+        self._fn = fn
+
+    def inc(self, amount: int = 1) -> None:
+        """Add to the counter (push-mode instruments only)."""
+        if self._fn is not None:
+            raise RuntimeError(f"counter {self.name!r} is callback-backed")
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def key(self) -> str:
+        """Rendered identity: ``name`` or ``name{label="v",...}``."""
+        return self.name + _render_labels(self.labels)
+
+
+class Gauge:
+    """Point-in-time value.  Either push (``set``) or pull (``fn``)."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value (push-mode instruments only)."""
+        if self._fn is not None:
+            raise RuntimeError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def key(self) -> str:
+        """Rendered identity: ``name`` or ``name{label="v",...}``."""
+        return self.name + _render_labels(self.labels)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: ``le`` bounds)."""
+
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be a sorted non-empty sequence, got {buckets}")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self.buckets = tuple(float(b) for b in buckets)
+        # One slot per finite bound plus the implicit +Inf overflow slot.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready per-bucket (non-cumulative) counts plus sum/count."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def key(self) -> str:
+        """Rendered identity: ``name`` or ``name{label="v",...}``."""
+        return self.name + _render_labels(self.labels)
+
+
+class _NullInstrument:
+    """Accepts every instrument mutator as a no-op; holds no state at all."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = ""
+    help = ""
+    labels = None
+    value = 0
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def key(self) -> str:
+        return ""
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+#: The shared instrument handed out by disabled registries.
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-and-collect registry for one run.
+
+    ``enabled=False`` makes every factory return :data:`NULL_INSTRUMENT`
+    and registers nothing: the disabled registry has no per-run state and
+    a :meth:`snapshot` of it is empty.
+    """
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, Any] = {}
+
+    # -- factories ---------------------------------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Counter:
+        """Create (or fetch) a counter; NULL_INSTRUMENT when disabled."""
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Counter(name, help, labels=labels, fn=fn))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Create (or fetch) a gauge; NULL_INSTRUMENT when disabled."""
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Gauge(name, help, labels=labels, fn=fn))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Histogram:
+        """Create (or fetch) a histogram; NULL_INSTRUMENT when disabled."""
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Histogram(name, help, buckets=buckets, labels=labels))
+
+    def _register(self, instrument):
+        key = instrument.key()
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if type(existing) is not type(instrument):
+                raise ValueError(
+                    f"instrument {key!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._instruments[key] = instrument
+        return instrument
+
+    # -- collection --------------------------------------------------------------
+
+    def get(self, key: str):
+        """Instrument by rendered key (``name`` or ``name{label="v"}``)."""
+        return self._instruments.get(key)
+
+    @property
+    def instruments(self) -> List[Any]:
+        return list(self._instruments.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of every instrument, resolving pull callbacks."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Any] = {}
+        for key, inst in self._instruments.items():
+            if inst.kind == "counter":
+                counters[key] = inst.value
+            elif inst.kind == "gauge":
+                gauges[key] = inst.value
+            else:
+                histograms[key] = inst.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: Shared always-disabled registry, for call sites that want a default.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,212 @@
+"""Structured JSONL run logs and manifests.
+
+A *run log* is one JSONL file per experiment run.  Every line is a record
+object with a ``record`` type tag and a ``t_wall`` POSIX timestamp; the
+first line is always the ``manifest``.  Record types (schema
+``repro-runlog/1``):
+
+- ``manifest`` — identity of the run: label, full config dict, config
+  hash, repro version, seed, engine, schema version.
+- ``progress`` — periodic liveness: simulated seconds, events processed,
+  events/sec so far (optional; campaigns also write these into their own
+  ``campaign.jsonl``).
+- ``metrics`` — a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+- ``summary`` — terminal record: status (``ok``/``error``), wall seconds,
+  events, events/sec, peak RSS, headline outcome metrics, and the
+  traceback string on failure.
+
+:func:`validate_run_log` is the hand-rolled schema check used by tests
+and the CI telemetry smoke job (no external jsonschema dependency).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Version tag every manifest carries; bump on breaking record changes.
+RUN_LOG_SCHEMA = "repro-runlog/1"
+
+#: Required keys per record type (beyond the envelope ``record``/``t_wall``).
+REQUIRED_FIELDS: Dict[str, tuple] = {
+    "manifest": ("schema", "label", "config", "config_hash", "repro_version", "seed", "engine"),
+    "progress": ("sim_time_s", "events", "events_per_sec"),
+    "metrics": ("counters", "gauges", "histograms"),
+    "summary": ("status", "wall_s", "events", "events_per_sec", "peak_rss_kb"),
+    "campaign_progress": ("finished", "total", "failed", "label", "eta_s"),
+}
+
+
+class RunLogWriter:
+    """Append-only JSONL writer with typed-record helpers."""
+
+    def __init__(self, path: PathLike, *, clock=time.time):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+
+    def write(self, record_type: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record; returns the dict that was written."""
+        if self._fh is None:
+            raise RuntimeError(f"run log {self.path} is closed")
+        record = {"record": record_type, "t_wall": self._clock(), **fields}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    # -- typed helpers -----------------------------------------------------------
+
+    def manifest(
+        self,
+        *,
+        label: str,
+        config: Dict[str, Any],
+        config_hash: str,
+        repro_version: str,
+        seed: int,
+        engine: str,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Write the identity record (always the run log's first line)."""
+        return self.write(
+            "manifest",
+            schema=RUN_LOG_SCHEMA,
+            label=label,
+            config=config,
+            config_hash=config_hash,
+            repro_version=repro_version,
+            seed=seed,
+            engine=engine,
+            **extra,
+        )
+
+    def progress(self, *, sim_time_s: float, events: int, events_per_sec: float, **extra: Any) -> Dict[str, Any]:
+        """Write one periodic liveness record."""
+        return self.write(
+            "progress",
+            sim_time_s=sim_time_s,
+            events=events,
+            events_per_sec=events_per_sec,
+            **extra,
+        )
+
+    def metrics(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """Write a registry snapshot as one metrics record."""
+        return self.write(
+            "metrics",
+            counters=snapshot.get("counters", {}),
+            gauges=snapshot.get("gauges", {}),
+            histograms=snapshot.get("histograms", {}),
+        )
+
+    def summary(
+        self,
+        *,
+        status: str,
+        wall_s: float,
+        events: int,
+        events_per_sec: float,
+        peak_rss_kb: int,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Write the terminal record (``status`` is ``ok`` or ``error``)."""
+        return self.write(
+            "summary",
+            status=status,
+            wall_s=wall_s,
+            events=events,
+            events_per_sec=events_per_sec,
+            peak_rss_kb=peak_rss_kb,
+            **extra,
+        )
+
+    def close(self) -> None:
+        """Release the file handle (idempotent)."""
+        fh = self._fh
+        if fh is not None:
+            self._fh = None
+            fh.close()
+
+    def __enter__(self) -> "RunLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_run_log(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a run log into its record dicts (raises on corrupt lines)."""
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: corrupt run-log line ({exc})") from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: record is not an object")
+            records.append(record)
+    return records
+
+
+def validate_run_log(records: List[Dict[str, Any]]) -> List[str]:
+    """Schema-check parsed records; returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not records:
+        return ["run log is empty"]
+    for i, record in enumerate(records, 1):
+        kind = record.get("record")
+        if kind is None:
+            errors.append(f"record {i}: missing 'record' type tag")
+            continue
+        if kind not in REQUIRED_FIELDS:
+            errors.append(f"record {i}: unknown record type {kind!r}")
+            continue
+        if not isinstance(record.get("t_wall"), (int, float)):
+            errors.append(f"record {i} ({kind}): missing/non-numeric 't_wall'")
+        missing = [f for f in REQUIRED_FIELDS[kind] if f not in record]
+        if missing:
+            errors.append(f"record {i} ({kind}): missing fields {missing}")
+    first = records[0]
+    if first.get("record") != "manifest":
+        errors.append("first record must be the manifest")
+    elif first.get("schema") != RUN_LOG_SCHEMA:
+        errors.append(
+            f"manifest schema {first.get('schema')!r} != expected {RUN_LOG_SCHEMA!r}"
+        )
+    else:
+        if not isinstance(first.get("config"), dict):
+            errors.append("manifest 'config' must be an object")
+    summaries = [r for r in records if r.get("record") == "summary"]
+    if not summaries:
+        errors.append("no summary record (run did not finish writing)")
+    else:
+        for s in summaries:
+            if s.get("status") not in ("ok", "error"):
+                errors.append(f"summary status {s.get('status')!r} not in ok/error")
+            if s.get("status") == "error" and "traceback" not in s:
+                errors.append("error summary missing 'traceback'")
+    for r in records:
+        if r.get("record") == "metrics":
+            for section in ("counters", "gauges"):
+                sec = r.get(section)
+                if not isinstance(sec, dict) or not all(
+                    isinstance(v, (int, float)) for v in sec.values()
+                ):
+                    errors.append(f"metrics record: {section} must map names to numbers")
+            hists = r.get("histograms")
+            if not isinstance(hists, dict):
+                errors.append("metrics record: histograms must be an object")
+            else:
+                for name, h in hists.items():
+                    if not isinstance(h, dict) or not {"buckets", "counts", "sum", "count"} <= set(h):
+                        errors.append(f"metrics record: histogram {name!r} malformed")
+    return errors

@@ -252,6 +252,20 @@ class Simulator:
         """Total events executed since construction."""
         return self._events_processed
 
+    def telemetry(self) -> dict:
+        """Event-loop health snapshot for the observability layer.
+
+        Pull-based: the loop itself pays nothing — callers (metrics
+        registry gauges, campaign progress) read these counters on their
+        own cadence.
+        """
+        return {
+            "now_ns": self.now,
+            "events_processed": self._events_processed,
+            "pending": len(self._heap),
+            "tombstones": self._tombstones,
+        }
+
     def peek_time(self) -> Optional[int]:
         """Firing time of the next live event, or None if the heap is empty."""
         heap = self._heap

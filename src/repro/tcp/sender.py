@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.cca.base import AckEvent, CongestionControl
 from repro.net.packet import Packet, make_data_packet
 from repro.sim.engine import Event, Simulator
+from repro.sim.trace import NULL_TRACER
 from repro.tcp.rate_sample import RateSampler
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.sack import Scoreboard
@@ -79,6 +80,10 @@ class TcpSender:
         self.rto_count = 0
         self.fast_recoveries = 0
         self.bytes_sent = 0
+
+        # Flight-recorder hook; consulted only on loss-recovery paths
+        # (retransmit, RTO, recovery entry), never per segment or per ACK.
+        self.tracer = NULL_TRACER
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -144,6 +149,12 @@ class TcpSender:
             self.recovery_point = self.snd_nxt
             self.fast_recoveries += 1
             self.cca.on_congestion_event(now)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "recovery_enter", now, flow=self.flow_id,
+                    lost=newly_lost, recovery_point=self.recovery_point,
+                    cwnd=self.cca.cwnd,
+                )
 
         round_start = False
         if self.snd_una >= self._round_end_seq:
@@ -241,6 +252,10 @@ class TcpSender:
         if is_retx:
             self.scoreboard.register_retx(seq, send_state)
             self.retransmits += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "retx", now, flow=self.flow_id, seq=seq, state=self.state
+                )
         else:
             self.scoreboard.register_send(seq, send_state)
         pkt = make_data_packet(
@@ -284,6 +299,12 @@ class TcpSender:
         self.rto_count += 1
         self.rtt.on_backoff()
         self.scoreboard.on_rto(self.snd_una, self.snd_nxt)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "rto", self.sim.now, flow=self.flow_id,
+                snd_una=self.snd_una, snd_nxt=self.snd_nxt,
+                rto_ns=self.rtt.rto_ns,
+            )
         first_timeout = self.state != LOSS
         self.state = LOSS
         self.recovery_point = self.snd_nxt
@@ -298,6 +319,22 @@ class TcpSender:
     @property
     def inflight(self) -> int:
         return self.scoreboard.pipe
+
+    def telemetry(self) -> dict:
+        """Flow-health snapshot for the observability layer (pull-based)."""
+        return {
+            "flow_id": self.flow_id,
+            "state": self.state,
+            "cwnd": self.cca.cwnd,
+            "pipe": self.scoreboard.pipe,
+            "snd_una": self.snd_una,
+            "snd_nxt": self.snd_nxt,
+            "segments_sent": self.segments_sent,
+            "retransmits": self.retransmits,
+            "rto_count": self.rto_count,
+            "fast_recoveries": self.fast_recoveries,
+            "srtt_ns": self.rtt.srtt_ns,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

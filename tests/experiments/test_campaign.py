@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.campaign import run_campaign
+from repro.experiments.campaign import (
+    CampaignProgress,
+    FailedRun,
+    failures_path,
+    load_failures,
+    run_campaign,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.storage import ResultStore
 from repro.units import mbps
@@ -67,3 +73,85 @@ def test_invalid_jobs():
 def test_campaign_without_store():
     results = run_campaign(_configs(2), jobs=1)
     assert len(results) == 2
+
+
+def _poisoned_config(seed=999):
+    # aqm_params are forwarded to the AQM constructor inside the worker,
+    # not validated at config construction — a bogus knob makes the run
+    # itself raise (TypeError) without failing up front.
+    return ExperimentConfig(
+        cca_pair=("cubic", "cubic"),
+        aqm="red",
+        bottleneck_bw_bps=mbps(100),
+        duration_s=5.0,
+        engine="fluid",
+        seed=seed,
+        aqm_params={"bogus_knob": 1},
+    )
+
+
+def test_serial_failure_becomes_row_not_abort(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    configs = _configs(2) + [_poisoned_config()]
+    failures = []
+    results = run_campaign(
+        configs, store=store, jobs=1,
+        on_failure=lambda done, total, f: failures.append((done, total, f)),
+    )
+    assert len(results) == 2  # good configs still completed
+    assert results.summary() == {"ok": 2, "failed": 1, "total": 3}
+    (row,) = results.failures
+    assert row.label == _poisoned_config().label()
+    assert "bogus_knob" in row.error
+    assert "Traceback" in row.traceback
+    # The shared finished counter covers both outcomes.
+    assert failures[0][0] == 3 and failures[0][1] == 3
+    # Failure row went to the sibling file, not the result store.
+    assert len(store) == 2
+    assert [f.label for f in load_failures(store)] == [row.label]
+    assert failures_path(store).name == "r.failures.jsonl"
+
+
+def test_parallel_failure_does_not_abort_pool(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    configs = [_poisoned_config()] + _configs(3)
+    results = run_campaign(configs, store=store, jobs=2)
+    assert len(results) == 3
+    assert len(results.failures) == 1
+    assert results.failures[0].config["aqm_params"] == {"bogus_knob": 1}
+    assert len(store) == 3
+
+
+def test_failed_configs_retried_on_resume(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    configs = _configs(1) + [_poisoned_config()]
+    run_campaign(configs, store=store, jobs=1)
+    # Resume skips the stored success but re-attempts the failure.
+    results = run_campaign(configs, store=store, jobs=1)
+    assert len(results) == 1
+    assert len(results.failures) == 1
+
+
+def test_failed_run_roundtrip():
+    row = FailedRun(config={"seed": 1}, label="x", error="E", traceback="tb")
+    assert FailedRun.from_dict(row.to_dict()) == row
+
+
+def test_campaign_progress_tracker(tmp_path, capsys):
+    from repro.obs.runlog import read_run_log
+
+    log = tmp_path / "campaign.jsonl"
+    tracker = CampaignProgress(log)
+    results = run_campaign(
+        _configs(2) + [_poisoned_config()],
+        jobs=1, progress=tracker, on_failure=tracker.failure,
+    )
+    tracker.close()
+    out = capsys.readouterr()
+    assert "FAILED" in out.err
+    records = read_run_log(log)
+    assert [r["record"] for r in records] == ["campaign_progress"] * 3
+    assert records[-1]["finished"] == 3
+    assert records[-1]["failed"] == 1
+    assert records[-1]["eta_s"] == 0.0
+    assert results.summary()["failed"] == 1

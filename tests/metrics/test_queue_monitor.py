@@ -102,6 +102,61 @@ def test_validation():
         mon.start()
 
 
+def test_ecn_marks_sampled():
+    import numpy as np
+
+    from repro.aqm.red import RedQueue
+
+    sim = Simulator()
+    q = RedQueue(60_000, np.random.default_rng(0), min_th=1_000, max_th=10_000,
+                 max_p=1.0, avpkt=1000, ecn_mode=True)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+
+    def fill():
+        for seq in range(50):
+            pkt = _pkt(seq)
+            pkt.ecn_ect = True
+            q.enqueue(pkt, sim.now)
+
+    sim.schedule(seconds(0.5), fill)
+    sim.run(seconds(1))
+    assert mon.trace.samples[0].ecn_marks == q.stats.ecn_marked > 0
+
+
+def test_empty_trace_summaries():
+    t = QueueTrace()
+    assert len(t) == 0
+    assert t.max_backlog_bytes == 0
+    assert t.mean_backlog_bytes == 0.0
+    assert t.drop_intervals() == []
+    assert all(v == [] for v in t.to_dict().values())
+
+
+def test_monitor_uses_dequeue_drops_too():
+    # drops_total covers AQM (dequeue-time) drops, not just tail drops.
+    from repro.aqm.codel import CoDelQueue
+
+    sim = Simulator()
+    q = CoDelQueue(1_000_000, target_ns=1, interval_ns=2)
+    mon = QueueMonitor(sim, q, seconds(1))
+    mon.start()
+    for seq in range(40):
+        q.enqueue(_pkt(seq), 0)
+
+    def drain():
+        while q.dequeue(sim.now):
+            pass
+
+    # First dequeue arms CoDel's first_above_time; draining the rest after
+    # the (tiny) interval has elapsed puts it in the dropping state.
+    sim.schedule(seconds(0.5), lambda: q.dequeue(sim.now))
+    sim.schedule(seconds(0.6), drain)
+    sim.run(seconds(1))
+    assert q.stats.dropped_dequeue > 0
+    assert mon.trace.samples[0].drops_total == q.stats.dropped_total
+
+
 def test_runner_integration():
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import run_packet_experiment

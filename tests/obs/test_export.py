@@ -1,0 +1,73 @@
+"""Unit tests for the Prometheus text-format exporter."""
+
+from repro.obs.export import snapshot_to_prometheus, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _parse(text):
+    """Parse exposition text into ({name_with_labels: value}, {family: type})."""
+    samples, types = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ")
+            types[family] = kind
+        elif line:
+            name, _, value = line.rpartition(" ")
+            samples[name] = value
+    return samples, types
+
+
+def test_counters_and_gauges_render():
+    reg = MetricsRegistry()
+    reg.counter("drops_total", labels={"queue": "bottleneck"}).inc(3)
+    reg.gauge("depth").set(1.5)
+    samples, types = _parse(to_prometheus(reg))
+    assert types["repro_drops_total"] == "counter"
+    assert types["repro_depth"] == "gauge"
+    assert samples['repro_drops_total{queue="bottleneck"}'] == "3"
+    assert samples["repro_depth"] == "1.5"
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.6, 3.0, 99.0):
+        h.observe(v)
+    samples, types = _parse(to_prometheus(reg))
+    assert types["repro_lat"] == "histogram"
+    assert samples['repro_lat_bucket{le="1"}'] == "2"
+    assert samples['repro_lat_bucket{le="2"}'] == "2"
+    assert samples['repro_lat_bucket{le="4"}'] == "3"
+    assert samples['repro_lat_bucket{le="+Inf"}'] == "4"
+    assert samples["repro_lat_count"] == "4"
+    assert float(samples["repro_lat_sum"]) == 103.1
+
+
+def test_snapshot_export_accepts_run_log_record():
+    # A metrics record carries envelope keys; the exporter must ignore them.
+    record = {
+        "record": "metrics",
+        "t_wall": 1.0,
+        "counters": {"x_total": 2},
+        "gauges": {},
+        "histograms": {},
+    }
+    samples, _ = _parse(snapshot_to_prometheus(record))
+    assert samples["repro_x_total"] == "2"
+
+
+def test_label_roundtrip_with_special_characters():
+    reg = MetricsRegistry()
+    reg.counter("x_total", labels={"name": 'quo"te'}).inc()
+    text = to_prometheus(reg)
+    assert 'name="quo\\"te"' in text
+
+
+def test_empty_snapshot_renders_empty():
+    assert snapshot_to_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+
+def test_trailing_newline_present():
+    reg = MetricsRegistry()
+    reg.counter("x_total").inc()
+    assert to_prometheus(reg).endswith("\n")

@@ -1,0 +1,124 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_push():
+    c = Counter("pkts_total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_pull():
+    state = {"n": 7}
+    c = Counter("pkts_total", fn=lambda: state["n"])
+    assert c.value == 7
+    state["n"] = 9
+    assert c.value == 9
+    with pytest.raises(RuntimeError):
+        c.inc()
+
+
+def test_gauge_push_and_pull():
+    g = Gauge("depth")
+    g.set(3.5)
+    assert g.value == 3.5
+    pulled = Gauge("depth", fn=lambda: 11)
+    assert pulled.value == 11
+    with pytest.raises(RuntimeError):
+        pulled.set(1)
+
+
+def test_key_renders_sorted_labels():
+    c = Counter("drops_total", labels={"queue": "bottleneck", "aqm": "red"})
+    assert c.key() == 'drops_total{aqm="red",queue="bottleneck"}'
+    assert Counter("plain").key() == "plain"
+
+
+def test_histogram_buckets_and_overflow():
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 3.0, 100.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["buckets"] == [1.0, 2.0, 4.0]
+    # (<=1): 0.5 and 1.0; (<=2): none; (<=4): 3.0; overflow: 100.0
+    assert snap["counts"] == [2, 0, 1, 1]
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(104.5)
+    assert h.mean == pytest.approx(104.5 / 4)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=())
+
+
+def test_registry_snapshot_resolves_callbacks():
+    reg = MetricsRegistry()
+    state = {"n": 0}
+    reg.counter("pulled_total", fn=lambda: state["n"])
+    reg.gauge("depth").set(2.0)
+    reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+    state["n"] = 42
+    snap = reg.snapshot()
+    assert snap["counters"]["pulled_total"] == 42
+    assert snap["gauges"]["depth"] == 2.0
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_registry_dedupes_same_key():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", labels={"q": "a"})
+    b = reg.counter("x_total", labels={"q": "a"})
+    assert a is b
+    assert reg.counter("x_total", labels={"q": "b"}) is not a
+
+
+def test_registry_rejects_kind_conflict():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_disabled_registry_has_no_side_effects():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("x_total")
+    g = reg.gauge("y")
+    h = reg.histogram("z")
+    assert c is NULL_INSTRUMENT and g is NULL_INSTRUMENT and h is NULL_INSTRUMENT
+    # Mutators are accepted but leave no trace anywhere.
+    c.inc(100)
+    g.set(5.0)
+    h.observe(1.0)
+    assert NULL_INSTRUMENT.value == 0
+    assert NULL_INSTRUMENT.count == 0
+    assert reg.instruments == []
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    # The shared null instrument holds no attribute-level state at all.
+    assert not hasattr(NULL_INSTRUMENT, "__dict__")
+
+
+def test_null_registry_is_disabled():
+    assert not NULL_REGISTRY.enabled
+    assert NULL_REGISTRY.counter("anything") is NULL_INSTRUMENT
+
+
+def test_default_buckets_are_powers_of_two():
+    assert DEFAULT_BUCKETS[0] == 1.0
+    assert all(b == 2 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))

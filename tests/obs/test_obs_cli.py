@@ -1,0 +1,104 @@
+"""Unit tests for the `repro obs` subcommand tree."""
+
+from repro.cli import main
+from repro.obs.cli import render_campaign_tail, render_summary
+from repro.obs.runlog import RUN_LOG_SCHEMA
+
+
+def _records():
+    return [
+        {"record": "manifest", "t_wall": 1.0, "schema": RUN_LOG_SCHEMA,
+         "label": "cell-1", "config": {}, "config_hash": "abc", "repro_version": "1.0.0",
+         "seed": 1, "engine": "packet"},
+        {"record": "metrics", "t_wall": 2.0,
+         "counters": {"sim_events_processed_total": 1234,
+                      'queue_dropped_enqueue_total{queue="bottleneck"}': 7,
+                      "tcp_retransmits_total": 3},
+         "gauges": {}, "histograms": {"tcp_cwnd_segments":
+                                      {"buckets": [1.0], "counts": [2, 0], "sum": 4.0, "count": 2}}},
+        {"record": "summary", "t_wall": 3.0, "status": "ok", "wall_s": 2.0,
+         "events": 1234, "events_per_sec": 617.0, "peak_rss_kb": 100,
+         "jain_index": 0.99, "link_utilization": 0.95,
+         "total_retransmits": 3, "bottleneck_drops": 7},
+    ]
+
+
+def test_render_summary_headline():
+    text = render_summary(_records())
+    assert "cell-1" in text
+    assert "status      : ok" in text
+    assert "J=0.9900" in text
+    assert "drops (enqueue)" in text
+    assert "retransmits" in text
+    assert "1.2k" in text  # events formatted
+    assert "tcp_cwnd_segments" in text
+
+
+def test_render_summary_error_run():
+    records = _records()
+    records[-1].update(status="error", error="RuntimeError('x')",
+                       trace_dump="t.trace.jsonl", trace_events_dumped=5)
+    text = render_summary(records)
+    assert "error       : RuntimeError('x')" in text
+    assert "t.trace.jsonl" in text
+
+
+def test_render_campaign_tail():
+    records = [
+        {"record": "campaign_progress", "t_wall": 1.0, "finished": i, "total": 4,
+         "failed": 1 if i > 2 else 0, "label": f"cell-{i}", "eta_s": 10.0 - i,
+         "events_per_sec": 100.0}
+        for i in range(1, 4)
+    ]
+    text = render_campaign_tail(records)
+    assert "3/4 done" in text
+    assert "1 FAILED" in text
+    assert "cell-3" in text
+    assert render_campaign_tail([]) == "no campaign progress records"
+
+
+def test_obs_validate_cli_roundtrip(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "cell.jsonl"
+    with RunLogWriter(log) as w:
+        w.manifest(label="cell", config={}, config_hash="h",
+                   repro_version="1", seed=1, engine="packet")
+        w.metrics({"counters": {}, "gauges": {}, "histograms": {}})
+        w.summary(status="ok", wall_s=1.0, events=10, events_per_sec=10.0, peak_rss_kb=5)
+    assert main(["obs", "validate", str(log)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "summary", str(tmp_path)]) == 0
+    assert "cell" in capsys.readouterr().out
+    assert main(["obs", "prom", str(log)]) == 0
+
+
+def test_obs_validate_flags_bad_log(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"record": "summary", "t_wall": 1.0}\n')
+    assert main(["obs", "validate", str(bad)]) == 1
+    assert "manifest" in capsys.readouterr().err
+
+
+def test_obs_prom_writes_file(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "cell.jsonl"
+    with RunLogWriter(log) as w:
+        w.manifest(label="cell", config={}, config_hash="h",
+                   repro_version="1", seed=1, engine="packet")
+        w.metrics({"counters": {"x_total": 5}, "gauges": {}, "histograms": {}})
+        w.summary(status="ok", wall_s=1.0, events=10, events_per_sec=10.0, peak_rss_kb=5)
+    out = tmp_path / "metrics.prom"
+    assert main(["obs", "prom", str(log), "--out", str(out)]) == 0
+    assert "repro_x_total 5" in out.read_text()
+    # A directory resolves to its newest run log.
+    capsys.readouterr()
+    assert main(["obs", "prom", str(tmp_path)]) == 0
+    assert "repro_x_total 5" in capsys.readouterr().out
+
+
+def test_obs_empty_dir(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["obs", "summary", str(empty)]) == 1

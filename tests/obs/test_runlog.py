@@ -1,0 +1,124 @@
+"""Unit tests for run-log writing, reading, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs.runlog import (
+    RUN_LOG_SCHEMA,
+    RunLogWriter,
+    read_run_log,
+    validate_run_log,
+)
+
+
+def _manifest_kwargs(**over):
+    base = dict(
+        label="cell-1",
+        config={"seed": 1},
+        config_hash="abc123",
+        repro_version="1.0.0",
+        seed=1,
+        engine="packet",
+    )
+    base.update(over)
+    return base
+
+
+def _write_minimal(path):
+    with RunLogWriter(path, clock=lambda: 42.0) as w:
+        w.manifest(**_manifest_kwargs())
+        w.progress(sim_time_s=1.0, events=100, events_per_sec=50.0)
+        w.metrics({"counters": {"x": 1}, "gauges": {}, "histograms": {}})
+        w.summary(status="ok", wall_s=2.0, events=100, events_per_sec=50.0, peak_rss_kb=1000)
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    _write_minimal(path)
+    records = read_run_log(path)
+    assert [r["record"] for r in records] == ["manifest", "progress", "metrics", "summary"]
+    assert records[0]["schema"] == RUN_LOG_SCHEMA
+    assert all(r["t_wall"] == 42.0 for r in records)
+    assert validate_run_log(records) == []
+
+
+def test_writer_refuses_after_close(tmp_path):
+    w = RunLogWriter(tmp_path / "run.jsonl")
+    w.close()
+    with pytest.raises(RuntimeError):
+        w.write("progress", sim_time_s=0, events=0, events_per_sec=0)
+    w.close()  # idempotent
+
+
+def test_read_rejects_corrupt_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"record": "manifest"}\nnot json\n')
+    with pytest.raises(ValueError):
+        read_run_log(path)
+    path.write_text("[1, 2]\n")
+    with pytest.raises(ValueError):
+        read_run_log(path)
+
+
+def test_validate_empty_and_missing_manifest():
+    assert validate_run_log([]) == ["run log is empty"]
+    errors = validate_run_log(
+        [{"record": "summary", "t_wall": 1.0, "status": "ok", "wall_s": 1.0,
+          "events": 1, "events_per_sec": 1.0, "peak_rss_kb": 1}]
+    )
+    assert any("first record must be the manifest" in e for e in errors)
+
+
+def test_validate_flags_schema_and_fields(tmp_path):
+    path = tmp_path / "run.jsonl"
+    _write_minimal(path)
+    records = read_run_log(path)
+    records[0]["schema"] = "repro-runlog/999"
+    errors = validate_run_log(records)
+    assert any("schema" in e for e in errors)
+
+    del records[0]["schema"]
+    errors = validate_run_log(records)
+    assert any("missing fields" in e for e in errors)
+
+
+def test_validate_requires_summary_and_traceback(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunLogWriter(path) as w:
+        w.manifest(**_manifest_kwargs())
+    errors = validate_run_log(read_run_log(path))
+    assert any("no summary record" in e for e in errors)
+
+    with RunLogWriter(path) as w:
+        w.manifest(**_manifest_kwargs())
+        w.summary(status="error", wall_s=1.0, events=0, events_per_sec=0.0, peak_rss_kb=0)
+    errors = validate_run_log(read_run_log(path))
+    assert any("traceback" in e for e in errors)
+
+
+def test_validate_flags_malformed_metrics():
+    records = [
+        {"record": "manifest", "t_wall": 1.0, "schema": RUN_LOG_SCHEMA, "label": "x",
+         "config": {}, "config_hash": "h", "repro_version": "1", "seed": 1, "engine": "packet"},
+        {"record": "metrics", "t_wall": 1.0, "counters": {"x": "NaN-string"},
+         "gauges": {}, "histograms": {"h": {"buckets": []}}},
+        {"record": "summary", "t_wall": 1.0, "status": "ok", "wall_s": 1.0,
+         "events": 1, "events_per_sec": 1.0, "peak_rss_kb": 1},
+    ]
+    errors = validate_run_log(records)
+    assert any("counters must map names to numbers" in e for e in errors)
+    assert any("histogram 'h' malformed" in e for e in errors)
+
+
+def test_validate_flags_unknown_record_type():
+    records = [{"record": "mystery", "t_wall": 1.0}]
+    errors = validate_run_log(records)
+    assert any("unknown record type" in e for e in errors)
+
+
+def test_records_are_single_json_lines(tmp_path):
+    path = tmp_path / "run.jsonl"
+    _write_minimal(path)
+    for line in path.read_text().splitlines():
+        json.loads(line)  # every line independently parseable

@@ -1,0 +1,89 @@
+"""Datapath trace hooks: drop/loss sites fire the attached tracer."""
+
+import numpy as np
+
+from repro.aqm.fifo import FifoQueue
+from repro.aqm.red import RedQueue
+from repro.net.packet import make_data_packet
+from repro.obs.flight import FlightRecorder
+
+
+def _pkt(seq, size=1000):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def test_fifo_tail_drop_traced():
+    q = FifoQueue(2_000)
+    q.tracer = FlightRecorder(capacity=16)
+    for seq in range(4):  # 2 fit, 2 tail-dropped
+        q.enqueue(_pkt(seq), now=seq * 10)
+    drops = q.tracer.of_kind("queue_drop")
+    assert len(drops) == 2
+    assert all(f["point"] == "tail" for _, _, f in drops)
+    assert [f["seq"] for _, _, f in drops] == [2, 3]
+    assert [t for _, t, _ in drops] == [20, 30]
+
+
+def test_red_early_drop_traced():
+    rng = np.random.default_rng(0)
+    q = RedQueue(60_000, rng, min_th=2_000, max_th=10_000, max_p=1.0, avpkt=1000)
+    q.tracer = FlightRecorder(capacity=256)
+    for seq in range(60):
+        q.enqueue(_pkt(seq), now=seq)
+    points = {f["point"] for _, _, f in q.tracer.of_kind("queue_drop")}
+    assert "early" in points
+    traced = len(q.tracer.of_kind("queue_drop"))
+    assert traced == q.stats.dropped_enqueue
+
+
+def test_default_tracer_is_null_and_free():
+    q = FifoQueue(1_000)
+    assert not q.tracer.enabled
+    q.enqueue(_pkt(0, size=2_000), now=0)  # drop with no tracer: no error
+    assert q.stats.dropped_enqueue == 1
+
+
+def test_link_loss_traced():
+    from repro.net.link import Link
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    rng = np.random.default_rng(1)
+    got = []
+    link = Link(sim, 8e6, 1000, got.append, name="lossy",
+                loss_rate=0.5, loss_rng=rng)
+    rec = FlightRecorder(capacity=64)
+    link.tracer = rec
+
+    def send(seq=0):
+        if seq < 20:
+            link.transmit(_pkt(seq), lambda: send(seq + 1))
+
+    send()
+    sim.run()
+    losses = rec.of_kind("link_loss")
+    assert len(losses) == link.packets_lost > 0
+    assert all(f["link"] == "lossy" for _, _, f in losses)
+
+
+def test_sender_retx_and_rto_traced():
+    # A lossy bottleneck forces retransmissions and recovery episodes.
+    from repro.cca.registry import make_cca
+    from repro.tcp.connection import open_connection
+    from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+    from repro.units import mbps, seconds
+
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(10), buffer_bdp=2.0,
+                       mss_bytes=1500, seed=2, trunk_loss_rate=0.05)
+    )
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"),
+                           mss=1500, flow_id=1)
+    rec = FlightRecorder(capacity=4096)
+    conn.sender.tracer = rec
+    conn.start()
+    db.network.run(seconds(5))
+    assert conn.sender.retransmits > 0
+    assert len(rec.of_kind("retx")) == conn.sender.retransmits
+    assert len(rec.of_kind("rto")) == conn.sender.rto_count
+    assert len(rec.of_kind("recovery_enter")) == conn.sender.fast_recoveries

@@ -32,3 +32,35 @@ def test_clear():
     t.clear()
     assert t.events == []
     assert t.counts["a"] == 0
+    assert t.of_kind("a") == []
+
+
+def test_of_kind_is_indexed_not_scanned():
+    # of_kind must serve from the per-kind index: the identical event
+    # tuples, in record order, without touching other kinds.
+    t = Tracer()
+    for i in range(1000):
+        t.record("common", i)
+    t.record("rare", 5000, flow=9)
+    rare = t.of_kind("rare")
+    assert rare == [("rare", 5000, {"flow": 9})]
+    assert rare[0] is t.events[-1]  # same tuple object, no copy
+    assert t.of_kind("absent") == []
+
+
+def test_of_kind_returns_fresh_list():
+    t = Tracer()
+    t.record("a", 1)
+    first = t.of_kind("a")
+    first.append("junk")
+    assert t.of_kind("a") == [("a", 1, {})]
+
+
+def test_events_ordering_with_index():
+    t = Tracer()
+    kinds = ["a", "b", "a", "c", "b", "a"]
+    for i, k in enumerate(kinds):
+        t.record(k, i)
+    assert [k for k, _, _ in t.events] == kinds
+    assert [i for _, i, _ in t.of_kind("a")] == [0, 2, 5]
+    assert [i for _, i, _ in t.of_kind("b")] == [1, 4]

@@ -44,6 +44,40 @@ def test_run_command_packet(capsys):
     assert "client1 (reno)" in capsys.readouterr().out
 
 
+def test_run_with_telemetry_writes_valid_log(tmp_path, capsys):
+    tel_dir = str(tmp_path / "telemetry")
+    rc = main([
+        "run", "--cca1", "cubic", "--cca2", "cubic", "--aqm", "fifo",
+        "--bw", "10M", "--duration", "3", "--mss", "1500", "--flows", "1",
+        "--telemetry", "--telemetry-dir", tel_dir, "--trace-dump",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "run log     :" in out
+    logs = list((tmp_path / "telemetry").glob("*.jsonl"))
+    assert any(p.name.endswith(".trace.jsonl") for p in logs)
+    assert main(["obs", "validate", tel_dir]) == 0
+    capsys.readouterr()
+    assert main(["obs", "summary", tel_dir]) == 0
+    summary = capsys.readouterr().out
+    assert "status      : ok" in summary
+    assert "retransmits" in summary
+
+
+def test_sweep_with_telemetry_writes_campaign_log(tmp_path, capsys):
+    out_file = str(tmp_path / "results.jsonl")
+    tel_dir = str(tmp_path / "telemetry")
+    rc = main([
+        "sweep", "--preset", "smoke", "--out", out_file, "--quiet",
+        "--telemetry", "--telemetry-dir", tel_dir,
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["obs", "tail", tel_dir]) == 0
+    assert "done" in capsys.readouterr().out
+    assert main(["obs", "validate", tel_dir]) == 0
+
+
 def test_sweep_and_report_roundtrip(tmp_path, capsys):
     out_file = str(tmp_path / "results.jsonl")
     rc = main(["sweep", "--preset", "smoke", "--out", out_file, "--quiet"])
