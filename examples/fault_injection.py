@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Deterministic fault injection: a cable pull in the middle of a transfer.
+
+Runs the same CUBIC-vs-CUBIC cell twice — once clean, once with a
+``faults:`` block that pulls the bottleneck cable for one second at
+t=10 s and layers a 1 % loss burst on the recovery — and prints the
+per-interval goodput side by side so the outage and the slow-start
+recovery are visible.  The fault timeline is seeded: rerunning this
+script reproduces the exact same drop pattern, byte for byte.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.sparkline import sparkline
+from repro.units import format_rate, mbps
+
+FAULTS = [
+    dict(kind="link_flap", at_s=10.0, duration_s=1.0, flush=True),
+    dict(kind="loss_burst", at_s=11.5, duration_s=3.0, loss_rate=0.01),
+]
+
+
+def run_one(faults):
+    config = ExperimentConfig(
+        cca_pair=("cubic", "cubic"),
+        aqm="fifo",
+        buffer_bdp=2.0,
+        bottleneck_bw_bps=mbps(100),
+        duration_s=20.0,
+        mss_bytes=1500,
+        scale=5.0,
+        seed=7,
+        sample_interval_s=0.5,
+        faults=faults,
+    )
+    return run_experiment(config)
+
+
+def main() -> None:
+    clean = run_one([])
+    faulty = run_one(FAULTS)
+
+    for name, result in (("clean", clean), ("faulted", faulty)):
+        series = result.extra["series_bps"]
+        total = [sum(vals) for vals in zip(*series.values())]
+        print(f"{name:>8s}  {sparkline(total)}")
+        print(
+            f"{'':>8s}  total={format_rate(result.total_throughput_bps)}"
+            f"  retx={result.total_retransmits}"
+            f"  jain={result.jain_index:.3f}"
+        )
+
+    audit = faulty.extra["faults"]
+    print(f"\ninjected {audit['injected']} fault mutations:")
+    for row in audit["applied"]:
+        print(f"  t={row['time_ns'] / 1e9:6.2f}s  {row['action']:<13s} {row['target']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ class QueueStats:
         "ecn_marked",
         "bytes_enqueued",
         "bytes_dropped",
+        "flushed",
     )
 
     def __init__(self) -> None:
@@ -49,6 +50,10 @@ class QueueStats:
         self.ecn_marked = 0
         self.bytes_enqueued = 0
         self.bytes_dropped = 0
+        # Packets discarded by an administrative flush() (a fault-injection
+        # action, not an AQM decision).  Also counted in dropped_dequeue so
+        # dropped_total and the conservation identity stay truthful.
+        self.flushed = 0
 
     @property
     def dropped_total(self) -> int:
@@ -132,6 +137,34 @@ class QueueDiscipline:
             self.stats.ecn_marked += 1
             return True
         return False
+
+    def flush(self, now: int) -> int:
+        """Discard every queued packet (the router queue-flush fault).
+
+        Drains through :meth:`dequeue` so each discipline's internal state
+        (CoDel intervals, FQ bucket backlogs, RED averages) is unwound by
+        its own logic, then re-books each popped packet from "dequeued"
+        to "dropped at dequeue" — the conservation identity
+        ``enqueued == dequeued + dropped_dequeue + queued`` is preserved,
+        with ``stats.flushed`` recording how many drops were administrative
+        rather than algorithmic.  Returns the number of packets flushed.
+        """
+        stats = self.stats
+        flushed = 0
+        while True:
+            pkt = self.dequeue(now)
+            if pkt is None:
+                break
+            stats.dequeued -= 1
+            stats.dropped_dequeue += 1
+            stats.bytes_dropped += pkt.size
+            stats.flushed += 1
+            flushed += 1
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "queue_drop", now, point="flush", flow=pkt.flow_id, seq=pkt.seq
+                )
+        return flushed
 
     @property
     def is_empty(self) -> bool:

@@ -63,6 +63,19 @@ def parse_rate(text: str) -> float:
         raise argparse.ArgumentTypeError(f"cannot parse rate {text!r}") from None
 
 
+def _parse_faults(args: argparse.Namespace) -> list:
+    """Compile ``--fault`` strings into validated FaultSpec dicts."""
+    from repro.faults.spec import FaultSpec
+
+    specs = []
+    for text in getattr(args, "fault", None) or ():
+        try:
+            specs.append(FaultSpec.parse(text).to_dict())
+        except ValueError as exc:
+            raise SystemExit(f"repro: bad --fault {text!r}: {exc}")
+    return specs
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = ExperimentConfig(
         cca_pair=(args.cca1, args.cca2),
@@ -75,6 +88,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         scale=args.scale,
         flows_per_node=args.flows,
+        faults=_parse_faults(args),
     )
     telemetry = _telemetry_options(args)
     result = run_experiment(cfg, telemetry)
@@ -87,6 +101,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"retransmits : {result.total_retransmits}")
     print(f"drops       : {result.bottleneck_drops}")
     print(f"wallclock   : {result.wallclock_s:.2f}s")
+    faults = result.extra.get("faults") if isinstance(result.extra, dict) else None
+    if faults:
+        print(f"faults      : {faults['injected']} mutations injected")
     obs = result.extra.get("obs") if isinstance(result.extra, dict) else None
     if obs:
         print(f"run log     : {obs['run_log']} ({obs['events_per_sec']:.0f} ev/s)")
@@ -97,6 +114,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = get_preset(args.preset)
     if args.limit:
         configs = configs[: args.limit]
+    if args.fault_profile:
+        import dataclasses
+
+        from repro.faults.profiles import get_profile
+
+        profile = get_profile(args.fault_profile)
+        configs = [dataclasses.replace(cfg, faults=list(profile)) for cfg in configs]
     store = ResultStore(args.out) if args.out else None
     telemetry = _telemetry_options(args)
     campaign_log = (
@@ -112,11 +136,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=tracker,
             on_failure=tracker.failure,
             telemetry=telemetry,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            on_retry=tracker.retry,
         )
     finally:
         tracker.close()
     counts = results.summary()
-    print(f"completed {counts['ok']} runs" + (f", {counts['failed']} FAILED" if counts["failed"] else ""))
+    tail = ""
+    if counts["failed"]:
+        tail += f", {counts['failed']} FAILED"
+    if counts.get("retried"):
+        tail += f", {counts['retried']} retried"
+    print(f"completed {counts['ok']} runs{tail}")
     return 2 if counts["failed"] else 0
 
 
@@ -219,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump the flight-recorder window after the run (implies --telemetry)",
     )
+    p_run.add_argument(
+        "--fault",
+        action="append",
+        metavar="SPEC",
+        help=(
+            "inject a deterministic fault, e.g. 'link_flap,at=10,dur=1' or "
+            "'loss_burst,at=5,dur=5,loss=0.01' (repeatable; see docs/FAULTS.md)"
+        ),
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a preset campaign")
@@ -234,6 +275,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run JSONL logs + live campaign.jsonl in --telemetry-dir",
     )
     p_sweep.add_argument("--telemetry-dir", default=DEFAULT_TELEMETRY_DIR, help="run log directory")
+    p_sweep.add_argument(
+        "--fault-profile",
+        default=None,
+        help="apply a named fault profile to every config (see repro.faults.profiles)",
+    )
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run wall-clock deadline; hung workers are killed and recorded as failures",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run failed configs up to N times with exponential backoff",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="render tables/figures from stored results")

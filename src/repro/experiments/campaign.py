@@ -11,15 +11,27 @@ A worker raising no longer aborts the pool: the exception is captured as a
 ``<store>.failures.jsonl`` file, and counted in the returned
 :class:`CampaignResult`.  Failed configs are *not* written to the result
 store, so a resumed campaign retries them.
+
+The *hardened* execution mode (any of ``timeout_s``, ``retries``, or a
+custom ``worker_fn``) survives misbehaving workers, not just raising
+ones: each config runs in its own watchdogged process, a worker that
+outlives its per-run wall-clock deadline is killed and recorded as a
+``timeout`` row, a worker that dies without reporting (segfault,
+``os._exit``, OOM-kill) becomes a ``crash`` row, and every failure is
+retried up to ``retries`` times with exponential backoff plus
+deterministic per-label jitter before the config is declared dead.  See
+docs/FAULTS.md for the full degradation semantics.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import random as _random
 import sys
 import time
 import traceback as _traceback
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -30,15 +42,29 @@ from repro.experiments.storage import ResultStore
 from repro.metrics.summary import ExperimentResult
 from repro.obs.session import TelemetryOptions
 
+#: Watchdog poll cadence (wall-clock seconds) in hardened mode.
+WATCHDOG_POLL_S = 0.02
+
+#: Fractional jitter span added to each backoff delay (0.25 = up to +25%).
+BACKOFF_JITTER_FRAC = 0.25
+
 
 @dataclass
 class FailedRun:
-    """One configuration that raised instead of producing a result."""
+    """One configuration that failed instead of producing a result.
+
+    ``kind`` distinguishes how it failed: ``error`` (the run raised),
+    ``timeout`` (killed by the watchdog), or ``crash`` (the worker died
+    without reporting).  ``attempts`` counts executions including
+    retries.
+    """
 
     config: Dict[str, Any]
     label: str
     error: str
     traceback: str
+    kind: str = "error"
+    attempts: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form, one line of ``<store>.failures.jsonl``."""
@@ -47,16 +73,20 @@ class FailedRun:
             "label": self.label,
             "error": self.error,
             "traceback": self.traceback,
+            "kind": self.kind,
+            "attempts": self.attempts,
         }
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "FailedRun":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-hardening rows)."""
         return cls(
             config=d["config"],
             label=d["label"],
             error=d["error"],
             traceback=d.get("traceback", ""),
+            kind=d.get("kind", "error"),
+            attempts=d.get("attempts", 1),
         )
 
 
@@ -70,12 +100,15 @@ class CampaignResult(List[ExperimentResult]):
     def __init__(self, results: Optional[Sequence[ExperimentResult]] = None):
         super().__init__(results or [])
         self.failures: List[FailedRun] = []
+        #: Individual retry attempts performed (graceful-degradation accounting).
+        self.retried = 0
 
     def summary(self) -> Dict[str, int]:
-        """Counts for campaign-end reporting: ok / failed / total."""
+        """Counts for campaign-end reporting: ok / failed / retried / total."""
         return {
             "ok": len(self),
             "failed": len(self.failures),
+            "retried": self.retried,
             "total": len(self) + len(self.failures),
         }
 
@@ -136,6 +169,42 @@ def _run_one_safe(payload: tuple) -> dict:
         }
 
 
+def _proc_entry(worker_fn: Callable[[tuple], dict], payload: tuple, conn) -> None:
+    """Hardened-mode process body: run one config, ship the tagged dict back.
+
+    Catches exceptions a *custom* ``worker_fn`` lets escape (the default
+    :func:`_run_one_safe` already captures its own) so the parent always
+    distinguishes "raised" from "died silently".
+    """
+    try:
+        tagged = worker_fn(payload)
+    except Exception:
+        tagged = {
+            "err": FailedRun(
+                config=payload[0],
+                label=ExperimentConfig.from_dict(payload[0]).label(),
+                error=repr(sys.exc_info()[1]),
+                traceback=_traceback.format_exc(),
+            ).to_dict()
+        }
+    try:
+        conn.send(tagged)
+    finally:
+        conn.close()
+
+
+def _backoff_delay(label: str, attempt: int, backoff_s: float) -> float:
+    """Exponential backoff with deterministic per-(label, attempt) jitter.
+
+    Jitter decorrelates retry storms across a campaign without making
+    reruns of the same campaign time differently: the jitter fraction is
+    seeded from the label and attempt number, not wall clock.
+    """
+    base = backoff_s * (2.0 ** (attempt - 1))
+    jitter = _random.Random(f"{label}:{attempt}").uniform(0.0, BACKOFF_JITTER_FRAC)
+    return base * (1.0 + jitter)
+
+
 def run_campaign(
     configs: Sequence[ExperimentConfig],
     *,
@@ -145,6 +214,11 @@ def run_campaign(
     progress: Optional[Callable[[int, int, ExperimentResult], None]] = None,
     on_failure: Optional[Callable[[int, int, FailedRun], None]] = None,
     telemetry: Optional[TelemetryOptions] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    on_retry: Optional[Callable[[str, int, float, FailedRun], None]] = None,
+    worker_fn: Optional[Callable[[tuple], dict]] = None,
 ) -> CampaignResult:
     """Run every config; returns results in completion order.
 
@@ -153,9 +227,20 @@ def run_campaign(
     ``progress``/``on_failure`` fire per completed config with a shared
     ``finished`` count covering both outcomes.  ``telemetry`` is handed to
     every worker, giving each run its own JSONL run log.
+
+    ``timeout_s`` arms the per-run watchdog, ``retries``/``backoff_s``
+    bound the retry-with-backoff loop, and ``on_retry(label, attempt,
+    delay_s, failure)`` fires per re-queue.  Any of these (or a custom
+    ``worker_fn``, the chaos-test seam) switches execution to the
+    hardened one-process-per-config mode; without them the original
+    serial / ``mp.Pool`` paths run unchanged.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
 
     done = CampaignResult()
     todo: List[ExperimentConfig] = list(configs)
@@ -193,6 +278,22 @@ def run_campaign(
 
     telemetry_dict = telemetry.to_dict() if telemetry is not None else None
 
+    if timeout_s is not None or retries > 0 or worker_fn is not None:
+        _run_hardened(
+            todo,
+            telemetry_dict,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            worker_fn=worker_fn or _run_one_safe,
+            record=_record,
+            record_failure=_record_failure,
+            on_retry=on_retry,
+            result=done,
+        )
+        return done
+
     if jobs == 1 or total <= 1:
         for cfg in todo:
             try:
@@ -219,6 +320,137 @@ def run_campaign(
             else:
                 _record_failure(FailedRun.from_dict(tagged["err"]))
     return done
+
+
+def _run_hardened(
+    todo: Sequence[ExperimentConfig],
+    telemetry_dict: Optional[dict],
+    *,
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    worker_fn: Callable[[tuple], dict],
+    record: Callable[[ExperimentResult], None],
+    record_failure: Callable[[FailedRun], None],
+    on_retry: Optional[Callable[[str, int, float, FailedRun], None]],
+    result: CampaignResult,
+) -> None:
+    """Watchdogged one-process-per-config executor (hardened mode).
+
+    Each config gets a fresh process and a pipe; the parent polls for a
+    tagged result, a silent death (``crash``), or a blown wall-clock
+    deadline (``timeout`` — the process is killed).  Failures re-queue
+    with exponential backoff until ``retries`` is exhausted, then become
+    the :class:`FailedRun` row the campaign carries forward.
+    """
+    ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
+    pending: deque = deque((cfg, 1) for cfg in todo)  # (config, attempt#)
+    delayed: List[tuple] = []  # (ready_at_monotonic, config, attempt#)
+    running: List[dict] = []
+
+    def _launch(cfg: ExperimentConfig, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_proc_entry,
+            args=(worker_fn, (cfg.to_dict(), telemetry_dict), child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        running.append(
+            {
+                "proc": proc,
+                "conn": parent_conn,
+                "cfg": cfg,
+                "attempt": attempt,
+                "deadline": (time.monotonic() + timeout_s) if timeout_s else None,
+            }
+        )
+
+    def _resolve_failure(entry: dict, failure: FailedRun) -> None:
+        attempt = entry["attempt"]
+        failure.attempts = attempt
+        if attempt <= retries:
+            delay = _backoff_delay(failure.label, attempt, backoff_s)
+            result.retried += 1
+            if on_retry is not None:
+                on_retry(failure.label, attempt, delay, failure)
+            delayed.append((time.monotonic() + delay, entry["cfg"], attempt + 1))
+        else:
+            record_failure(failure)
+
+    def _failure(entry: dict, kind: str, error: str, traceback: str = "") -> FailedRun:
+        cfg = entry["cfg"]
+        return FailedRun(
+            config=cfg.to_dict(),
+            label=cfg.label(),
+            error=error,
+            traceback=traceback,
+            kind=kind,
+        )
+
+    while pending or delayed or running:
+        now = time.monotonic()
+        if delayed:
+            ready = [d for d in delayed if d[0] <= now]
+            for item in ready:
+                delayed.remove(item)
+                pending.append((item[1], item[2]))
+        while pending and len(running) < jobs:
+            cfg, attempt = pending.popleft()
+            _launch(cfg, attempt)
+        progressed = False
+        for entry in list(running):
+            proc, conn = entry["proc"], entry["conn"]
+            tagged = None
+            finished = False
+            if conn.poll():
+                try:
+                    tagged = conn.recv()
+                except EOFError:
+                    tagged = None  # died between connecting and sending
+                finished = True
+            elif not proc.is_alive():
+                finished = True  # never reported: crash
+            elif entry["deadline"] is not None and now >= entry["deadline"]:
+                proc.terminate()
+                proc.join()
+                conn.close()
+                running.remove(entry)
+                progressed = True
+                _resolve_failure(
+                    entry,
+                    _failure(
+                        entry,
+                        "timeout",
+                        f"run exceeded the {timeout_s:g}s wall-clock timeout "
+                        "and was killed by the watchdog",
+                    ),
+                )
+                continue
+            if not finished:
+                continue
+            proc.join()
+            conn.close()
+            running.remove(entry)
+            progressed = True
+            if tagged is None:
+                _resolve_failure(
+                    entry,
+                    _failure(
+                        entry,
+                        "crash",
+                        f"worker died without reporting (exitcode {proc.exitcode})",
+                    ),
+                )
+            elif "ok" in tagged:
+                record(ExperimentResult.from_dict(tagged["ok"]))
+            else:
+                failure = FailedRun.from_dict(tagged["err"])
+                _resolve_failure(entry, failure)
+        if not progressed and (running or delayed):
+            time.sleep(WATCHDOG_POLL_S)
 
 
 def print_progress(finished: int, total: int, result: ExperimentResult) -> None:
@@ -262,6 +494,7 @@ class CampaignProgress:
         self._start = clock()
         self._events = 0
         self._failed = 0
+        self._retried = 0
         self._quiet = quiet
         self._writer = None
         if log_path is not None:
@@ -283,6 +516,7 @@ class CampaignProgress:
                 finished=finished,
                 total=total,
                 failed=self._failed,
+                retried=self._retried,
                 label=label,
                 eta_s=self._eta_s(finished, total),
                 events_per_sec=self._events / elapsed if elapsed > 0 else 0.0,
@@ -303,6 +537,26 @@ class CampaignProgress:
         if not self._quiet:
             print_failure(finished, total, failure)
         self._emit(finished, total, failure.label)
+
+    def retry(self, label: str, attempt: int, delay_s: float, failure: FailedRun) -> None:
+        """``on_retry`` companion: a failed run was re-queued with backoff."""
+        self._retried += 1
+        if not self._quiet:
+            print(
+                f"    retry #{attempt} for {label} in {delay_s:.2f}s "
+                f"({failure.kind}: {failure.error})",
+                file=sys.stderr,
+                flush=True,
+            )
+        if self._writer is not None:
+            self._writer.write(
+                "campaign_retry",
+                label=label,
+                attempt=attempt,
+                delay_s=delay_s,
+                error=failure.error,
+                kind=failure.kind,
+            )
 
     def close(self) -> None:
         """Close the campaign.jsonl writer, if one was opened."""

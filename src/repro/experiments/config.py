@@ -102,6 +102,9 @@ class ExperimentConfig:
     #: Sample the bottleneck queue (backlog/drops/RED avg) at this cadence
     #: (packet engine only; the paper's "detailed router logs" future work).
     queue_monitor_interval_s: Optional[float] = None
+    #: Deterministic fault-injection timeline: a list of FaultSpec dicts
+    #: (see repro.faults and docs/FAULTS.md).  Packet engine only.
+    faults: List[Dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.cca_pair = (
@@ -118,6 +121,14 @@ class ExperimentConfig:
             raise ValueError("warmup must be in [0, duration)")
         if self.flows_per_node is not None and self.flows_per_node < 1:
             raise ValueError("flows_per_node must be >= 1")
+        if self.faults:
+            from repro.faults.spec import normalize_faults
+
+            if self.engine != "packet":
+                raise ValueError("faults require the packet engine")
+            # Validate every spec up front and pin the stable full-dict
+            # form (what label() hashes and workers unpickle).
+            self.faults = normalize_faults(self.faults)
 
     @property
     def is_intra_cca(self) -> bool:
@@ -136,13 +147,29 @@ class ExperimentConfig:
 
         pair = f"{self.cca_pair[0]}-vs-{self.cca_pair[1]}"
         rate = format_rate(self.bottleneck_bw_bps).replace(" ", "")
-        return f"{pair}_{self.aqm}_{self.buffer_bdp:g}bdp_{rate}_seed{self.seed}"
+        label = f"{pair}_{self.aqm}_{self.buffer_bdp:g}bdp_{rate}_seed{self.seed}"
+        if self.faults:
+            # Configs differing only in their fault timeline must not
+            # collide in result stores / resume bookkeeping.
+            import json
+            import zlib
+
+            digest = zlib.crc32(
+                json.dumps(self.faults, sort_keys=True).encode("utf-8")
+            )
+            label += f"_faults{digest:08x}"
+        return label
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict (tuples become lists); inverse of from_dict."""
         d = asdict(self)
         d["cca_pair"] = list(self.cca_pair)
         d["client_delay_multipliers"] = list(self.client_delay_multipliers)
+        if not self.faults:
+            # Keep fault-free config dicts (and thus stored results,
+            # config hashes, and golden fixtures) byte-identical to the
+            # pre-faults era.
+            d.pop("faults", None)
         return d
 
     @classmethod

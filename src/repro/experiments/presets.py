@@ -82,6 +82,18 @@ def _smoke() -> List[ExperimentConfig]:
     )
 
 
+def _chaos_smoke() -> List[ExperimentConfig]:
+    """The smoke grid with the ``chaos`` fault profile layered on every
+    cell: a mid-run link flap, a loss burst, and a bandwidth dip.  Used by
+    the CI ``chaos-smoke`` job to exercise the fault path end to end."""
+    import dataclasses
+
+    from repro.faults.profiles import get_profile
+
+    profile = get_profile("chaos-smoke")
+    return [dataclasses.replace(cfg, faults=list(profile)) for cfg in _smoke()]
+
+
 PRESETS: Dict[str, Preset] = {
     "paper-fluid": Preset("paper-fluid", "Full 810-config grid, fluid engine, 5 reps", _paper_fluid),
     "scaled-des": Preset(
@@ -95,6 +107,11 @@ PRESETS: Dict[str, Preset] = {
         _claims,
     ),
     "smoke": Preset("smoke", "Tiny packet-engine grid for CI", _smoke),
+    "chaos-smoke": Preset(
+        "chaos-smoke",
+        "Smoke grid with the chaos-smoke fault profile on every cell",
+        _chaos_smoke,
+    ),
 }
 
 

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from repro.cca.registry import make_cca
 from repro.experiments.config import ExperimentConfig
+from repro.faults.schedule import FaultSchedule
 from repro.metrics.fairness import jain_index
 from repro.metrics.queue_monitor import QueueMonitor
 from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
@@ -125,9 +126,21 @@ def _execute_packet(
             conn.start(delay_ns=int(start_rng.uniform(0, START_JITTER_NS)))
             connections[node_idx].append(conn)
 
+    # Arm the fault timeline at a fixed point in the scheduling order —
+    # before any telemetry-owned events — so event sequence numbers (the
+    # same-instant tie-breakers) are identical with telemetry on or off.
+    fault_schedule = None
+    if config.faults:
+        fault_schedule = FaultSchedule.from_config(
+            config, rng=net.rng.stream("faults")
+        )
+        fault_schedule.arm(net.sim, dumbbell)
+
     if session is not None:
         senders = [conn.sender for conns in connections for conn in conns]
         session.instrument(dumbbell, senders)
+        if fault_schedule is not None:
+            session.attach_faults(fault_schedule)
         sim = net.sim
 
         def _progress() -> None:
@@ -171,12 +184,14 @@ def _execute_packet(
             conn.stop()
 
     return _collect(
-        config, dumbbell, connections, sampler, queue_monitor, warmup_bytes, wall_start
+        config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
+        wall_start, fault_schedule,
     )
 
 
 def _collect(
-    config, dumbbell, connections, sampler, queue_monitor, warmup_bytes, wall_start
+    config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
+    wall_start, fault_schedule=None,
 ) -> ExperimentResult:
     measured_s = config.duration_s - config.warmup_s
     flows: List[FlowStats] = []
@@ -228,6 +243,13 @@ def _collect(
     # Per-flow fairness (n = all flows) alongside the paper's per-sender
     # index — the "scaling capability" measure of contribution #2.
     extra["flow_jain_index"] = jain_index([f.throughput_bps for f in flows])
+    if fault_schedule is not None:
+        # Deterministic audit trail of what was injected (simulated-time
+        # stamps only, so it is golden-fixture comparable).
+        extra["faults"] = {
+            "injected": fault_schedule.injected,
+            "applied": list(fault_schedule.applied),
+        }
 
     return ExperimentResult(
         config=config.to_dict(),

@@ -1,0 +1,25 @@
+"""Deterministic, seeded fault injection (see docs/FAULTS.md).
+
+Declarative :class:`FaultSpec` rows compile into a :class:`FaultSchedule`
+of timed engine events that drive the run-time mutation hooks on
+:class:`~repro.net.link.Link` / :class:`~repro.net.interface.Interface`.
+All randomness (onset jitter, burst loss lotteries) comes from named
+:class:`~repro.sim.rng.RngStreams`, so identical seeds yield
+bit-identical schedules and bit-identical runs.
+"""
+
+from repro.faults.profiles import PROFILES, get_profile
+from repro.faults.schedule import FaultEvent, FaultSchedule, FaultTarget, resolve_dumbbell_target
+from repro.faults.spec import FAULT_KINDS, FaultSpec, normalize_faults
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTarget",
+    "PROFILES",
+    "get_profile",
+    "normalize_faults",
+    "resolve_dumbbell_target",
+]

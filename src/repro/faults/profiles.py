@@ -1,0 +1,51 @@
+"""Named fault profiles.
+
+A profile is a reusable ``faults:`` block — the CLI's ``repro sweep
+--fault-profile NAME`` stamps one onto every config of a campaign, and
+presets reference them directly.  Times are chosen to land inside the
+short scaled-DES / smoke run durations (15 s and 5 s respectively), so
+every profile is observable on the tractable presets; for longer runs
+they simply fire early in the transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.faults.spec import normalize_faults
+
+PROFILES: Dict[str, List[dict]] = {
+    # Mid-run cable pull: down for 1 s, queue preserved (drains into the
+    # dead link and is dropped deterministically).
+    "flap": [dict(kind="link_flap", at_s=10.0, duration_s=1.0)],
+    # The paper's "variable rates of packet loss" anomaly: a 1 % random
+    # loss episode lasting 5 s.
+    "loss-burst": [dict(kind="loss_burst", at_s=5.0, duration_s=5.0, loss_rate=0.01)],
+    # A LAG-member failure: bottleneck capacity halves for 5 s.
+    "degrade": [dict(kind="rate_drop", at_s=5.0, duration_s=5.0, rate_factor=0.5)],
+    # A transient reroute: propagation delay triples for 3 s.
+    "delay-spike": [dict(kind="delay_spike", at_s=5.0, duration_s=3.0, delay_factor=3.0)],
+    # A line-card reset: the bottleneck backlog is discarded at t=8 s.
+    "queue-flush": [dict(kind="queue_flush", at_s=8.0)],
+    # Everything at once — the chaos scenario the campaign-hardening
+    # layer is built to survive.
+    "chaos": [
+        dict(kind="loss_burst", at_s=3.0, duration_s=4.0, loss_rate=0.005),
+        dict(kind="rate_drop", at_s=5.0, duration_s=5.0, rate_factor=0.5),
+        dict(kind="link_flap", at_s=11.0, duration_s=0.5, flush=True),
+    ],
+    # ``chaos`` compressed into the 5 s smoke-preset window (CI job).
+    "chaos-smoke": [
+        dict(kind="loss_burst", at_s=1.0, duration_s=1.5, loss_rate=0.005),
+        dict(kind="rate_drop", at_s=2.0, duration_s=1.5, rate_factor=0.5),
+        dict(kind="link_flap", at_s=4.0, duration_s=0.3, flush=True),
+    ],
+}
+
+
+def get_profile(name: str) -> List[dict]:
+    """Return the normalized ``faults:`` block for a named profile."""
+    try:
+        return normalize_faults(PROFILES[name])
+    except KeyError:
+        raise ValueError(f"unknown fault profile {name!r}; have {sorted(PROFILES)}") from None

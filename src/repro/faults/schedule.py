@@ -1,0 +1,253 @@
+"""Compile fault specs into timed engine events and arm them on a run.
+
+A :class:`FaultSchedule` is the executable form of a list of
+:class:`~repro.faults.spec.FaultSpec`: every spec becomes one or two
+:class:`FaultEvent` rows (onset + restore) with absolute nanosecond
+times.  Compilation is deterministic — start-time jitter is drawn from
+the named ``faults`` RNG stream, so identical experiment seeds yield
+bit-identical schedules, and a burst's loss lottery draws from a
+per-link ``faultloss:<link>`` stream that never perturbs the draws of
+existing consumers.
+
+Arming registers one cancellable engine event per row.  Each firing
+mutates the resolved :class:`~repro.net.link.Link` /
+:class:`~repro.net.interface.Interface` through the validated ``set_*``
+hooks, appends to :attr:`FaultSchedule.applied` (the audit trail that
+ends up in the run log's ``fault_manifest``), and records a ``fault``
+event on the attached tracer (the flight recorder, when telemetry is
+on — :attr:`tracer` is read at fire time, so it can be attached after
+arming without changing event order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence
+
+from repro.faults.spec import FaultSpec
+from repro.sim.trace import NULL_TRACER
+from repro.units import seconds
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One compiled mutation: at ``time_ns``, apply ``action`` to ``target``."""
+
+    time_ns: int
+    action: str
+    target: str
+    value: Optional[float] = None
+    flush: bool = False
+    spec_index: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (one ``events`` row of the fault manifest)."""
+        return {
+            "time_ns": self.time_ns,
+            "action": self.action,
+            "target": self.target,
+            "value": self.value,
+            "flush": self.flush,
+            "spec_index": self.spec_index,
+        }
+
+
+class FaultTarget(NamedTuple):
+    """A resolved target: the link to mutate and its owning interface."""
+
+    link: Any
+    iface: Optional[Any]
+
+
+#: Symbolic dumbbell targets -> directed link name (see testbed.dumbbell).
+_DUMBBELL_LINKS = {
+    "bottleneck": "router1->router2",
+    "reverse": "router2->router1",
+    "access1": "client1->router1",
+    "access2": "client2->router1",
+}
+
+
+def resolve_dumbbell_target(dumbbell, target: str) -> FaultTarget:
+    """Map a symbolic (or raw ``a->b``) target onto a built dumbbell."""
+    net = dumbbell.network
+    link_name = _DUMBBELL_LINKS.get(target, target)
+    link = net.links.get(link_name)
+    if link is None:
+        raise ValueError(
+            f"fault target {target!r} does not resolve to a link "
+            f"(have {sorted(net.links)})"
+        )
+    for node in net.nodes.values():
+        for iface in node.interfaces.values():
+            if iface.link is link:
+                return FaultTarget(link, iface)
+    return FaultTarget(link, None)
+
+
+class FaultSchedule:
+    """Compiled, armable fault timeline for one run."""
+
+    def __init__(self, specs: Sequence[FaultSpec], events: Sequence[FaultEvent]):
+        self.specs = list(specs)
+        self.events = list(events)
+        #: Audit trail of fired mutations ({time_ns, action, target, value}).
+        self.applied: List[Dict[str, Any]] = []
+        #: Read at fire time; attach a FlightRecorder for trace events.
+        self.tracer = NULL_TRACER
+        self._prior: Dict[tuple, float] = {}
+        self._rng_streams = None
+
+    # -- compilation --------------------------------------------------------------
+
+    @classmethod
+    def compile(cls, specs: Sequence[FaultSpec], *, rng=None) -> "FaultSchedule":
+        """Expand specs into time-ordered events.
+
+        ``rng`` (the ``faults`` stream) is only consulted for specs with
+        ``jitter_s > 0`` — jitter-free schedules compile identically with
+        or without one.
+        """
+        events: List[FaultEvent] = []
+        for i, spec in enumerate(specs):
+            onset = seconds(spec.at_s)
+            if spec.jitter_s > 0:
+                if rng is None:
+                    raise ValueError("fault specs with jitter need an rng")
+                onset += int(rng.uniform(0.0, spec.jitter_s * 1e9))
+            end = onset + seconds(spec.duration_s)
+            if spec.kind == "link_flap":
+                events.append(FaultEvent(onset, "link_down", spec.target,
+                                         flush=spec.flush, spec_index=i))
+                events.append(FaultEvent(end, "link_up", spec.target, spec_index=i))
+            elif spec.kind == "loss_burst":
+                events.append(FaultEvent(onset, "loss_set", spec.target,
+                                         value=spec.loss_rate, spec_index=i))
+                events.append(FaultEvent(end, "loss_restore", spec.target, spec_index=i))
+            elif spec.kind == "rate_drop":
+                events.append(FaultEvent(onset, "rate_scale", spec.target,
+                                         value=spec.rate_factor, spec_index=i))
+                events.append(FaultEvent(end, "rate_restore", spec.target, spec_index=i))
+            elif spec.kind == "delay_spike":
+                events.append(FaultEvent(onset, "delay_scale", spec.target,
+                                         value=spec.delay_factor, spec_index=i))
+                events.append(FaultEvent(end, "delay_restore", spec.target, spec_index=i))
+            elif spec.kind == "queue_flush":
+                events.append(FaultEvent(onset, "queue_flush", spec.target, spec_index=i))
+            else:  # pragma: no cover - FaultSpec already validated the kind
+                raise ValueError(f"unknown fault kind {spec.kind!r}")
+        # Stable sort: same-instant onset fires before its own restore,
+        # and ties across specs break by declaration order.
+        events.sort(key=lambda e: e.time_ns)
+        return cls(specs, events)
+
+    @classmethod
+    def from_config(cls, config, rng=None) -> Optional["FaultSchedule"]:
+        """Compile the ``faults:`` block of an experiment config (None if empty)."""
+        if not getattr(config, "faults", None):
+            return None
+        specs = [FaultSpec.from_dict(d) for d in config.faults]
+        return cls.compile(specs, rng=rng)
+
+    # -- arming -------------------------------------------------------------------
+
+    def arm(self, sim, dumbbell) -> None:
+        """Register every event on the engine against a built dumbbell."""
+        self.arm_with(
+            sim,
+            lambda target: resolve_dumbbell_target(dumbbell, target),
+            rng_streams=dumbbell.network.rng,
+        )
+
+    def arm_with(self, sim, resolve, *, rng_streams=None) -> None:
+        """Generic arming: ``resolve(target)`` must return a :class:`FaultTarget`.
+
+        Targets are resolved eagerly so a bad target fails at arm time,
+        not mid-run.  ``rng_streams`` supplies the per-link loss stream a
+        ``loss_burst`` needs when the link has no loss RNG of its own.
+        """
+        self._rng_streams = rng_streams
+        handles = {e.target: resolve(e.target) for e in self.events}
+        for event in self.events:
+            sim.schedule_at(max(event.time_ns, sim.now), self._fire, event, handles[event.target])
+
+    # -- firing -------------------------------------------------------------------
+
+    def _loss_rng_for(self, link):
+        if link._loss_rng is not None or self._rng_streams is None:
+            return None
+        return self._rng_streams.stream(f"faultloss:{link.name}")
+
+    def _fire(self, event: FaultEvent, handle: FaultTarget) -> None:
+        link = handle.link
+        action = event.action
+        applied_value: Optional[float] = event.value
+        if action == "link_down":
+            if event.flush and handle.iface is not None:
+                handle.iface.set_down(flush_queue=True)
+            else:
+                link.set_down()
+        elif action == "link_up":
+            link.set_up()
+        elif action == "loss_set":
+            self._prior[(event.target, "loss")] = link.loss_rate
+            link.set_loss_rate(event.value, rng=self._loss_rng_for(link))
+        elif action == "loss_restore":
+            applied_value = self._prior.pop((event.target, "loss"), 0.0)
+            link.set_loss_rate(applied_value)
+        elif action == "rate_scale":
+            prior = self._prior[(event.target, "rate")] = link.rate_bps
+            applied_value = prior * event.value
+            link.set_rate(applied_value)
+        elif action == "rate_restore":
+            applied_value = self._prior.pop((event.target, "rate"), link.rate_bps)
+            link.set_rate(applied_value)
+        elif action == "delay_scale":
+            prior = self._prior[(event.target, "delay")] = link.delay_ns
+            applied_value = int(prior * event.value)
+            link.set_delay(applied_value)
+        elif action == "delay_restore":
+            applied_value = self._prior.pop((event.target, "delay"), link.delay_ns)
+            link.set_delay(int(applied_value))
+        elif action == "queue_flush":
+            qdisc = handle.iface.qdisc if handle.iface is not None else None
+            if qdisc is None:
+                raise RuntimeError(
+                    f"queue_flush target {event.target!r} has no egress qdisc"
+                )
+            applied_value = float(qdisc.flush(event.time_ns))
+        else:  # pragma: no cover - compile() emits a closed action set
+            raise ValueError(f"unknown fault action {action!r}")
+        self.applied.append(
+            {
+                "time_ns": event.time_ns,
+                "action": action,
+                "target": event.target,
+                "value": applied_value,
+            }
+        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "fault", event.time_ns,
+                action=action, target=event.target, value=applied_value,
+            )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        """Mutations fired so far (the ``faults_injected_total`` metric)."""
+        return len(self.applied)
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-ready description for the run log's ``fault_manifest`` record."""
+        return {
+            "specs": [s.to_dict() for s in self.specs],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultSchedule specs={len(self.specs)} events={len(self.events)} injected={self.injected}>"

@@ -1,0 +1,168 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` describes one impairment the way the paper's testbed
+would experience it on a live WAN: a link flap, a transient loss burst, a
+capacity-degradation step, a delay spike (reroute), or an administrative
+router-queue flush.  Specs are plain data — validated, JSON-ready, and
+hashable into the experiment label — and are compiled into timed engine
+events by :mod:`repro.faults.schedule`.
+
+Specs can come from three places, all converging on the same dict form:
+
+- the ``faults:`` block of an :class:`~repro.experiments.config.ExperimentConfig`,
+- a named profile (:mod:`repro.faults.profiles`), or
+- the CLI's compact text form, e.g. ``loss_burst,at=5,dur=5,rate=0.01``
+  (see :meth:`FaultSpec.parse`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
+
+#: Fault kinds and the extra parameter each one uses.
+FAULT_KINDS: Tuple[str, ...] = (
+    "link_flap",    # link down at t, back up after duration (optional queue flush)
+    "loss_burst",   # random loss at `loss_rate` for duration, then restore
+    "rate_drop",    # rate *= rate_factor for duration, then restore
+    "delay_spike",  # propagation delay *= delay_factor for duration, then restore
+    "queue_flush",  # instantaneous: discard the egress queue backlog
+)
+
+#: Targets resolvable on the paper's dumbbell (see schedule.resolve_target).
+KNOWN_TARGETS: Tuple[str, ...] = ("bottleneck", "reverse", "access1", "access2")
+
+#: Aliases accepted in the CLI text form, mapping to canonical field names.
+_PARSE_ALIASES = {
+    "at": "at_s",
+    "dur": "duration_s",
+    "duration": "duration_s",
+    "rate": "loss_rate",
+    "loss": "loss_rate",
+    "factor": "rate_factor",
+    "delay": "delay_factor",
+    "jitter": "jitter_s",
+    "target": "target",
+    "flush": "flush",
+}
+
+_FLOAT_FIELDS = ("at_s", "duration_s", "loss_rate", "rate_factor", "delay_factor", "jitter_s")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative impairment.  Immutable and JSON-round-trippable."""
+
+    kind: str
+    at_s: float
+    duration_s: float = 0.0
+    target: str = "bottleneck"
+    #: ``loss_burst``: the loss probability during the burst.
+    loss_rate: float = 0.0
+    #: ``rate_drop``: multiplier applied to the rate at fault onset.
+    rate_factor: float = 1.0
+    #: ``delay_spike``: multiplier applied to the delay at fault onset.
+    delay_factor: float = 1.0
+    #: ``link_flap``: also flush the egress queue when the link goes down.
+    flush: bool = False
+    #: Uniform start-time jitter span (drawn from the ``faults`` RNG
+    #: stream, so identical seeds produce identical onset times).
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
+        if self.at_s < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration_s}")
+        if self.jitter_s < 0:
+            raise ValueError(f"fault jitter must be >= 0, got {self.jitter_s}")
+        if not isinstance(self.target, str) or not self.target:
+            raise ValueError("fault target must be a non-empty string")
+        if self.kind == "loss_burst":
+            if not 0.0 < self.loss_rate < 1.0:
+                raise ValueError(
+                    f"loss_burst needs loss_rate in (0, 1), got {self.loss_rate}"
+                )
+            if self.duration_s <= 0:
+                raise ValueError("loss_burst needs a positive duration")
+        if self.kind == "rate_drop":
+            if not 0.0 < self.rate_factor <= 1.0:
+                raise ValueError(
+                    f"rate_drop needs rate_factor in (0, 1], got {self.rate_factor}"
+                )
+            if self.duration_s <= 0:
+                raise ValueError("rate_drop needs a positive duration")
+        if self.kind == "delay_spike":
+            if self.delay_factor < 1.0:
+                raise ValueError(
+                    f"delay_spike needs delay_factor >= 1, got {self.delay_factor}"
+                )
+            if self.duration_s <= 0:
+                raise ValueError("delay_spike needs a positive duration")
+        if self.kind == "link_flap" and self.duration_s <= 0:
+            raise ValueError("link_flap needs a positive duration")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full-field dict (stable key set, so config hashes stay stable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSpec":
+        unknown = set(d) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        if unknown:
+            raise ValueError(f"unknown fault spec fields {sorted(unknown)}")
+        return cls(**d)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI form: ``kind,key=value,...``.
+
+        Keys accept short aliases (``at``, ``dur``, ``rate``, ``factor``,
+        ``delay``, ``target``, ``flush``, ``jitter``).  Examples::
+
+            link_flap,at=10,dur=2
+            loss_burst,at=5,dur=5,rate=0.01,target=reverse
+            rate_drop,at=5,dur=10,factor=0.5
+            queue_flush,at=8
+        """
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+        if not parts:
+            raise ValueError("empty fault spec")
+        kind = parts[0]
+        fields: Dict[str, Any] = {"kind": kind}
+        for part in parts[1:]:
+            if "=" not in part:
+                raise ValueError(f"fault spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            field = _PARSE_ALIASES.get(key.strip(), key.strip())
+            if field == "flush":
+                fields[field] = value.strip().lower() in ("1", "true", "yes")
+            elif field in _FLOAT_FIELDS:
+                fields[field] = float(value)
+            else:
+                fields[field] = value.strip()
+        if "at_s" not in fields:
+            raise ValueError(f"fault spec {text!r} is missing at=<seconds>")
+        return cls.from_dict(fields)
+
+
+def normalize_faults(faults) -> list:
+    """Validate a ``faults:`` block and return it in full-dict form.
+
+    Accepts a sequence of dicts, :class:`FaultSpec` instances, or CLI
+    strings; always returns a list of the stable ``to_dict`` form (what
+    configs store, hash, and ship to campaign workers).
+    """
+    out = []
+    for item in faults:
+        if isinstance(item, FaultSpec):
+            out.append(item.to_dict())
+        elif isinstance(item, str):
+            out.append(FaultSpec.parse(item).to_dict())
+        elif isinstance(item, dict):
+            out.append(FaultSpec.from_dict(item).to_dict())
+        else:
+            raise ValueError(f"cannot interpret fault spec {item!r}")
+    return out

@@ -78,6 +78,29 @@ class Interface:
         self._enqueue = qdisc.enqueue
         self._dequeue = qdisc.dequeue
 
+    # -- fault hooks --------------------------------------------------------------
+
+    def set_down(self, *, flush_queue: bool = False) -> None:
+        """Down the egress link; optionally flush queued packets too.
+
+        With ``flush_queue`` False (the default, matching an unplugged
+        cable) the qdisc keeps queueing and the transmit loop keeps
+        draining it into the dead link, where packets are dropped
+        deterministically; with True, the backlog is discarded on the
+        spot (a line-card reset rather than a cable pull).
+        """
+        if self.link is None:
+            raise RuntimeError(f"interface {self} is not attached")
+        self.link.set_down()
+        if flush_queue and self.qdisc is not None:
+            self.qdisc.flush(self._sim.now)
+
+    def set_up(self) -> None:
+        """Bring the egress link back up."""
+        if self.link is None:
+            raise RuntimeError(f"interface {self} is not attached")
+        self.link.set_up()
+
     # -- datapath -----------------------------------------------------------------
 
     def send(self, pkt: Packet) -> None:

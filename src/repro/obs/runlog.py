@@ -14,6 +14,10 @@ first line is always the ``manifest``.  Record types (schema
 - ``summary`` — terminal record: status (``ok``/``error``), wall seconds,
   events, events/sec, peak RSS, headline outcome metrics, and the
   traceback string on failure.
+- ``fault_manifest`` — the compiled fault-injection timeline of the run
+  (specs + absolute-time events; see docs/FAULTS.md).
+- ``campaign_progress`` / ``campaign_retry`` — campaign-level liveness
+  and retry accounting (written to ``campaign.jsonl``, not per-run logs).
 
 :func:`validate_run_log` is the hand-rolled schema check used by tests
 and the CI telemetry smoke job (no external jsonschema dependency).
@@ -38,6 +42,8 @@ REQUIRED_FIELDS: Dict[str, tuple] = {
     "metrics": ("counters", "gauges", "histograms"),
     "summary": ("status", "wall_s", "events", "events_per_sec", "peak_rss_kb"),
     "campaign_progress": ("finished", "total", "failed", "label", "eta_s"),
+    "campaign_retry": ("label", "attempt", "delay_s", "error"),
+    "fault_manifest": ("specs", "events"),
 }
 
 
@@ -93,6 +99,14 @@ class RunLogWriter:
             events=events,
             events_per_sec=events_per_sec,
             **extra,
+        )
+
+    def fault_manifest(self, manifest: Dict[str, Any]) -> Dict[str, Any]:
+        """Write the compiled fault timeline (specs + absolute-time events)."""
+        return self.write(
+            "fault_manifest",
+            specs=manifest.get("specs", []),
+            events=manifest.get("events", []),
         )
 
     def metrics(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:

@@ -126,6 +126,29 @@ class TelemetrySession:
         dumbbell.bottleneck_qdisc.tracer = recorder
         dumbbell.bottleneck_link.tracer = recorder
 
+    def attach_faults(self, schedule) -> None:
+        """Wire a :class:`~repro.faults.schedule.FaultSchedule` into the session.
+
+        Writes the compiled timeline as a ``fault_manifest`` record,
+        points the schedule's tracer at the flight recorder (fault firings
+        land in the post-mortem window), and registers the
+        ``faults_injected_total`` counter.  Attached *after* the schedule
+        is armed: the tracer is read at fire time, so attaching never
+        perturbs engine event ordering.
+        """
+        self._writer.fault_manifest(schedule.manifest())
+        schedule.tracer = self.recorder
+        self.registry.counter(
+            "faults_injected_total",
+            "Fault mutations fired by the schedule",
+            fn=lambda: schedule.injected,
+        )
+        self.registry.gauge(
+            "fault_events_compiled",
+            "Events in the compiled fault schedule",
+            fn=lambda: len(schedule.events),
+        )
+
     # -- lifecycle ----------------------------------------------------------------
 
     def _wall_s(self) -> float:

@@ -60,7 +60,9 @@ class LossSchedule:
             sim.schedule_at(max(step.time_ns, sim.now), self._apply, step.value)
 
     def _apply(self, loss_rate: float) -> None:
-        self.link.loss_rate = loss_rate
+        # set_loss_rate re-validates the [0, 1) bound at fire time — the
+        # one sanctioned mutation path (see repro.net.link.Link).
+        self.link.set_loss_rate(loss_rate)
         self.applied.append((self.sim.now, loss_rate))
 
 
@@ -79,7 +81,9 @@ class RateSchedule:
             sim.schedule_at(max(step.time_ns, sim.now), self._apply, step.value)
 
     def _apply(self, rate_bps: float) -> None:
-        self.link.rate_bps = rate_bps
+        # set_rate invalidates the memoized serialization delays; bare
+        # assignment would keep serializing at the old rate.
+        self.link.set_rate(rate_bps)
         self.applied.append((self.sim.now, rate_bps))
 
 

@@ -99,7 +99,7 @@ def test_serial_failure_becomes_row_not_abort(tmp_path):
         on_failure=lambda done, total, f: failures.append((done, total, f)),
     )
     assert len(results) == 2  # good configs still completed
-    assert results.summary() == {"ok": 2, "failed": 1, "total": 3}
+    assert results.summary() == {"ok": 2, "failed": 1, "retried": 0, "total": 3}
     (row,) = results.failures
     assert row.label == _poisoned_config().label()
     assert "bogus_knob" in row.error

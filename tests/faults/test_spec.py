@@ -1,0 +1,127 @@
+"""Unit tests for FaultSpec: validation, parsing, normalization."""
+
+import pytest
+
+from repro.faults.spec import FAULT_KINDS, FaultSpec, normalize_faults
+
+
+def test_defaults_and_fields():
+    spec = FaultSpec(kind="link_flap", at_s=10.0, duration_s=1.0)
+    assert spec.target == "bottleneck"
+    assert spec.flush is False
+    assert spec.jitter_s == 0.0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor_strike", at_s=1.0)
+
+
+@pytest.mark.parametrize(
+    "over",
+    [
+        dict(at_s=-1.0),
+        dict(duration_s=-0.5),
+        dict(jitter_s=-0.1),
+        dict(target=""),
+    ],
+)
+def test_bad_scalars_rejected(over):
+    base = dict(kind="link_flap", at_s=1.0, duration_s=1.0)
+    base.update(over)
+    with pytest.raises(ValueError):
+        FaultSpec(**base)
+
+
+@pytest.mark.parametrize("loss", [0.0, 1.0, 1.5, -0.1])
+def test_loss_burst_rate_bounds(loss):
+    with pytest.raises(ValueError):
+        FaultSpec(kind="loss_burst", at_s=1.0, duration_s=1.0, loss_rate=loss)
+
+
+def test_loss_burst_needs_duration():
+    with pytest.raises(ValueError, match="positive duration"):
+        FaultSpec(kind="loss_burst", at_s=1.0, loss_rate=0.1)
+
+
+@pytest.mark.parametrize("factor", [0.0, 1.5, -0.5])
+def test_rate_drop_factor_bounds(factor):
+    with pytest.raises(ValueError):
+        FaultSpec(kind="rate_drop", at_s=1.0, duration_s=1.0, rate_factor=factor)
+
+
+def test_delay_spike_factor_must_stretch():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="delay_spike", at_s=1.0, duration_s=1.0, delay_factor=0.5)
+
+
+def test_link_flap_needs_duration():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="link_flap", at_s=1.0)
+
+
+def test_queue_flush_is_instantaneous():
+    spec = FaultSpec(kind="queue_flush", at_s=8.0)
+    assert spec.duration_s == 0.0
+
+
+def test_roundtrip_dict():
+    spec = FaultSpec(kind="loss_burst", at_s=5.0, duration_s=5.0, loss_rate=0.01)
+    d = spec.to_dict()
+    # Stable full key set: every field present even at its default.
+    assert set(d) == set(FaultSpec.__dataclass_fields__)
+    assert FaultSpec.from_dict(d) == spec
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown fault spec fields"):
+        FaultSpec.from_dict(dict(kind="link_flap", at_s=1.0, duration_s=1.0, blast_radius=3))
+
+
+def test_parse_with_aliases():
+    spec = FaultSpec.parse("loss_burst,at=5,dur=5,rate=0.01,target=reverse")
+    assert spec == FaultSpec(
+        kind="loss_burst", at_s=5.0, duration_s=5.0, loss_rate=0.01, target="reverse"
+    )
+
+
+def test_parse_flush_and_jitter():
+    spec = FaultSpec.parse("link_flap,at=10,dur=2,flush=true,jitter=0.5")
+    assert spec.flush is True
+    assert spec.jitter_s == 0.5
+    assert FaultSpec.parse("link_flap,at=10,dur=2,flush=no").flush is False
+
+
+@pytest.mark.parametrize("text", ["", "link_flap,dur=2", "link_flap,at=10,dur"])
+def test_parse_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        FaultSpec.parse(text)
+
+
+def test_every_kind_has_a_valid_example():
+    examples = {
+        "link_flap": FaultSpec(kind="link_flap", at_s=1, duration_s=1),
+        "loss_burst": FaultSpec(kind="loss_burst", at_s=1, duration_s=1, loss_rate=0.1),
+        "rate_drop": FaultSpec(kind="rate_drop", at_s=1, duration_s=1, rate_factor=0.5),
+        "delay_spike": FaultSpec(kind="delay_spike", at_s=1, duration_s=1, delay_factor=2.0),
+        "queue_flush": FaultSpec(kind="queue_flush", at_s=1),
+    }
+    assert set(examples) == set(FAULT_KINDS)
+
+
+def test_normalize_accepts_mixed_forms():
+    out = normalize_faults(
+        [
+            dict(kind="queue_flush", at_s=8.0),
+            FaultSpec(kind="link_flap", at_s=1.0, duration_s=1.0),
+            "rate_drop,at=5,dur=5,factor=0.5",
+        ]
+    )
+    assert [d["kind"] for d in out] == ["queue_flush", "link_flap", "rate_drop"]
+    # Idempotent: normalizing the output changes nothing.
+    assert normalize_faults(out) == out
+
+
+def test_normalize_rejects_garbage():
+    with pytest.raises(ValueError):
+        normalize_faults([42])

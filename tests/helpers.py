@@ -126,6 +126,18 @@ GOLDEN_CONFIGS = {
     "fluid_fifo": dict(
         cca_pair=("cubic", "cubic"), aqm="fifo", engine="fluid",
         bottleneck_bw_bps=500e6, duration_s=10.0),
+    # Pinned fault scenarios: the full result dict — including the fault
+    # audit trail in extra["faults"] — must stay bit-identical, so any
+    # change to fault compilation, firing order, or the drain-on-down
+    # semantics fails the exact-match test.
+    "packet_fault_flap": dict(
+        cca_pair=("cubic", "cubic"), aqm="fifo", engine="packet",
+        bottleneck_bw_bps=10e6, duration_s=15.0,
+        faults=[dict(kind="link_flap", at_s=10.0, duration_s=1.0)]),
+    "packet_fault_lossburst": dict(
+        cca_pair=("cubic", "reno"), aqm="fifo", engine="packet",
+        bottleneck_bw_bps=10e6, duration_s=15.0,
+        faults=[dict(kind="loss_burst", at_s=5.0, duration_s=5.0, loss_rate=0.01)]),
 }
 
 GOLDEN_DEFAULTS = dict(

@@ -1,0 +1,238 @@
+"""Link mutation hooks: down-drain semantics, validated setters, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.aqm.fifo import FifoQueue
+from repro.net.link import Link
+from repro.net.packet import make_data_packet
+from repro.sim.engine import Simulator
+from repro.units import milliseconds
+
+
+def _pkt(size=1500, seq=0):
+    return make_data_packet(1, "a", "b", seq=seq, mss=size, now=0)
+
+
+def _link(sim, sink, rate=12e6, delay=milliseconds(5), **kw):
+    # 1500 B at 12 Mbps -> 1 ms serialization; 5 ms propagation.
+    return Link(sim, rate, delay, sink.append, **kw)
+
+
+def _conserved(link):
+    return link.packets_tx == (
+        link.packets_delivered
+        + link.packets_lost
+        + link.packets_dropped_down
+        + link.packets_in_flight
+    )
+
+
+# -- down/up drain semantics ------------------------------------------------------
+
+
+def test_down_drops_at_serialization_hop():
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink)
+    link.transmit(_pkt(), lambda: None)
+    link.set_down()  # before the 1 ms tx-done timer fires
+    sim.run()
+    assert sink == []
+    assert link.packets_dropped_down == 1
+    assert link.packets_in_flight == 0
+    assert _conserved(link)
+
+
+def test_down_drops_at_propagation_hop():
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink)
+    link.transmit(_pkt(), lambda: None)
+    # Down strictly between tx-done (1 ms) and arrival (6 ms).
+    sim.schedule(milliseconds(2), link.set_down)
+    sim.run()
+    assert sink == []
+    assert link.packets_dropped_down == 1
+    assert _conserved(link)
+
+
+def test_short_flap_does_not_claw_back_delivered_packets():
+    """A flap shorter than the propagation delay misses packets already
+    past both timer hops — the cable-pull analogy."""
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink)
+    link.transmit(_pkt(seq=0), lambda: None)
+    # Flap while the packet is propagating, but back up before arrival.
+    sim.schedule(milliseconds(2), link.set_down)
+    sim.schedule(milliseconds(3), link.set_up)
+    sim.run()
+    assert len(sink) == 1
+    assert link.packets_dropped_down == 0
+    assert _conserved(link)
+
+
+def test_set_down_is_idempotent_and_forwarding_resumes():
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink)
+    link.set_down()
+    link.set_down()
+    link.transmit(_pkt(seq=0), lambda: None)
+    sim.run()
+    assert sink == []
+    link.set_up()
+    link.transmit(_pkt(seq=1), lambda: None)
+    sim.run()
+    assert [p.seq for p in sink] == [1]
+    assert _conserved(link)
+
+
+def test_down_drop_traced_with_hop_point():
+    from repro.obs.flight import FlightRecorder
+
+    sim = Simulator()
+    link = _link(sim, [])
+    link.tracer = recorder = FlightRecorder(capacity=8)
+    link.transmit(_pkt(), lambda: None)
+    link.set_down()
+    sim.run()
+    drops = recorder.of_kind("link_down_drop")
+    assert len(drops) == 1
+    assert drops[0][2]["point"] == "serialize"
+
+
+# -- validated setters ------------------------------------------------------------
+
+
+def test_set_rate_invalidates_tx_cache():
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink, rate=12e6, delay=0)
+    done = []
+    link.transmit(_pkt(), lambda: done.append(sim.now))
+    sim.run()
+    assert done == [milliseconds(1)]
+    link.set_rate(6e6)  # half the rate -> double the serialization time
+    start = sim.now
+    link.transmit(_pkt(seq=1), lambda: done.append(sim.now - start))
+    sim.run()
+    assert done[1] == milliseconds(2)
+
+
+def test_set_rate_rejects_nonpositive():
+    link = _link(Simulator(), [])
+    with pytest.raises(ValueError):
+        link.set_rate(0)
+    with pytest.raises(ValueError):
+        link.set_rate(-1e6)
+
+
+def test_set_delay_applies_to_new_packets_only():
+    sim = Simulator()
+    sink = []
+    link = _link(sim, sink)
+    link.transmit(_pkt(seq=0), lambda: None)
+    # Delay triples at 2 ms: seq 0 is already on the wire (arrives 6 ms).
+    sim.schedule(milliseconds(2), link.set_delay, milliseconds(15))
+    sim.run()
+    assert sim.now == milliseconds(6)
+    with pytest.raises(ValueError):
+        link.set_delay(-1)
+
+
+def test_set_loss_rate_validates_bounds():
+    link = _link(Simulator(), [])
+    for bad in (1.0, 1.5, -0.1):
+        with pytest.raises(ValueError):
+            link.set_loss_rate(bad)
+
+
+def test_set_loss_rate_requires_rng():
+    link = _link(Simulator(), [])
+    with pytest.raises(ValueError, match="rng"):
+        link.set_loss_rate(0.1)
+    link.set_loss_rate(0.1, rng=np.random.default_rng(1))
+    assert link.loss_rate == 0.1
+    # Disabling and re-enabling reuses the installed stream.
+    link.set_loss_rate(0.0)
+    link.set_loss_rate(0.2)
+    assert link.loss_rate == 0.2
+
+
+def test_conservation_under_mixed_loss_and_flaps():
+    sim = Simulator()
+    sink = []
+    link = _link(
+        sim, sink, rate=1e9, delay=milliseconds(1),
+        loss_rate=0.3, loss_rng=np.random.default_rng(5),
+    )
+    t = 0
+    for i in range(300):
+        t += 50_000
+        sim.schedule(t, link.transmit, _pkt(seq=i), lambda: None)
+    sim.schedule(milliseconds(5), link.set_down)
+    sim.schedule(milliseconds(9), link.set_up)
+    sim.run()
+    assert link.packets_tx == 300
+    assert link.packets_in_flight == 0
+    assert link.packets_dropped_down > 0
+    assert link.packets_lost > 0
+    assert _conserved(link)
+    assert len(sink) == link.packets_delivered
+
+
+# -- interface-level hooks --------------------------------------------------------
+
+
+def _iface_pair():
+    from repro.net.topology import Network
+
+    net = Network(seed=0)
+    h1 = net.add_host("h1")
+    h2 = net.add_host("h2")
+    i1 = h1.add_interface("eth0", None)
+    h2.add_interface("eth0", None)
+    net.connect(
+        i1, h2.interfaces["eth0"], rate_bps=1e6, delay_ns=milliseconds(1),
+        qdisc_a=FifoQueue(10 * 1500),
+    )
+    return net, i1, i1.link
+
+
+def test_interface_set_down_keeps_queue_by_default():
+    net, iface, link = _iface_pair()
+    for i in range(5):
+        iface.send(_pkt(seq=i))
+    iface.set_down()
+    assert link.up is False
+    # Cable pull: the backlog stays queued and drains into the dead link.
+    assert iface.qdisc.stats.flushed == 0
+    net.run()
+    assert link.packets_dropped_down > 0
+    iface.set_up()
+    assert link.up is True
+
+
+def test_interface_set_down_flush_discards_backlog():
+    net, iface, link = _iface_pair()
+    for i in range(5):
+        iface.send(_pkt(seq=i))
+    queued_before = iface.qdisc.packets_queued
+    assert queued_before > 0
+    iface.set_down(flush_queue=True)
+    assert iface.qdisc.packets_queued == 0
+    assert iface.qdisc.stats.flushed == queued_before
+    stats = iface.qdisc.stats
+    assert stats.enqueued == stats.dequeued + stats.dropped_dequeue + iface.qdisc.packets_queued
+
+
+def test_unattached_interface_hooks_raise():
+    from repro.net.topology import Network
+
+    iface = Network(seed=0).add_host("h").add_interface("eth0", None)
+    with pytest.raises(RuntimeError, match="not attached"):
+        iface.set_down()
+    with pytest.raises(RuntimeError, match="not attached"):
+        iface.set_up()

@@ -1,0 +1,105 @@
+"""Telemetry x faults: invariance, fault manifests, and fault metrics."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_packet_experiment
+from repro.obs.runlog import read_run_log, validate_run_log
+from repro.obs.session import TelemetryOptions
+from repro.units import mbps
+
+FAULTS = [
+    dict(kind="link_flap", at_s=1.0, duration_s=0.3),
+    dict(kind="loss_burst", at_s=1.5, duration_s=0.7, loss_rate=0.05),
+]
+
+
+def _cfg(**over):
+    base = dict(
+        cca_pair=("cubic", "cubic"),
+        bottleneck_bw_bps=mbps(10),
+        duration_s=3.0,
+        mss_bytes=1500,
+        flows_per_node=1,
+        seed=5,
+        faults=FAULTS,
+    )
+    base.update(over)
+    return ExperimentConfig(**base)
+
+
+def test_telemetry_does_not_perturb_faulted_outcomes(tmp_path):
+    """The tentpole determinism claim: with faults active, every simulated
+    outcome — flow counters, drops, and the fault audit trail itself —
+    is bit-identical whether telemetry is on or off."""
+    cfg = _cfg(seed=7, aqm="fq_codel", buffer_bdp=0.5)
+    plain = run_packet_experiment(cfg)
+    observed = run_packet_experiment(cfg, TelemetryOptions(dir=str(tmp_path)))
+    assert [f.__dict__ for f in plain.flows] == [f.__dict__ for f in observed.flows]
+    assert plain.jain_index == observed.jain_index
+    assert plain.bottleneck_drops == observed.bottleneck_drops
+    assert plain.total_retransmits == observed.total_retransmits
+    assert plain.extra["faults"] == observed.extra["faults"]
+    assert plain.extra["faults"]["injected"] == 4  # both faults fired fully
+
+
+def test_run_log_carries_valid_fault_manifest(tmp_path):
+    cfg = _cfg()
+    run_packet_experiment(cfg, TelemetryOptions(dir=str(tmp_path)))
+    records = read_run_log(tmp_path / f"{cfg.label()}.jsonl")
+    assert validate_run_log(records) == []
+    (manifest,) = [r for r in records if r["record"] == "fault_manifest"]
+    assert [s["kind"] for s in manifest["specs"]] == ["link_flap", "loss_burst"]
+    assert [e["action"] for e in manifest["events"]] == [
+        "link_down", "link_up", "loss_set", "loss_restore",
+    ]
+
+
+def test_fault_metrics_exported(tmp_path):
+    cfg = _cfg()
+    result = run_packet_experiment(cfg, TelemetryOptions(dir=str(tmp_path)))
+    records = read_run_log(tmp_path / f"{cfg.label()}.jsonl")
+    metrics = [r for r in records if r["record"] == "metrics"][-1]
+    assert metrics["counters"]["faults_injected_total"] == 4
+    assert metrics["gauges"]["fault_events_compiled"] == 4
+    assert result.extra["faults"]["injected"] == 4
+
+
+def test_fault_firings_land_in_flight_recorder(tmp_path):
+    cfg = _cfg()
+    run_packet_experiment(cfg, TelemetryOptions(dir=str(tmp_path), trace_dump=True))
+    import json
+
+    trace = tmp_path / f"{cfg.label()}.trace.jsonl"
+    events = [json.loads(line) for line in trace.read_text().splitlines()]
+    fault_events = [e for e in events if e["kind"] == "fault"]
+    assert [e["action"] for e in fault_events] == [
+        "link_down", "link_up", "loss_set", "loss_restore",
+    ]
+
+
+def test_fault_free_run_log_has_no_fault_manifest(tmp_path):
+    cfg = _cfg(faults=[])
+    run_packet_experiment(cfg, TelemetryOptions(dir=str(tmp_path)))
+    records = read_run_log(tmp_path / f"{cfg.label()}.jsonl")
+    assert validate_run_log(records) == []
+    assert not [r for r in records if r["record"] == "fault_manifest"]
+
+
+def test_fault_manifest_schema_enforced():
+    bad = [
+        {"record": "manifest", "t_wall": 1.0, "schema": "repro-runlog/1",
+         "label": "x", "config": {}, "config_hash": "h", "repro_version": "v",
+         "seed": 0, "engine": "packet"},
+        {"record": "fault_manifest", "t_wall": 1.0, "specs": []},  # missing events
+        {"record": "summary", "t_wall": 1.0, "status": "ok", "wall_s": 1.0,
+         "events": 1, "events_per_sec": 1.0, "peak_rss_kb": 0},
+    ]
+    problems = validate_run_log(bad)
+    assert any("fault_manifest" in p and "events" in p for p in problems)
+
+
+@pytest.mark.parametrize("engine", ["fluid"])
+def test_faults_rejected_off_packet_engine(engine):
+    with pytest.raises(ValueError, match="packet engine"):
+        _cfg(engine=engine)

@@ -1,0 +1,129 @@
+"""Chaos property tests: packet conservation under faults.
+
+Two layers of the same invariant:
+
+- every queue discipline conserves packets when administrative flushes
+  are interleaved with random enqueue/dequeue traffic
+  (``enqueued == dequeued + dropped_dequeue + queued``), and
+- a link conserves packets under every fault kind with random loss
+  (``tx == delivered + lost + dropped_down + in_flight``), driven through
+  the real :class:`~repro.faults.schedule.FaultSchedule` machinery.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqm.registry import make_aqm
+from repro.faults.schedule import FaultSchedule, FaultTarget
+from repro.faults.spec import FAULT_KINDS, FaultSpec
+from repro.net.packet import make_data_packet
+from repro.net.topology import Network
+from repro.units import milliseconds
+
+AQM_NAMES = ("fifo", "red", "codel", "fq_codel", "pie")
+
+# (flow, size, op) streams; op 0 = enqueue, 1 = dequeue, 2 = flush.
+OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=64, max_value=9000),
+        st.integers(min_value=0, max_value=2),
+    ),
+    max_size=120,
+)
+
+
+def _qdisc(name):
+    return make_aqm(name, 60_000, rng=np.random.default_rng(7))
+
+
+@given(st.sampled_from(AQM_NAMES), OPS)
+@settings(max_examples=60, deadline=None)
+def test_qdisc_conservation_with_flushes(name, ops):
+    q = _qdisc(name)
+    now = 0
+    seq = 0
+    for flow, size, op in ops:
+        now += 1_000_000
+        if op == 0:
+            seq += 1
+            q.enqueue(make_data_packet(flow, "a", "b", seq=seq, mss=size, now=now), now)
+        elif op == 1:
+            q.dequeue(now)
+        else:
+            q.flush(now)
+    stats = q.stats
+    # Every accepted packet is either out (dequeued), dropped after
+    # acceptance (dequeue drops, incl. flushes), or still queued.
+    assert stats.enqueued == stats.dequeued + stats.dropped_dequeue + q.packets_queued
+    assert stats.flushed <= stats.dropped_dequeue
+    assert q.packets_queued >= 0 and q.bytes_queued >= 0
+    # A final flush always empties the queue exactly.
+    drained = q.flush(now + 1)
+    assert drained >= 0
+    assert q.packets_queued == 0 and q.bytes_queued == 0
+    assert stats.enqueued == stats.dequeued + stats.dropped_dequeue
+
+
+def _spec_for(kind, at_s, duration_s, magnitude):
+    if kind == "link_flap":
+        return FaultSpec(kind=kind, at_s=at_s, duration_s=duration_s)
+    if kind == "loss_burst":
+        return FaultSpec(kind=kind, at_s=at_s, duration_s=duration_s,
+                         loss_rate=0.05 + 0.9 * magnitude)
+    if kind == "rate_drop":
+        return FaultSpec(kind=kind, at_s=at_s, duration_s=duration_s,
+                         rate_factor=0.05 + 0.95 * magnitude)
+    if kind == "delay_spike":
+        return FaultSpec(kind=kind, at_s=at_s, duration_s=duration_s,
+                         delay_factor=1.0 + 9.0 * magnitude)
+    return FaultSpec(kind=kind, at_s=at_s)  # queue_flush
+
+
+@given(
+    kind=st.sampled_from(FAULT_KINDS),
+    at_ms=st.integers(min_value=0, max_value=40),
+    dur_ms=st.integers(min_value=1, max_value=40),
+    magnitude=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    base_loss=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+    npackets=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=120, deadline=None)
+def test_link_conservation_under_every_fault_kind(
+    kind, at_ms, dur_ms, magnitude, base_loss, npackets, seed
+):
+    net = Network(seed=seed)
+    h1 = net.add_host("h1")
+    h2 = net.add_host("h2")
+    i1 = h1.add_interface("eth0", None)
+    i2 = h2.add_interface("eth0", None)
+    net.connect(i1, i2, rate_bps=2e6, delay_ns=milliseconds(3))
+    link = i1.link
+    if base_loss > 0:
+        link.set_loss_rate(base_loss, rng=net.rng.stream("base-loss"))
+
+    spec = _spec_for(kind, at_ms / 1000.0, dur_ms / 1000.0, magnitude)
+    sched = FaultSchedule.compile([spec], rng=net.rng.stream("faults"))
+    sched.arm_with(
+        net.sim, lambda target: FaultTarget(link, i1), rng_streams=net.rng
+    )
+
+    send_rng = np.random.default_rng(seed)
+    t = 0
+    for i in range(npackets):
+        t += int(send_rng.integers(10_000, 2_000_000))
+        net.sim.schedule(t, i1.send, make_data_packet(1, "a", "b", seq=i, mss=1500, now=0))
+    net.run()
+
+    assert link.packets_in_flight == 0  # the sim ran to quiescence
+    assert link.packets_tx == (
+        link.packets_delivered + link.packets_lost + link.packets_dropped_down
+    )
+    # The qdisc balances too, even when the fault flushed it.
+    stats = i1.qdisc.stats
+    assert stats.enqueued == stats.dequeued + stats.dropped_dequeue + i1.qdisc.packets_queued
+    # Everything the qdisc handed to the link was transmitted.
+    assert link.packets_tx == stats.dequeued
+    assert sched.injected == len(sched.applied) <= len(sched.events)
