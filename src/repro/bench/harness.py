@@ -120,6 +120,57 @@ def run_benches(
     }
 
 
+def write_bench_runlog(report: Dict[str, Any], path: Path) -> Path:
+    """Write a bench report as a ``repro-runlog/1`` log.
+
+    Manifest (``engine="bench"``) + one ``bench`` record per workload + a
+    terminal ``summary``, so bench runs flow through the same tooling as
+    experiment runs: ``repro obs summary`` renders the per-workload table,
+    ``repro obs validate`` schema-checks it.
+    """
+    from repro._version import __version__
+    from repro.obs.runlog import RunLogWriter
+
+    benches = report.get("benches", {})
+    config = {
+        "workloads": sorted(benches),
+        "quick": bool(report.get("quick")),
+        "tag": report.get("tag", ""),
+    }
+    total_wall = sum(float(b.get("wall_s", 0.0)) for b in benches.values())
+    total_events = sum(int(b.get("events", 0)) for b in benches.values())
+    with RunLogWriter(path) as writer:
+        writer.manifest(
+            label=f"bench_{report.get('date', '')}"
+            + (f"_{report['tag']}" if report.get("tag") else ""),
+            config=config,
+            config_hash=config_hash(config),
+            repro_version=__version__,
+            seed=0,
+            engine="bench",
+        )
+        for name in benches:
+            b = benches[name]
+            writer.write(
+                "bench",
+                name=name,
+                wall_s=b["wall_s"],
+                events=b["events"],
+                events_per_sec=b["events_per_sec"],
+                checksum=b.get("checksum"),
+                config_hash=b.get("config_hash"),
+                repeats=b.get("repeats"),
+            )
+        writer.summary(
+            status="ok",
+            wall_s=total_wall,
+            events=total_events,
+            events_per_sec=total_events / total_wall if total_wall > 0 else 0.0,
+            peak_rss_kb=peak_rss_kb(),
+        )
+    return Path(path)
+
+
 def write_report(report: Dict[str, Any], out_dir: Path, *, tag: str = "") -> Path:
     """Write ``BENCH_<date>[_<tag>].json`` under ``out_dir``; returns the path."""
     out_dir = Path(out_dir)
@@ -220,6 +271,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="report the comparison but always exit 0")
     parser.add_argument("--no-write", action="store_true",
                         help="skip writing the report file")
+    parser.add_argument("--runlog", type=Path, default=None, metavar="PATH",
+                        help="also write the report as a repro-runlog/1 JSONL "
+                             "log (queryable via 'repro obs summary')")
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
@@ -239,6 +293,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.runlog is not None:
+        print(f"run log written to {write_bench_runlog(report, args.runlog)}")
 
     baseline_path = args.baseline or find_baseline(args.out_dir)
     out_path = None

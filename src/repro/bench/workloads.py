@@ -122,6 +122,42 @@ def datapath_obs_disabled(duration_s: float, bw_mbps: float = 20.0) -> Tuple[int
     return db.sim.events_processed, conn.receiver.bytes_received
 
 
+def datapath_spans_disabled(duration_s: float, bw_mbps: float = 20.0) -> Tuple[int, int]:
+    """``single_flow_datapath`` run through the disabled span/profiler plumbing.
+
+    Companion gate to ``datapath_obs_disabled`` for the tracing subsystem:
+    the run is wrapped in NULL-tracer phase spans exactly the way the
+    experiment runner wraps it, with ``sim.profiler`` left at ``None``, so
+    the events/sec must match ``single_flow_datapath`` within noise — any
+    per-event cost sneaking into the disabled path shows up here.
+    """
+    from repro.cca.registry import make_cca
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.instrument import instrument_experiment
+    from repro.obs.spans import CAT_RUN, NULL_SPAN_TRACER
+    from repro.tcp.connection import open_connection
+    from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+    from repro.units import mbps, seconds
+
+    spans = NULL_SPAN_TRACER
+    run_span = spans.start("run", CAT_RUN, labels={"bench": True})
+    with spans.span("setup"):
+        db = build_dumbbell(
+            DumbbellConfig(bottleneck_bw_bps=mbps(bw_mbps), buffer_bdp=2.0,
+                           mss_bytes=1500, seed=1)
+        )
+        conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"),
+                               mss=1500, flow_id=1)
+        instrument_experiment(MetricsRegistry(enabled=False), db, [conn.sender],
+                              cwnd_interval_ns=None)
+        conn.start()
+    assert db.sim.profiler is None  # the plain (unprofiled) loop must run
+    with spans.span("transfer"):
+        db.network.run(seconds(duration_s))
+    run_span.close()
+    return db.sim.events_processed, conn.receiver.bytes_received
+
+
 def contended_datapath_aqm(duration_s: float, aqm: str, bw_mbps: float = 20.0) -> Tuple[int, int]:
     """Two competing flows (BBRv1 vs CUBIC) through a non-trivial AQM.
 
@@ -188,6 +224,12 @@ WORKLOADS: Tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
         "datapath_obs_disabled",
         datapath_obs_disabled,
+        params={"duration_s": 5.0},
+        quick_params={"duration_s": 5.0 / QUICK_FACTOR},
+    ),
+    WorkloadSpec(
+        "datapath_spans_disabled",
+        datapath_spans_disabled,
         params={"duration_s": 5.0},
         quick_params={"duration_s": 5.0 / QUICK_FACTOR},
     ),

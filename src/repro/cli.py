@@ -43,11 +43,26 @@ from repro.units import format_rate
 
 
 def _telemetry_options(args: argparse.Namespace) -> Optional[TelemetryOptions]:
-    """Build TelemetryOptions from run/sweep flags; None when telemetry is off."""
+    """Build TelemetryOptions from run/sweep flags; None when telemetry is off.
+
+    ``--trace`` / ``--profile`` imply ``--telemetry`` (spans and profiles
+    stream into the same run log).
+    """
     trace_dump = bool(getattr(args, "trace_dump", False))
-    if not args.telemetry and not trace_dump:
+    spans = bool(getattr(args, "trace", False))
+    profile = bool(getattr(args, "profile", False))
+    stride = int(getattr(args, "profile_stride", 1) or 1)
+    if stride > 1:
+        profile = True
+    if not args.telemetry and not trace_dump and not spans and not profile:
         return None
-    return TelemetryOptions(dir=args.telemetry_dir, trace_dump=trace_dump)
+    return TelemetryOptions(
+        dir=args.telemetry_dir,
+        trace_dump=trace_dump,
+        spans=spans,
+        profile=profile,
+        profile_stride=stride,
+    )
 
 
 def parse_rate(text: str) -> float:
@@ -107,6 +122,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs = result.extra.get("obs") if isinstance(result.extra, dict) else None
     if obs:
         print(f"run log     : {obs['run_log']} ({obs['events_per_sec']:.0f} ev/s)")
+        if "spans" in obs:
+            print(f"spans       : {obs['spans']} recorded "
+                  f"(export: repro obs trace {obs['run_log']})")
+        if "profile_coverage" in obs:
+            print(f"profile     : {100.0 * obs['profile_coverage']:.1f}% coverage, "
+                  f"skew {obs['sim_wall_skew']:.2f}x "
+                  f"(table: repro obs profile {obs['run_log']})")
     return 0
 
 
@@ -126,7 +148,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     campaign_log = (
         Path(telemetry.dir) / "campaign.jsonl" if telemetry is not None else None
     )
-    tracker = CampaignProgress(campaign_log, quiet=args.quiet)
+    tracker = CampaignProgress(
+        campaign_log,
+        quiet=args.quiet,
+        spans=telemetry is not None and telemetry.spans,
+    )
     try:
         results = run_campaign(
             configs,
@@ -139,6 +165,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             retries=args.retries,
             on_retry=tracker.retry,
+            span_tracer=tracker.spans,
         )
     finally:
         tracker.close()
@@ -223,6 +250,29 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
+    """Span/profiler flags shared by ``run`` and ``sweep`` (docs/TRACING.md)."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical span records (Perfetto timeline via "
+        "'repro obs trace'; implies --telemetry)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the event-loop self-profiler (table via "
+        "'repro obs profile'; implies --telemetry)",
+    )
+    parser.add_argument(
+        "--profile-stride",
+        type=int,
+        default=1,
+        metavar="N",
+        help="profile every N-th event instead of all (implies --profile)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -251,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump the flight-recorder window after the run (implies --telemetry)",
     )
+    _add_tracing_flags(p_run)
     p_run.add_argument(
         "--fault",
         action="append",
@@ -275,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run JSONL logs + live campaign.jsonl in --telemetry-dir",
     )
     p_sweep.add_argument("--telemetry-dir", default=DEFAULT_TELEMETRY_DIR, help="run log directory")
+    _add_tracing_flags(p_sweep)
     p_sweep.add_argument(
         "--fault-profile",
         default=None,

@@ -41,6 +41,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.storage import ResultStore
 from repro.metrics.summary import ExperimentResult
 from repro.obs.session import TelemetryOptions
+from repro.obs.spans import CAT_CAMPAIGN, CAT_WORKER, NULL_SPAN_TRACER, SpanTracer
 
 #: Watchdog poll cadence (wall-clock seconds) in hardened mode.
 WATCHDOG_POLL_S = 0.02
@@ -219,6 +220,7 @@ def run_campaign(
     backoff_s: float = 0.5,
     on_retry: Optional[Callable[[str, int, float, FailedRun], None]] = None,
     worker_fn: Optional[Callable[[tuple], dict]] = None,
+    span_tracer: Optional[SpanTracer] = None,
 ) -> CampaignResult:
     """Run every config; returns results in completion order.
 
@@ -234,6 +236,12 @@ def run_campaign(
     ``worker_fn``, the chaos-test seam) switches execution to the
     hardened one-process-per-config mode; without them the original
     serial / ``mp.Pool`` paths run unchanged.
+
+    ``span_tracer`` (usually :attr:`CampaignProgress.spans`, streaming
+    into ``campaign.jsonl``) records the campaign-side timeline: one
+    ``campaign`` root span, per-attempt ``worker`` spans with stable lane
+    numbers in the serial/hardened modes, ``store`` spans around result
+    persistence, and ``retry`` instant markers.  See docs/TRACING.md.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -258,12 +266,14 @@ def run_campaign(
 
     total = len(todo)
     finished = 0
+    spans = span_tracer if span_tracer is not None else NULL_SPAN_TRACER
 
     def _record(result: ExperimentResult) -> None:
         nonlocal finished
         finished += 1
         if store is not None:
-            store.append(result)
+            with spans.span("store", label=ExperimentConfig.from_dict(result.config).label()):
+                store.append(result)
         done.append(result)
         if progress is not None:
             progress(finished, total, result)
@@ -278,48 +288,69 @@ def run_campaign(
 
     telemetry_dict = telemetry.to_dict() if telemetry is not None else None
 
-    if timeout_s is not None or retries > 0 or worker_fn is not None:
-        _run_hardened(
-            todo,
-            telemetry_dict,
-            jobs=jobs,
-            timeout_s=timeout_s,
-            retries=retries,
-            backoff_s=backoff_s,
-            worker_fn=worker_fn or _run_one_safe,
-            record=_record,
-            record_failure=_record_failure,
-            on_retry=on_retry,
-            result=done,
-        )
-        return done
-
-    if jobs == 1 or total <= 1:
-        for cfg in todo:
-            try:
-                result = run_experiment(cfg, telemetry)
-            except Exception as exc:
-                _record_failure(
-                    FailedRun(
-                        config=cfg.to_dict(),
-                        label=cfg.label(),
-                        error=repr(exc),
-                        traceback=_traceback.format_exc(),
+    hardened = timeout_s is not None or retries > 0 or worker_fn is not None
+    serial = jobs == 1 or total <= 1
+    mode = "hardened" if hardened else ("serial" if serial else "pool")
+    root = spans.start(
+        "campaign",
+        CAT_CAMPAIGN,
+        labels={"configs": total, "jobs": jobs, "mode": mode,
+                "resumed": len(done)},
+    )
+    try:
+        if hardened:
+            _run_hardened(
+                todo,
+                telemetry_dict,
+                jobs=jobs,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                worker_fn=worker_fn or _run_one_safe,
+                record=_record,
+                record_failure=_record_failure,
+                on_retry=on_retry,
+                result=done,
+                spans=spans,
+                root=root,
+            )
+        elif serial:
+            for cfg in todo:
+                wspan = spans.start(cfg.label(), CAT_WORKER, lane=0)
+                try:
+                    result = run_experiment(cfg, telemetry)
+                except Exception as exc:
+                    wspan.annotate(status="error").close()
+                    _record_failure(
+                        FailedRun(
+                            config=cfg.to_dict(),
+                            label=cfg.label(),
+                            error=repr(exc),
+                            traceback=_traceback.format_exc(),
+                        )
                     )
-                )
-                continue
-            _record(result)
+                    continue
+                wspan.close()
+                _record(result)
+        else:
+            # Pool mode observes completions only (the workers' own run
+            # logs carry their run/phase spans), so the campaign timeline
+            # records root + store spans and leaves worker lanes to the
+            # Chrome-trace exporter's per-pid stitching.
+            ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
+            payloads = [(c.to_dict(), telemetry_dict) for c in todo]
+            with ctx.Pool(processes=jobs) as pool:
+                for tagged in pool.imap_unordered(_run_one_safe, payloads):
+                    if "ok" in tagged:
+                        _record(ExperimentResult.from_dict(tagged["ok"]))
+                    else:
+                        _record_failure(FailedRun.from_dict(tagged["err"]))
         return done
-
-    ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
-    payloads = [(c.to_dict(), telemetry_dict) for c in todo]
-    with ctx.Pool(processes=jobs) as pool:
-        for tagged in pool.imap_unordered(_run_one_safe, payloads):
-            if "ok" in tagged:
-                _record(ExperimentResult.from_dict(tagged["ok"]))
-            else:
-                _record_failure(FailedRun.from_dict(tagged["err"]))
-    return done
+    finally:
+        counts = done.summary()
+        root.annotate(ok=counts["ok"], failed=counts["failed"],
+                      retried=counts["retried"])
+        spans.close_open()  # root + anything an exception left open
 
 
 def _run_hardened(
@@ -335,6 +366,8 @@ def _run_hardened(
     record_failure: Callable[[FailedRun], None],
     on_retry: Optional[Callable[[str, int, float, FailedRun], None]],
     result: CampaignResult,
+    spans=NULL_SPAN_TRACER,
+    root=None,
 ) -> None:
     """Watchdogged one-process-per-config executor (hardened mode).
 
@@ -343,13 +376,21 @@ def _run_hardened(
     deadline (``timeout`` — the process is killed).  Failures re-queue
     with exponential backoff until ``retries`` is exhausted, then become
     the :class:`FailedRun` row the campaign carries forward.
+
+    Each launch opens a detached ``worker`` span on a stable worker-slot
+    lane (slot indices are reused as they free up, so the Chrome trace
+    shows exactly ``jobs`` worker lanes), closed with the attempt's
+    outcome; each re-queue drops a ``retry`` instant marker.
     """
     ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
     pending: deque = deque((cfg, 1) for cfg in todo)  # (config, attempt#)
     delayed: List[tuple] = []  # (ready_at_monotonic, config, attempt#)
     running: List[dict] = []
+    free_lanes: List[int] = []  # released worker-slot indices, reused smallest-first
+    next_lane = 0
 
     def _launch(cfg: ExperimentConfig, attempt: int) -> None:
+        nonlocal next_lane
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_proc_entry,
@@ -358,6 +399,11 @@ def _run_hardened(
         )
         proc.start()
         child_conn.close()
+        if free_lanes:
+            lane = free_lanes.pop(0)
+        else:
+            lane = next_lane
+            next_lane += 1
         running.append(
             {
                 "proc": proc,
@@ -365,8 +411,18 @@ def _run_hardened(
                 "cfg": cfg,
                 "attempt": attempt,
                 "deadline": (time.monotonic() + timeout_s) if timeout_s else None,
+                "lane": lane,
+                "span": spans.start(
+                    cfg.label(), CAT_WORKER, parent=root, detached=True,
+                    lane=lane, labels={"attempt": attempt},
+                ),
             }
         )
+
+    def _finish_span(entry: dict, outcome: str) -> None:
+        entry["span"].annotate(outcome=outcome).close()
+        free_lanes.append(entry["lane"])
+        free_lanes.sort()
 
     def _resolve_failure(entry: dict, failure: FailedRun) -> None:
         attempt = entry["attempt"]
@@ -376,6 +432,8 @@ def _run_hardened(
             result.retried += 1
             if on_retry is not None:
                 on_retry(failure.label, attempt, delay, failure)
+            spans.instant("retry", CAT_WORKER, label=failure.label,
+                          attempt=attempt, delay_s=delay, kind=failure.kind)
             delayed.append((time.monotonic() + delay, entry["cfg"], attempt + 1))
         else:
             record_failure(failure)
@@ -419,6 +477,7 @@ def _run_hardened(
                 conn.close()
                 running.remove(entry)
                 progressed = True
+                _finish_span(entry, "timeout")
                 _resolve_failure(
                     entry,
                     _failure(
@@ -436,6 +495,7 @@ def _run_hardened(
             running.remove(entry)
             progressed = True
             if tagged is None:
+                _finish_span(entry, "crash")
                 _resolve_failure(
                     entry,
                     _failure(
@@ -445,9 +505,11 @@ def _run_hardened(
                     ),
                 )
             elif "ok" in tagged:
+                _finish_span(entry, "ok")
                 record(ExperimentResult.from_dict(tagged["ok"]))
             else:
                 failure = FailedRun.from_dict(tagged["err"])
+                _finish_span(entry, failure.kind)
                 _resolve_failure(entry, failure)
         if not progressed and (running or delayed):
             time.sleep(WATCHDOG_POLL_S)
@@ -481,6 +543,11 @@ class CampaignProgress:
     ``on_failure=``.  With ``log_path`` set, every completion also appends
     a ``campaign_progress`` record (see ``docs/OBSERVABILITY.md``) that
     ``repro obs tail`` renders.
+
+    With ``log_path`` *and* ``spans=True``, :attr:`spans` is a live
+    :class:`~repro.obs.spans.SpanTracer` streaming into the same
+    ``campaign.jsonl`` — pass it to :func:`run_campaign` as
+    ``span_tracer=`` to record the campaign-side timeline.
     """
 
     def __init__(
@@ -488,6 +555,7 @@ class CampaignProgress:
         log_path: Optional[Path] = None,
         *,
         quiet: bool = False,
+        spans: bool = False,
         clock: Callable[[], float] = time.perf_counter,
     ):
         self._clock = clock
@@ -501,6 +569,12 @@ class CampaignProgress:
             from repro.obs.runlog import RunLogWriter
 
             self._writer = RunLogWriter(log_path)
+        #: Campaign-level span tracer (NULL unless spans were requested).
+        self.spans = (
+            SpanTracer(self._writer)
+            if spans and self._writer is not None
+            else NULL_SPAN_TRACER
+        )
 
     def _eta_s(self, finished: int, total: int) -> float:
         elapsed = self._clock() - self._start
@@ -561,5 +635,6 @@ class CampaignProgress:
     def close(self) -> None:
         """Close the campaign.jsonl writer, if one was opened."""
         if self._writer is not None:
+            self.spans.close_open()
             self._writer.close()
             self._writer = None

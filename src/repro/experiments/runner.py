@@ -22,6 +22,7 @@ from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
 from repro.metrics.timeseries import ThroughputSampler
 from repro.metrics.utilization import link_utilization
 from repro.obs.session import TelemetryOptions, TelemetrySession
+from repro.obs.spans import CAT_RUN, NULL_SPAN_TRACER
 from repro.tcp.connection import Connection, open_connection
 from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
 from repro.units import milliseconds, seconds
@@ -54,7 +55,9 @@ def run_experiment(
         if session is None:
             return run_fluid_experiment(config)
         try:
-            result = run_fluid_experiment(config)
+            with session.spans.span("run", CAT_RUN, label=config.label(),
+                                    engine="fluid", seed=config.seed):
+                result = run_fluid_experiment(config)
         except Exception as exc:
             session.record_failure(exc)
             raise
@@ -84,6 +87,14 @@ def _execute_packet(
     config: ExperimentConfig, session: Optional[TelemetrySession]
 ) -> ExperimentResult:
     wall_start = time.perf_counter()
+    # Span lifecycle: run -> setup / warmup / transfer / collect.  The
+    # tracer is NULL (every call a no-op) unless --trace asked for spans,
+    # and all spans are phase-granular — nothing here is per-packet.
+    spans = session.spans if session is not None else NULL_SPAN_TRACER
+    run_span = spans.start("run", CAT_RUN,
+                           labels={"label": config.label(), "engine": "packet",
+                                   "seed": config.seed})
+    setup_span = spans.start("setup")
     dumbbell = build_dumbbell(
         DumbbellConfig(
             bottleneck_bw_bps=config.bottleneck_bw_bps,
@@ -177,16 +188,37 @@ def _execute_packet(
             net.sim, dumbbell.bottleneck_qdisc, seconds(config.queue_monitor_interval_s)
         )
         queue_monitor.start()
+    setup_span.close()
+
+    # The event-loop phase is one wall-clock region; when spans are on and
+    # a warmup window exists, a sim-scheduled boundary callback splits it
+    # into warmup/transfer spans (the callback touches only the span
+    # tracer, never simulation state, so outcomes are unchanged — same
+    # class of telemetry event as the progress records above).
+    phase_span = spans.start("warmup" if config.warmup_s > 0 else "transfer")
+    if spans.enabled and 0 < config.warmup_s < config.duration_s:
+        def _warmup_boundary() -> None:
+            phase_span.close()
+            spans.start("transfer")
+
+        net.sim.schedule(seconds(config.warmup_s), _warmup_boundary)
 
     net.run(seconds(config.duration_s))
-    for conns in connections:
-        for conn in conns:
-            conn.stop()
+    current = spans.current
+    if current is not None:
+        current.close()  # transfer (or warmup, if the boundary never fired)
 
-    return _collect(
-        config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
-        wall_start, fault_schedule,
-    )
+    with spans.span("collect"):
+        for conns in connections:
+            for conn in conns:
+                conn.stop()
+        result = _collect(
+            config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
+            wall_start, fault_schedule,
+        )
+    run_span.annotate(events=dumbbell.sim.events_processed)
+    run_span.close()
+    return result
 
 
 def _collect(

@@ -1,0 +1,236 @@
+"""Chrome Trace Format export: span records -> a Perfetto-loadable timeline.
+
+``build_chrome_trace`` stitches the ``span`` records of one or more
+``repro-runlog/1`` files — a campaign's ``campaign.jsonl`` plus every
+per-run log — into one Chrome Trace Format (JSON object variant) dict:
+
+- every span becomes a complete event (``"ph": "X"``) with microsecond
+  ``ts``/``dur`` on a shared timeline (``ts`` is relative to the
+  earliest span so Perfetto does not render decades of empty epoch);
+- lanes ("threads") are assigned one per campaign worker: spans that
+  carry an explicit ``lane`` (the hardened executor's worker slots) get
+  ``worker <n>`` lanes, all other spans get one lane per originating
+  process — which is exactly one lane per pool worker, since
+  ``mp.Pool`` workers are long-lived;
+- a run log's ``profile`` record is rendered as an ``engine`` lane:
+  one slice per event kind, laid out end to end inside the run's window,
+  so the per-kind self-time breakdown is visible right under the run's
+  phase spans.
+
+Load the resulting file in https://ui.perfetto.dev (or
+``chrome://tracing``) via "Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.runlog import read_run_log
+from repro.obs.spans import CAT_CAMPAIGN
+
+PathLike = Union[str, Path]
+
+#: Synthetic pid every event is parented under (one "process" per trace —
+#: lanes are the interesting axis and live at the thread level).
+TRACE_PID = 1
+
+
+def _lane_key(span: Dict[str, Any]) -> Tuple[str, Any]:
+    lane = span.get("lane")
+    if lane is not None:
+        return ("worker", lane)
+    return ("pid", span.get("pid", 0))
+
+
+def _lane_name(key: Tuple[str, Any], hint: Optional[str] = None) -> str:
+    kind, value = key
+    if kind == "worker":
+        return f"worker {value}"
+    tag = f"pid={value:x}" if isinstance(value, int) else str(value)
+    if kind == "profile":
+        return f"engine {tag}"
+    if hint == "campaign":
+        return "campaign"
+    return f"runs {tag}"
+
+
+def collect_spans(paths: Iterable[PathLike]) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Read ``span`` and ``profile`` records from the given run logs.
+
+    Profile records are annotated with the source file's run label (from
+    its manifest) and the wall window of its transfer span when present,
+    so the exporter can place the engine lane correctly.
+    """
+    spans: List[Dict[str, Any]] = []
+    profiles: List[Dict[str, Any]] = []
+    for path in paths:
+        records = read_run_log(path)
+        label = None
+        for r in records:
+            if r.get("record") == "manifest":
+                label = r.get("label")
+                break
+        file_spans = [r for r in records if r.get("record") == "span"]
+        spans.extend(file_spans)
+        for r in records:
+            if r.get("record") == "profile":
+                prof = dict(r)
+                prof["_label"] = label
+                prof["_pid"] = next(
+                    (s.get("pid", 0) for s in file_spans), 0
+                )
+                # Anchor the engine lane to the run's sim window: the
+                # warmup+transfer spans cover the event loop's wall time.
+                loop_spans = [
+                    s for s in file_spans
+                    if s.get("name") in ("transfer", "warmup", "run")
+                ]
+                if loop_spans:
+                    prof["_t_anchor"] = min(s["t_start"] for s in loop_spans)
+                profiles.append(prof)
+    return spans, profiles
+
+
+def spans_to_events(
+    spans: List[Dict[str, Any]],
+    profiles: Optional[List[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Convert span/profile records into Chrome trace events."""
+    events: List[Dict[str, Any]] = []
+    if not spans and not profiles:
+        return events
+    t0 = min(s["t_start"] for s in spans) if spans else 0.0
+
+    # A pid lane is the "campaign" lane if the campaign root span lives in
+    # it (span records are emitted child-first, so decide up front).
+    campaign_keys = {
+        _lane_key(s) for s in spans if s.get("cat") == CAT_CAMPAIGN
+    }
+    lanes: Dict[Tuple[str, Any], int] = {}
+
+    def tid_for(key: Tuple[str, Any], hint: Optional[str] = None) -> int:
+        tid = lanes.get(key)
+        if tid is None:
+            tid = lanes[key] = len(lanes) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": TRACE_PID, "tid": tid,
+                "args": {"name": _lane_name(key, hint)},
+            })
+            events.append({
+                "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+        return tid
+
+    events.append({
+        "ph": "M", "name": "process_name", "pid": TRACE_PID,
+        "args": {"name": "repro"},
+    })
+
+    for span in spans:
+        key = _lane_key(span)
+        tid = tid_for(key, "campaign" if key in campaign_keys else None)
+        args: Dict[str, Any] = {"span_id": span.get("span_id")}
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        args.update(span.get("labels") or {})
+        dur_s = float(span.get("dur_s") or 0.0)
+        event = {
+            "name": span.get("name", "?"),
+            "cat": span.get("cat", "span"),
+            "ph": "X" if dur_s > 0 else "i",
+            "ts": (span["t_start"] - t0) * 1e6,
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": args,
+        }
+        if dur_s > 0:
+            event["dur"] = dur_s * 1e6
+        else:
+            event["s"] = "t"  # instant-event scope: thread
+        events.append(event)
+
+    for prof in profiles or ():
+        tid = tid_for(("profile", prof.get("_pid", 0)))
+        cursor = (prof.get("_t_anchor", t0) - t0) * 1e6
+        kinds = sorted(
+            (prof.get("kinds") or {}).items(),
+            key=lambda kv: kv[1].get("self_s", 0.0),
+            reverse=True,
+        )
+        for kind, row in kinds:
+            self_us = float(row.get("self_s", 0.0)) * 1e6
+            if self_us <= 0:
+                continue
+            events.append({
+                "name": kind,
+                "cat": "engine-phase",
+                "ph": "X",
+                "ts": cursor,
+                "dur": self_us,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {
+                    "events": row.get("events", 0),
+                    "run": prof.get("_label"),
+                    "note": "aggregate self-time slice, not a real interval",
+                },
+            })
+            cursor += self_us
+    return events
+
+
+def build_chrome_trace(paths: Iterable[PathLike]) -> Dict[str, Any]:
+    """Full Chrome Trace Format document for the given run-log files."""
+    paths = list(paths)
+    spans, profiles = collect_spans(paths)
+    return {
+        "traceEvents": spans_to_events(spans, profiles),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-runlog/1",
+            "sources": [str(p) for p in paths],
+            "spans": len(spans),
+            "profiles": len(profiles),
+        },
+    }
+
+
+def write_chrome_trace(paths: Iterable[PathLike], out: PathLike) -> Dict[str, Any]:
+    """Build and write the trace JSON; returns the document."""
+    paths = list(paths)
+    doc = build_chrome_trace(paths)
+    Path(out).write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+    return doc
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Schema sanity of a Chrome Trace document (used by tests and CI)."""
+    errors: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i"):
+            errors.append(f"event {i}: unsupported ph {ph!r}")
+            continue
+        if "pid" not in ev:
+            errors.append(f"event {i}: missing pid")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name",
+                                      "thread_sort_index"):
+                errors.append(f"event {i}: unknown metadata {ev.get('name')!r}")
+            continue
+        if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+            errors.append(f"event {i}: ts must be a non-negative number")
+        if ph == "X" and (not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0):
+            errors.append(f"event {i}: complete event needs a non-negative dur")
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"event {i}: name must be a string")
+    return errors

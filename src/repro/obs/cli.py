@@ -3,18 +3,23 @@
     repro obs summary  telemetry/<label>.jsonl     # human-readable run digest
     repro obs validate telemetry/<label>.jsonl     # schema gate (CI smoke)
     repro obs prom     telemetry/<label>.jsonl     # Prometheus text format
-    repro obs tail     telemetry/                  # latest campaign status
+    repro obs tail     telemetry/ [--follow]       # latest campaign status
+    repro obs trace    telemetry/ --out trace.json # Chrome/Perfetto timeline
+    repro obs profile  telemetry/<label>.jsonl     # event-loop self-time table
+    repro obs diff     a.jsonl b.jsonl             # phase/kind comparison
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.export import snapshot_to_prometheus
-from repro.obs.runlog import read_run_log, validate_run_log
+from repro.obs.profile import diff_profiles, render_profile
+from repro.obs.runlog import read_run_log, validate_campaign_log, validate_run_log
 
 
 def _records_by_type(records: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
@@ -75,7 +80,7 @@ def render_summary(records: List[Dict[str, Any]], *, source: str = "") -> str:
             if summary.get("trace_dump"):
                 lines.append(f"trace dump  : {summary['trace_dump']} "
                              f"({summary.get('trace_events_dumped', '?')} events)")
-        else:
+        elif "jain_index" in summary:
             lines.append(
                 f"outcome     : J={summary.get('jain_index', float('nan')):.4f}  "
                 f"phi={summary.get('link_utilization', float('nan')):.4f}  "
@@ -99,9 +104,37 @@ def render_summary(records: List[Dict[str, Any]], *, source: str = "") -> str:
         if count:
             mean = hist.get("sum", 0.0) / count
             lines.append(f"  {key:<22s} n={count} mean={mean:.1f}")
+    benches = grouped.get("bench") or []
+    if benches:
+        lines.append("bench       :")
+        for b in benches:
+            lines.append(
+                f"  {b.get('name', '?'):<28s} {float(b.get('wall_s', 0.0)):>8.3f}s "
+                f"{_fmt_count(b.get('events', 0)):>10s} ev "
+                f"{_fmt_count(b.get('events_per_sec', 0.0)):>10s} ev/s"
+            )
+    spans = grouped.get("span") or []
+    if spans:
+        phases = _phase_durations(spans)
+        top = sorted(phases.items(), key=lambda kv: kv[1], reverse=True)[:6]
+        lines.append(
+            "spans       : "
+            + f"{len(spans)} recorded; "
+            + "  ".join(f"{name}={dur:.2f}s" for name, dur in top)
+        )
     if source:
         lines.append(f"source      : {source}")
     return "\n".join(lines)
+
+
+def _phase_durations(spans: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Total duration per span name (phases aggregate across repeats)."""
+    out: Dict[str, float] = {}
+    for s in spans:
+        out[s.get("name", "?")] = out.get(s.get("name", "?"), 0.0) + float(
+            s.get("dur_s") or 0.0
+        )
+    return out
 
 
 def render_campaign_tail(records: List[Dict[str, Any]]) -> str:
@@ -159,10 +192,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
         return 1
     bad = 0
     for p in paths:
-        if p.name == "campaign.jsonl":
-            continue
+        check = validate_campaign_log if p.name == "campaign.jsonl" else validate_run_log
         try:
-            errors = validate_run_log(read_run_log(p))
+            errors = check(read_run_log(p))
         except (OSError, ValueError) as exc:
             errors = [str(exc)]
         if errors:
@@ -200,31 +232,204 @@ def cmd_prom(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_tail(args: argparse.Namespace) -> int:
-    """``repro obs tail``: latest status of a campaign (or run-log dir)."""
-    path = Path(args.log)
+def _tail_render(path: Path) -> Tuple[int, str]:
+    """One tail snapshot: (exit code, rendered text)."""
     campaign = path / "campaign.jsonl" if path.is_dir() else path
     if campaign.exists():
-        print(render_campaign_tail(read_run_log(campaign)))
-        return 0
+        return 0, render_campaign_tail(read_run_log(campaign))
     # No campaign log: fall back to one-line-per-run-log status.
     paths = _resolve_logs(path)
     if not paths:
-        print(f"nothing to tail under {args.log}", file=sys.stderr)
-        return 1
+        return 1, f"nothing to tail under {path}"
+    lines = []
     for p in paths:
         try:
             records = read_run_log(p)
         except ValueError as exc:
-            print(f"{p.name}: unreadable ({exc})")
+            lines.append(f"{p.name}: unreadable ({exc})")
             continue
         summaries = [r for r in records if r.get("record") == "summary"]
         if summaries:
             s = summaries[-1]
-            print(f"{p.name}: {s.get('status')} "
-                  f"({_fmt_count(s.get('events_per_sec', 0.0))} ev/s)")
+            lines.append(f"{p.name}: {s.get('status')} "
+                         f"({_fmt_count(s.get('events_per_sec', 0.0))} ev/s)")
         else:
-            print(f"{p.name}: running ({len(records)} records)")
+            lines.append(f"{p.name}: running ({len(records)} records)")
+    return 0, "\n".join(lines)
+
+
+def _tail_fingerprint(path: Path) -> Tuple:
+    """Cheap change detector for ``--follow`` (sizes, not contents)."""
+    campaign = path / "campaign.jsonl" if path.is_dir() else path
+    if campaign.exists():
+        st = campaign.stat()
+        return (st.st_size,)
+    if path.is_dir():
+        return tuple(
+            (p.name, p.stat().st_size) for p in _resolve_logs(path)
+        )
+    return ()
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """``repro obs tail``: latest status of a campaign (or run-log dir).
+
+    ``--follow`` polls the log and re-renders on change (bounded by the
+    poll interval, so a hot campaign does not melt the terminal); Ctrl-C
+    exits cleanly.
+    """
+    path = Path(args.log)
+    if not getattr(args, "follow", False):
+        code, text = _tail_render(path)
+        print(text, file=sys.stderr if code else sys.stdout)
+        return code
+    interval = max(0.1, float(getattr(args, "interval", 2.0)))
+    max_updates = getattr(args, "max_updates", None)  # test seam
+    last_fp: Optional[Tuple] = None
+    updates = 0
+    try:
+        while True:
+            fp = _tail_fingerprint(path)
+            if fp != last_fp:
+                last_fp = fp
+                code, text = _tail_render(path)
+                if sys.stdout.isatty():
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+                stamp = time.strftime("%H:%M:%S")
+                print(f"-- repro obs tail {path} @ {stamp} --")
+                print(text, flush=True)
+                updates += 1
+                if max_updates is not None and updates >= max_updates:
+                    return code
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print("", flush=True)  # leave the shell prompt on its own line
+        return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro obs trace``: export run logs as a Chrome/Perfetto trace."""
+    from repro.obs.chrome_trace import validate_chrome_trace, write_chrome_trace
+
+    path = Path(args.log)
+    paths = _resolve_logs(path)
+    if not paths:
+        print(f"no run logs under {args.log}", file=sys.stderr)
+        return 1
+    out = args.out
+    if not out:
+        out = str(path / "trace.json" if path.is_dir()
+                  else path.with_suffix(".trace.json"))
+    try:
+        doc = write_chrome_trace(paths, out)
+    except (OSError, ValueError) as exc:
+        print(f"{args.log}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(doc)
+    for p in problems:
+        print(f"{out}: {p}", file=sys.stderr)
+    meta = doc.get("otherData", {})
+    print(
+        f"wrote {out}: {len(doc['traceEvents'])} events from "
+        f"{meta.get('spans', 0)} spans + {meta.get('profiles', 0)} profiles "
+        f"across {len(paths)} log(s) — load it at https://ui.perfetto.dev"
+    )
+    if meta.get("spans", 0) == 0:
+        print("note: no span records found — run with --trace to record them",
+              file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _profile_records(paths: List[Path]) -> List[Tuple[Path, Dict[str, Any]]]:
+    found = []
+    for p in paths:
+        if p.name == "campaign.jsonl":
+            continue
+        for r in read_run_log(p):
+            if r.get("record") == "profile":
+                found.append((p, r))
+    return found
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro obs profile``: per-event-kind self-time table(s)."""
+    paths = _resolve_logs(Path(args.log))
+    try:
+        profiles = _profile_records(paths)
+    except (OSError, ValueError) as exc:
+        print(f"{args.log}: {exc}", file=sys.stderr)
+        return 1
+    if not profiles:
+        print(f"no profile records under {args.log} "
+              "(run with --profile to record them)", file=sys.stderr)
+        return 1
+    blocks = [
+        render_profile(prof, top=args.top, source=str(p))
+        for p, prof in profiles
+    ]
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _diff_side(arg: str) -> Tuple[str, Dict[str, float], Optional[Dict[str, Any]]]:
+    """Load one ``repro obs diff`` side: (name, phase durations, profile)."""
+    path = Path(arg)
+    paths = _resolve_logs(path)
+    spans: List[Dict[str, Any]] = []
+    profile: Optional[Dict[str, Any]] = None
+    for p in paths:
+        for r in read_run_log(p):
+            if r.get("record") == "span":
+                spans.append(r)
+            elif r.get("record") == "profile":
+                # Aggregate profiles across a campaign's run logs.
+                if profile is None:
+                    profile = {"kinds": {}, "loop_wall_s": 0.0, "events": 0}
+                profile["loop_wall_s"] += float(r.get("loop_wall_s", 0.0))
+                profile["events"] += int(r.get("events", 0))
+                for kind, row in (r.get("kinds") or {}).items():
+                    agg = profile["kinds"].setdefault(
+                        kind, {"self_s": 0.0, "events": 0}
+                    )
+                    agg["self_s"] += float(row.get("self_s", 0.0))
+                    agg["events"] += int(row.get("events", 0))
+    return path.name or str(path), _phase_durations(spans), profile
+
+
+def _fmt_delta(a: float, b: float) -> str:
+    delta = b - a
+    pct = f" ({delta / a * 100.0:+.1f}%)" if a > 0 else ""
+    return f"{delta:+.3f}s{pct}"
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``repro obs diff``: phase-by-phase comparison of two runs/campaigns."""
+    try:
+        name_a, phases_a, prof_a = _diff_side(args.a)
+        name_b, phases_b, prof_b = _diff_side(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 1
+    if not phases_a and not phases_b and prof_a is None and prof_b is None:
+        print("no span or profile records on either side", file=sys.stderr)
+        return 1
+    lines = [f"A = {args.a}", f"B = {args.b}", ""]
+    names = sorted(set(phases_a) | set(phases_b),
+                   key=lambda n: -max(phases_a.get(n, 0.0), phases_b.get(n, 0.0)))
+    if names:
+        lines.append(f"{'phase':<20s} {'A':>10s} {'B':>10s}  delta")
+        for n in names:
+            a, b = phases_a.get(n, 0.0), phases_b.get(n, 0.0)
+            lines.append(f"{n:<20s} {a:>9.3f}s {b:>9.3f}s  {_fmt_delta(a, b)}")
+    if prof_a is not None and prof_b is not None:
+        lines.append("")
+        lines.append(f"{'event kind':<20s} {'A':>10s} {'B':>10s}  delta")
+        for kind, a, b in diff_profiles(prof_a, prof_b):
+            lines.append(f"{kind:<20s} {a:>9.3f}s {b:>9.3f}s  {_fmt_delta(a, b)}")
+    elif prof_a is not None or prof_b is not None:
+        lines.append("")
+        lines.append("profile records on one side only — kind diff skipped")
+    print("\n".join(lines))
     return 0
 
 
@@ -248,4 +453,33 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
 
     p_tail = obs_sub.add_parser("tail", help="latest status of a (live) campaign directory")
     p_tail.add_argument("log", help="telemetry directory or campaign.jsonl")
+    p_tail.add_argument("-f", "--follow", action="store_true",
+                        help="poll the log and re-render on change (Ctrl-C exits)")
+    p_tail.add_argument("--interval", type=float, default=2.0,
+                        help="poll cadence in seconds with --follow (default 2)")
+    p_tail.add_argument("--max-updates", type=int, default=None,
+                        help=argparse.SUPPRESS)  # test seam: stop after N renders
     p_tail.set_defaults(func=cmd_tail)
+
+    p_trace = obs_sub.add_parser(
+        "trace", help="export span/profile records as a Chrome/Perfetto trace"
+    )
+    p_trace.add_argument("log", help="run-log .jsonl file or telemetry directory")
+    p_trace.add_argument("--out", default=None,
+                         help="output .json (default: <dir>/trace.json)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = obs_sub.add_parser(
+        "profile", help="render event-loop self-time tables from profile records"
+    )
+    p_prof.add_argument("log", help="run-log .jsonl file or telemetry directory")
+    p_prof.add_argument("--top", type=int, default=0,
+                        help="only the N largest kinds (default: all)")
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="compare two runs/campaigns phase-by-phase and kind-by-kind"
+    )
+    p_diff.add_argument("a", help="baseline run log or telemetry directory")
+    p_diff.add_argument("b", help="candidate run log or telemetry directory")
+    p_diff.set_defaults(func=cmd_diff)

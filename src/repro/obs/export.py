@@ -5,17 +5,62 @@ Renders a :class:`~repro.obs.metrics.MetricsRegistry` (or a run log's
 version 0.0.4): ``# HELP`` / ``# TYPE`` headers, cumulative histogram
 buckets with ``le`` labels, and a trailing newline — parseable by any
 Prometheus scraper or ``promtool check metrics``.
+
+Exposition-format rules enforced here (the spots scrapers are strict
+about):
+
+- ``# HELP`` text escapes backslash and newline (``\\`` / ``\\n``);
+  label *values* additionally escape double quotes.
+- Each family gets exactly one ``# HELP`` / ``# TYPE`` header even when
+  several registries contribute samples to the same metric name
+  (:func:`registries_to_prometheus`); conflicting types for one family
+  are an error rather than silently emitting an invalid page.
+- Duplicate series (same name *and* label set from different registries)
+  keep the first occurrence — a scrape page must not repeat a series.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List
 
 from repro.obs.metrics import MetricsRegistry, _render_labels
 
 #: Prefix applied to every exported metric family.
 METRIC_PREFIX = "repro_"
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string per the text-format spec (``\\``, ``\\n``).
+
+    Unlike label values, double quotes are *not* escaped in help text.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    """Left-to-right inverse of ``_escape_label`` (``\\\\``, ``\\"``, ``\\n``).
+
+    A naive ``.replace`` chain corrupts values like ``back\\\\slash"``:
+    unescaping must consume each escape sequence exactly once, in order.
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _format_value(value: float) -> str:
@@ -62,25 +107,40 @@ def _split_key(key: str) -> tuple:
     labels: Dict[str, str] = {}
     for part in _split_label_parts(rest):
         k, _, v = part.partition("=")
-        labels[k] = v.strip('"').replace('\\"', '"').replace("\\\\", "\\")
+        if len(v) >= 2 and v[0] == '"' and v[-1] == '"':
+            v = v[1:-1]
+        labels[k] = _unescape_label(v)
     return name, labels
 
 
 def _split_label_parts(rendered: str) -> List[str]:
+    """Split ``k="v",k2="v2"`` on the commas *between* label pairs.
+
+    Tracks escape state explicitly: looking one character back (the old
+    approach) misreads a closing quote preceded by an escaped backslash
+    (``x="a\\\\"``) and then swallows every following comma.
+    """
     parts: List[str] = []
-    depth_quote = False
+    in_quote = False
+    escaped = False
     current = ""
-    i = 0
-    while i < len(rendered):
-        ch = rendered[i]
-        if ch == '"' and (i == 0 or rendered[i - 1] != "\\"):
-            depth_quote = not depth_quote
-        if ch == "," and not depth_quote:
+    for ch in rendered:
+        if in_quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quote = False
+            current += ch
+        elif ch == '"':
+            in_quote = True
+            current += ch
+        elif ch == ",":
             parts.append(current)
             current = ""
         else:
             current += ch
-        i += 1
     if current:
         parts.append(current)
     return parts
@@ -114,5 +174,55 @@ def snapshot_to_prometheus(snapshot: Dict[str, Any], *, prefix: str = METRIC_PRE
 
 
 def to_prometheus(registry: MetricsRegistry, *, prefix: str = METRIC_PREFIX) -> str:
-    """Render a live registry as Prometheus text format."""
-    return snapshot_to_prometheus(registry.snapshot(), prefix=prefix)
+    """Render a live registry as Prometheus text format (with ``# HELP``)."""
+    return registries_to_prometheus([registry], prefix=prefix)
+
+
+def registries_to_prometheus(
+    registries: Iterable[MetricsRegistry], *, prefix: str = METRIC_PREFIX
+) -> str:
+    """Render several live registries as one valid exposition page.
+
+    Families shared across registries (e.g. every campaign worker
+    registering ``sim_events_processed_total``) get exactly one
+    ``# HELP``/``# TYPE`` header — the first non-empty help string wins.
+    A family registered with different instrument kinds raises
+    ``ValueError``; duplicate series keep their first occurrence.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for registry in registries:
+        for inst in registry.instruments:
+            family = prefix + inst.name
+            fam = families.get(family)
+            if fam is None:
+                fam = families[family] = {
+                    "kind": inst.kind, "help": inst.help, "rows": {},
+                }
+                order.append(family)
+            elif fam["kind"] != inst.kind:
+                raise ValueError(
+                    f"metric family {family!r} registered as both "
+                    f"{fam['kind']} and {inst.kind}"
+                )
+            elif not fam["help"] and inst.help:
+                fam["help"] = inst.help
+            labels_key = _render_labels(inst.labels)
+            if labels_key in fam["rows"]:
+                continue  # duplicate series: first registry wins
+            fam["rows"][labels_key] = inst
+    lines: List[str] = []
+    for family in sorted(order):
+        fam = families[family]
+        if fam["help"]:
+            lines.append(f"# HELP {family} {_escape_help(fam['help'])}")
+        lines.append(f"# TYPE {family} {fam['kind']}")
+        for labels_key in sorted(fam["rows"]):
+            inst = fam["rows"][labels_key]
+            if fam["kind"] == "histogram":
+                lines.extend(
+                    _render_histogram(family, inst.labels or {}, inst.snapshot())
+                )
+            else:
+                lines.append(f"{family}{labels_key} {_format_value(inst.value)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -16,6 +16,15 @@ first line is always the ``manifest``.  Record types (schema
   traceback string on failure.
 - ``fault_manifest`` — the compiled fault-injection timeline of the run
   (specs + absolute-time events; see docs/FAULTS.md).
+- ``span`` — one closed wall-clock span of the campaign/run/phase
+  timeline (id, optional parent id, category, epoch start, duration,
+  labels; see docs/TRACING.md).  Emitted at span *close*, so children
+  precede their parents in the file.
+- ``profile`` — the event-loop self-profiler's per-kind wall-time
+  attribution for the run (kinds, loop wall seconds, coverage, sim/wall
+  skew; see docs/TRACING.md).
+- ``bench`` — one benchmark workload's timing row (the bench harness
+  writes run logs too, so ``repro obs summary`` can digest bench runs).
 - ``campaign_progress`` / ``campaign_retry`` — campaign-level liveness
   and retry accounting (written to ``campaign.jsonl``, not per-run logs).
 
@@ -44,7 +53,14 @@ REQUIRED_FIELDS: Dict[str, tuple] = {
     "campaign_progress": ("finished", "total", "failed", "label", "eta_s"),
     "campaign_retry": ("label", "attempt", "delay_s", "error"),
     "fault_manifest": ("specs", "events"),
+    "span": ("span_id", "name", "cat", "t_start", "dur_s"),
+    "profile": ("kinds", "loop_wall_s", "events"),
+    "bench": ("name", "wall_s", "events", "events_per_sec"),
 }
+
+#: Record types allowed in logs that carry no manifest/summary envelope
+#: (``campaign.jsonl``); everything else lives in per-run logs.
+CAMPAIGN_RECORDS = ("campaign_progress", "campaign_retry", "span")
 
 
 class RunLogWriter:
@@ -208,7 +224,16 @@ def validate_run_log(records: List[Dict[str, Any]]) -> List[str]:
                 errors.append(f"summary status {s.get('status')!r} not in ok/error")
             if s.get("status") == "error" and "traceback" not in s:
                 errors.append("error summary missing 'traceback'")
+    errors.extend(validate_spans(records))
     for r in records:
+        if r.get("record") == "profile":
+            kinds = r.get("kinds")
+            if not isinstance(kinds, dict):
+                errors.append("profile record: 'kinds' must be an object")
+            else:
+                for name, row in kinds.items():
+                    if not isinstance(row, dict) or not {"self_s", "events"} <= set(row):
+                        errors.append(f"profile record: kind {name!r} malformed")
         if r.get("record") == "metrics":
             for section in ("counters", "gauges"):
                 sec = r.get(section)
@@ -223,4 +248,67 @@ def validate_run_log(records: List[Dict[str, Any]]) -> List[str]:
                 for name, h in hists.items():
                     if not isinstance(h, dict) or not {"buckets", "counts", "sum", "count"} <= set(h):
                         errors.append(f"metrics record: histogram {name!r} malformed")
+    return errors
+
+
+def validate_campaign_log(records: List[Dict[str, Any]]) -> List[str]:
+    """Schema-check a ``campaign.jsonl`` (no manifest/summary envelope).
+
+    Campaign logs carry only the record types in :data:`CAMPAIGN_RECORDS`
+    — progress/retry accounting plus the campaign-side span timeline —
+    so the per-run envelope rules don't apply, but field presence and
+    span-tree integrity still do.
+    """
+    errors: List[str] = []
+    if not records:
+        return ["campaign log is empty"]
+    for i, record in enumerate(records, 1):
+        kind = record.get("record")
+        if kind not in CAMPAIGN_RECORDS:
+            errors.append(
+                f"record {i}: type {kind!r} does not belong in a campaign log"
+            )
+            continue
+        if not isinstance(record.get("t_wall"), (int, float)):
+            errors.append(f"record {i} ({kind}): missing/non-numeric 't_wall'")
+        missing = [f for f in REQUIRED_FIELDS[kind] if f not in record]
+        if missing:
+            errors.append(f"record {i} ({kind}): missing fields {missing}")
+    errors.extend(validate_spans(records))
+    return errors
+
+
+def validate_spans(records: List[Dict[str, Any]]) -> List[str]:
+    """Span-tree integrity over one file's ``span`` records.
+
+    Checks per-span field sanity (numeric non-negative duration, object
+    labels, unique ids) and that every ``parent_id`` resolves to another
+    span in the same file — per-run logs and ``campaign.jsonl`` are each
+    self-contained span trees (the Chrome-trace exporter stitches them by
+    process, not by id).
+    """
+    errors: List[str] = []
+    spans = [r for r in records if r.get("record") == "span"]
+    ids = set()
+    for s in spans:
+        sid = s.get("span_id")
+        if not isinstance(sid, str) or not sid:
+            errors.append(f"span record: bad span_id {sid!r}")
+            continue
+        if sid in ids:
+            errors.append(f"span record: duplicate span_id {sid!r}")
+        ids.add(sid)
+        dur = s.get("dur_s")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"span {sid}: dur_s must be a non-negative number, got {dur!r}")
+        if not isinstance(s.get("t_start"), (int, float)):
+            errors.append(f"span {sid}: t_start must be numeric")
+        if "labels" in s and not isinstance(s["labels"], dict):
+            errors.append(f"span {sid}: labels must be an object")
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent not in ids:
+            errors.append(
+                f"span {s.get('span_id')}: parent_id {parent!r} does not resolve"
+            )
     return errors

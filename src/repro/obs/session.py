@@ -27,7 +27,9 @@ from repro._version import __version__
 from repro.obs.flight import FlightRecorder
 from repro.obs.instrument import instrument_experiment
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import EventLoopProfiler, register_profiler_gauges
 from repro.obs.runlog import RunLogWriter
+from repro.obs.spans import NULL_SPAN_TRACER, SpanTracer
 
 #: Default location for run logs, manifests, and trace dumps.
 DEFAULT_TELEMETRY_DIR = "telemetry"
@@ -62,6 +64,14 @@ class TelemetryOptions:
     trace_dump: bool = False
     #: cwnd/sRTT sampling cadence in simulated seconds (None/0 disables).
     sample_interval_s: Optional[float] = DEFAULT_SAMPLE_INTERVAL_S
+    #: Emit hierarchical ``span`` records (run + phase timeline; CLI
+    #: ``--trace``).  See docs/TRACING.md.
+    spans: bool = False
+    #: Attach the event-loop self-profiler and write a ``profile`` record
+    #: (CLI ``--profile``).  See docs/TRACING.md.
+    profile: bool = False
+    #: Profiler sampling stride: 1 times every event, N>1 every N-th.
+    profile_stride: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (what campaign workers unpickle)."""
@@ -70,6 +80,9 @@ class TelemetryOptions:
             "trace_capacity": self.trace_capacity,
             "trace_dump": self.trace_dump,
             "sample_interval_s": self.sample_interval_s,
+            "spans": self.spans,
+            "profile": self.profile,
+            "profile_stride": self.profile_stride,
         }
 
     @classmethod
@@ -92,6 +105,14 @@ class TelemetrySession:
         self._wall_start = time.perf_counter()
         self._sampler = None
         self._events_fn = lambda: 0
+        #: Span tracer streaming into the run log (NULL when disabled).
+        self.spans = SpanTracer(self._writer) if options.spans else NULL_SPAN_TRACER
+        #: Event-loop profiler to attach as ``sim.profiler`` (None = off).
+        self.profiler = (
+            EventLoopProfiler(stride=options.profile_stride)
+            if options.profile
+            else None
+        )
 
     @classmethod
     def start(cls, config, options: Optional[TelemetryOptions]) -> Optional["TelemetrySession"]:
@@ -125,6 +146,9 @@ class TelemetrySession:
             sender.tracer = recorder
         dumbbell.bottleneck_qdisc.tracer = recorder
         dumbbell.bottleneck_link.tracer = recorder
+        if self.profiler is not None:
+            dumbbell.sim.profiler = self.profiler
+            register_profiler_gauges(self.registry, self.profiler)
 
     def attach_faults(self, schedule) -> None:
         """Wire a :class:`~repro.faults.schedule.FaultSchedule` into the session.
@@ -169,6 +193,9 @@ class TelemetrySession:
         wall = self._wall_s()
         events = self._events_fn()
         eps = events / wall if wall > 0 else 0.0
+        self.spans.close_open()  # a leaked span must not block the summary
+        if self.profiler is not None:
+            self._writer.write("profile", **self.profiler.snapshot())
         snapshot = self.registry.snapshot()
         self._writer.metrics(snapshot)
         self._writer.summary(
@@ -193,12 +220,22 @@ class TelemetrySession:
             "peak_rss_kb": peak_rss_kb(),
             "trace_events": self.recorder.total_recorded,
         }
+        if self.spans.enabled:
+            result.extra["obs"]["spans"] = self.spans.emitted
+        if self.profiler is not None:
+            result.extra["obs"]["profile_coverage"] = self.profiler.coverage
+            result.extra["obs"]["sim_wall_skew"] = self.profiler.skew
 
     def record_failure(self, exc: BaseException) -> None:
         """Write an ``error`` summary + dump the flight-recorder window."""
         wall = self._wall_s()
         events = self._events_fn()
         dumped = self.recorder.dump_jsonl(str(self.trace_path))
+        # Close abandoned spans innermost-first so the failed run still
+        # leaves a complete, validating span tree.
+        self.spans.close_open(status="error")
+        if self.profiler is not None:
+            self._writer.write("profile", **self.profiler.snapshot())
         self._writer.metrics(self.registry.snapshot())
         self._writer.summary(
             status="error",

@@ -1,0 +1,288 @@
+"""Hierarchical wall-clock spans for the campaign/run/phase timeline.
+
+A *span* is one timed region of the pipeline — a whole campaign, one
+worker attempt, one run, or one run phase (``setup`` / ``warmup`` /
+``transfer`` / ``collect`` / ``store``).  Spans carry a process-unique
+id, an optional parent id, a category, and free-form string labels, and
+are emitted as ``span`` records into the same ``repro-runlog/1`` JSONL
+stream as everything else; :mod:`repro.obs.chrome_trace` converts them
+into a Perfetto-loadable Chrome Trace Format timeline.
+
+Design mirrors the metrics registry's NULL pattern: a disabled tracer is
+the shared :data:`NULL_SPAN_TRACER`, whose :meth:`~SpanTracer.span` /
+:meth:`~SpanTracer.start` hand out the no-op :data:`NULL_SPAN` — code
+can be written unconditionally (``with spans.span("setup"): ...``) and
+pays a couple of attribute lookups per *phase*, never per packet, when
+tracing is off.
+
+Timebase: span *start* times are POSIX epoch seconds (``time.time``) so
+spans from different processes (campaign parent, pool workers) land on
+one shared timeline; *durations* are measured with ``perf_counter`` for
+resolution.  Ids are ``"<pid-hex>.<n>"`` so concurrent workers can never
+collide.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+#: Span categories used by the stack (free-form; these are the conventions).
+CAT_CAMPAIGN = "campaign"
+CAT_WORKER = "worker"
+CAT_RUN = "run"
+CAT_PHASE = "phase"
+
+
+class Span:
+    """One open (then closed) timed region.  Usable as a context manager."""
+
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "name", "cat", "labels",
+        "t_start", "_t0", "dur_s", "closed", "lane",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        cat: str,
+        labels: Optional[Dict[str, Any]],
+        lane: Optional[int] = None,
+    ):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.labels = dict(labels) if labels else {}
+        self.lane = lane if lane is not None else tracer.lane
+        self.t_start = tracer._wall_clock()
+        self._t0 = tracer._clock()
+        self.dur_s: Optional[float] = None
+        self.closed = False
+
+    def annotate(self, **labels: Any) -> "Span":
+        """Merge extra labels into the span (before or after close is fine,
+        but labels added after close are not in the emitted record)."""
+        self.labels.update(labels)
+        return self
+
+    def close(self) -> None:
+        """End the span and emit its record.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.dur_s = self.tracer._clock() - self._t0
+        self.tracer._emit(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.labels.setdefault("status", "error")
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.dur_s:.6f}s" if self.closed else "open"
+        return f"<Span {self.name!r} cat={self.cat} id={self.span_id} {state}>"
+
+
+class _NullSpan:
+    """Accepts the whole :class:`Span` surface as a no-op."""
+
+    __slots__ = ()
+
+    span_id = ""
+    parent_id = None
+    name = ""
+    cat = ""
+    labels: Dict[str, Any] = {}
+    t_start = 0.0
+    dur_s = 0.0
+    closed = True
+
+    def annotate(self, **labels: Any) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared span handed out by disabled tracers.
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Create spans and emit them as run-log ``span`` records.
+
+    ``writer`` is a :class:`~repro.obs.runlog.RunLogWriter` (or anything
+    with a compatible ``write(record_type, **fields)``); with no writer
+    the closed spans accumulate on :attr:`finished` instead, which is
+    what the unit tests and in-memory consumers use.
+
+    Parenting is implicit through a stack of open spans: :meth:`start`
+    uses the innermost open span as parent and pushes itself;
+    :meth:`Span.close` pops it.  Concurrent regions (campaign worker
+    attempts observed from the parent process) bypass the stack with
+    ``detached=True`` and an explicit ``parent``.
+    """
+
+    enabled = True
+
+    def __init__(self, writer=None, *, lane: Optional[int] = None,
+                 clock=time.perf_counter, wall_clock=time.time):
+        self._writer = writer
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self.lane = lane
+        self.pid = os.getpid()
+        self._next = 0
+        self._stack: List[Span] = []
+        #: Closed spans retained when there is no writer to stream to.
+        self.finished: List[Dict[str, Any]] = []
+        self.emitted = 0
+
+    # -- creation -----------------------------------------------------------------
+
+    def _new_id(self) -> str:
+        self._next += 1
+        return f"{self.pid:x}.{self._next}"
+
+    def start(
+        self,
+        name: str,
+        cat: str = CAT_PHASE,
+        *,
+        parent: Optional[Span] = None,
+        detached: bool = False,
+        labels: Optional[Dict[str, Any]] = None,
+        lane: Optional[int] = None,
+    ) -> Span:
+        """Open a span.  Stack-parented unless ``detached`` (concurrent
+        regions pass ``detached=True`` with an explicit ``parent`` and,
+        typically, a worker ``lane``)."""
+        parent_id = None
+        if parent is not None:
+            parent_id = parent.span_id
+        elif self._stack:
+            parent_id = self._stack[-1].span_id
+        span = Span(self, self._new_id(), parent_id, name, cat, labels, lane)
+        if not detached:
+            self._stack.append(span)
+        return span
+
+    def span(self, name: str, cat: str = CAT_PHASE, **labels: Any) -> Span:
+        """``with tracer.span("setup"): ...`` convenience over :meth:`start`."""
+        return self.start(name, cat, labels=labels or None)
+
+    def instant(self, name: str, cat: str = CAT_PHASE, **labels: Any) -> None:
+        """Emit a zero-duration marker span (retry markers and the like)."""
+        span = self.start(name, cat, detached=True, labels=labels or None)
+        span.dur_s = 0.0
+        span.closed = True
+        self._emit(span)
+
+    # -- emission -----------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """Innermost open (stacked) span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def open_spans(self) -> int:
+        """Number of stacked spans not yet closed."""
+        return len(self._stack)
+
+    def _emit(self, span: Span) -> None:
+        if span in self._stack:
+            # Pop through abandoned children so a forgotten inner close
+            # cannot wedge the stack (their records were never emitted).
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        fields = dict(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            cat=span.cat,
+            t_start=span.t_start,
+            dur_s=span.dur_s,
+            pid=self.pid,
+            labels=span.labels,
+        )
+        if span.lane is not None:
+            fields["lane"] = span.lane
+        self.emitted += 1
+        if self._writer is not None:
+            self._writer.write("span", **fields)
+        else:
+            self.finished.append({"record": "span", **fields})
+
+    def close_open(self, **labels: Any) -> int:
+        """Close every still-open stacked span, innermost first.
+
+        Used on the failure path so an aborted run still emits a complete
+        span tree; ``labels`` (e.g. ``status="error"``) are merged into
+        each.  Returns the number of spans closed.
+        """
+        closed = 0
+        while self._stack:
+            span = self._stack[-1]
+            span.annotate(**labels)
+            span.close()  # pops via _emit
+            closed += 1
+        return closed
+
+
+class NullSpanTracer:
+    """Disabled tracer: every factory returns :data:`NULL_SPAN`."""
+
+    enabled = False
+    lane = None
+    pid = 0
+    emitted = 0
+    finished: List[Dict[str, Any]] = []
+
+    __slots__ = ()
+
+    def start(self, name, cat=CAT_PHASE, *, parent=None, detached=False,
+              labels=None, lane=None):
+        """Accept the full :meth:`SpanTracer.start` signature; no-op."""
+        return NULL_SPAN
+
+    def span(self, name, cat=CAT_PHASE, **labels):
+        """Return the shared no-op span (usable as a context manager)."""
+        return NULL_SPAN
+
+    def instant(self, name, cat=CAT_PHASE, **labels):
+        """Discard the instant marker."""
+        pass
+
+    @property
+    def current(self):
+        return None
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def close_open(self, **labels) -> int:
+        """Nothing is ever open; returns 0."""
+        return 0
+
+
+#: The shared disabled tracer (the spans analogue of ``NULL_REGISTRY``).
+NULL_SPAN_TRACER = NullSpanTracer()

@@ -177,3 +177,59 @@ def test_workloads_are_deterministic_quick():
     for name in ("event_loop", "timer_churn"):
         spec = WORKLOADS_BY_NAME[name]
         assert spec.run(quick=True) == spec.run(quick=True)
+
+
+# --- bench run logs + span-overhead workload ---------------------------------
+
+
+def test_datapath_spans_disabled_registered_and_deterministic():
+    """The NULL-tracer datapath workload must exist and stay deterministic."""
+    spec = WORKLOADS_BY_NAME["datapath_spans_disabled"]
+    assert spec.run(quick=True) == spec.run(quick=True)
+
+
+def test_datapath_spans_disabled_matches_plain_datapath_outcomes():
+    """NULL spans are free: same events/checksum as the obs-disabled twin."""
+    plain = WORKLOADS_BY_NAME["datapath_obs_disabled"].run(quick=True)
+    spanned = WORKLOADS_BY_NAME["datapath_spans_disabled"].run(quick=True)
+    assert spanned == plain
+
+
+def test_write_bench_runlog_is_valid_and_summarizable(tmp_path, capsys):
+    from repro.bench.harness import write_bench_runlog
+    from repro.obs.runlog import read_run_log, validate_run_log
+
+    report = _report(
+        {"event_loop": _bench(120_000.0), "timer_churn": _bench(80_000.0)},
+        quick=True, tag="ci",
+    )
+    log = tmp_path / "bench.jsonl"
+    write_bench_runlog(report, log)
+    records = read_run_log(log)
+    assert validate_run_log(records) == []
+    benches = [r for r in records if r["record"] == "bench"]
+    assert sorted(b["name"] for b in benches) == ["event_loop", "timer_churn"]
+    assert all(b["config_hash"] == "abc" for b in benches)
+    summary = records[-1]
+    assert summary["record"] == "summary"
+    assert summary["events"] == 2000  # totals across workloads
+
+    # `repro obs summary` digests the bench log.
+    from repro.cli import main as repro_main
+
+    assert repro_main(["obs", "summary", str(log)]) == 0
+    assert "event_loop" in capsys.readouterr().out
+
+
+def test_main_runlog_flag_writes_bench_log(tmp_path):
+    from repro.obs.runlog import read_run_log, validate_run_log
+
+    out = tmp_path / "results"
+    log = tmp_path / "bench.jsonl"
+    rc = main(["--quick", "--only", "event_loop", "--repeats", "1",
+               "--out-dir", str(out), "--runlog", str(log)])
+    assert rc == 0
+    records = read_run_log(log)
+    assert validate_run_log(records) == []
+    assert any(r["record"] == "bench" and r["name"] == "event_loop"
+               for r in records)

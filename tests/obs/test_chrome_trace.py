@@ -1,0 +1,133 @@
+"""Unit tests for the Chrome Trace Format exporter."""
+
+import json
+
+from repro.obs.chrome_trace import (
+    TRACE_PID,
+    build_chrome_trace,
+    spans_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.runlog import RunLogWriter
+from repro.obs.spans import CAT_CAMPAIGN, CAT_RUN, CAT_WORKER
+
+
+def _span(span_id, name, cat="phase", t_start=100.0, dur_s=1.0, parent=None,
+          pid=10, lane=None, labels=None):
+    rec = {"record": "span", "t_wall": t_start, "span_id": span_id,
+           "parent_id": parent, "name": name, "cat": cat,
+           "t_start": t_start, "dur_s": dur_s, "pid": pid,
+           "labels": labels or {}}
+    if lane is not None:
+        rec["lane"] = lane
+    return rec
+
+
+def test_spans_become_complete_events_with_relative_ts():
+    events = spans_to_events([
+        _span("a.1", "run", CAT_RUN, t_start=100.0, dur_s=2.0),
+        _span("a.2", "setup", parent="a.1", t_start=100.5, dur_s=0.5),
+    ])
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == 2
+    run = next(e for e in xs if e["name"] == "run")
+    setup = next(e for e in xs if e["name"] == "setup")
+    assert run["ts"] == 0.0  # relative to the earliest span
+    assert setup["ts"] == 500_000.0  # 0.5 s in microseconds
+    assert run["dur"] == 2_000_000.0
+    assert setup["args"]["parent_id"] == "a.1"
+    assert all(e["pid"] == TRACE_PID for e in xs)
+
+
+def test_zero_duration_span_is_instant_event():
+    events = spans_to_events([_span("a.1", "retry", CAT_WORKER, dur_s=0.0)])
+    inst = next(e for e in events if e["name"] == "retry")
+    assert inst["ph"] == "i"
+    assert inst["s"] == "t"
+    assert "dur" not in inst
+
+
+def test_lane_assignment_worker_pid_and_campaign():
+    spans = [
+        # Campaign root emitted LAST in its file (children close first) —
+        # the exporter must still label that pid lane "campaign".
+        _span("c.2", "store", t_start=101.0, pid=1),
+        _span("c.1", "campaign", CAT_CAMPAIGN, t_start=100.0, dur_s=5.0, pid=1),
+        _span("w.1", "cell-a", CAT_WORKER, t_start=100.1, pid=1, lane=0),
+        _span("w.2", "cell-b", CAT_WORKER, t_start=100.2, pid=1, lane=1),
+        _span("r.1", "run", CAT_RUN, t_start=100.3, pid=77),
+    ]
+    events = spans_to_events(spans)
+    names = {e["tid"]: e["args"]["name"]
+             for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert "campaign" in names.values()
+    assert "worker 0" in names.values()
+    assert "worker 1" in names.values()
+    assert any(n.startswith("runs pid=") for n in names.values())
+    # Spans with an explicit lane land on the worker lanes, not the pid lane.
+    cell_a = next(e for e in events if e.get("name") == "cell-a")
+    assert names[cell_a["tid"]] == "worker 0"
+
+
+def test_profile_renders_as_sequential_engine_slices():
+    spans = [_span("a.1", "transfer", t_start=200.0, dur_s=1.0, pid=5)]
+    profiles = [{
+        "record": "profile", "kinds": {
+            "link_tx": {"self_s": 0.4, "events": 100},
+            "ack_process": {"self_s": 0.6, "events": 50},
+        },
+        "_pid": 5, "_label": "cell", "_t_anchor": 200.0,
+    }]
+    events = spans_to_events(spans, profiles)
+    slices = [e for e in events if e.get("cat") == "engine-phase"]
+    assert [s["name"] for s in slices] == ["ack_process", "link_tx"]  # by self_s
+    assert slices[0]["ts"] == 0.0
+    assert slices[1]["ts"] == slices[0]["dur"]  # laid end to end
+
+
+def test_build_and_write_from_run_logs(tmp_path):
+    log = tmp_path / "cell.jsonl"
+    with RunLogWriter(log) as w:
+        w.manifest(label="cell", config={}, config_hash="h",
+                   repro_version="1", seed=1, engine="packet")
+        w.write("span", span_id="x.2", parent_id="x.1", name="transfer",
+                cat="phase", t_start=50.0, dur_s=1.5, pid=9, labels={})
+        w.write("span", span_id="x.1", parent_id=None, name="run",
+                cat="run", t_start=50.0, dur_s=2.0, pid=9,
+                labels={"seed": 1})
+        w.write("profile", kinds={"link_tx": {"self_s": 0.1, "events": 5}},
+                loop_wall_s=0.1, events=5, stride=1)
+        w.summary(status="ok", wall_s=2.0, events=5, events_per_sec=2.5,
+                  peak_rss_kb=1)
+    out = tmp_path / "trace.json"
+    doc = write_chrome_trace([log], out)
+    assert validate_chrome_trace(doc) == []
+    loaded = json.loads(out.read_text())
+    assert loaded["otherData"]["spans"] == 2
+    assert loaded["otherData"]["profiles"] == 1
+    assert loaded["otherData"]["sources"] == [str(log)]
+    names = [e["name"] for e in loaded["traceEvents"]]
+    assert "run" in names and "transfer" in names and "link_tx" in names
+
+
+def test_build_chrome_trace_empty_inputs():
+    doc = build_chrome_trace([])
+    assert doc["traceEvents"] == []
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validate_catches_malformed_events():
+    assert validate_chrome_trace({"traceEvents": "nope"}) == [
+        "traceEvents must be a list"
+    ]
+    errors = validate_chrome_trace({"traceEvents": [
+        {"ph": "Q", "pid": 1},
+        {"ph": "X", "pid": 1, "ts": -5.0, "dur": 1.0, "name": "x"},
+        {"ph": "X", "pid": 1, "ts": 0.0, "name": "x"},  # missing dur
+        {"ph": "M", "pid": 1, "name": "mystery_meta"},
+    ]})
+    assert any("unsupported ph" in e for e in errors)
+    assert any("ts must be" in e for e in errors)
+    assert any("needs a non-negative dur" in e for e in errors)
+    assert any("unknown metadata" in e for e in errors)

@@ -71,3 +71,97 @@ def test_trailing_newline_present():
     reg = MetricsRegistry()
     reg.counter("x_total").inc()
     assert to_prometheus(reg).endswith("\n")
+
+
+# -- exposition-page hardening ----------------------------------------------------
+
+
+def test_help_lines_render_once_per_family():
+    reg = MetricsRegistry()
+    reg.counter("drops_total", help="Packets dropped.", labels={"q": "a"}).inc()
+    reg.counter("drops_total", help="Packets dropped.", labels={"q": "b"}).inc()
+    text = to_prometheus(reg)
+    assert text.count("# HELP repro_drops_total Packets dropped.") == 1
+    assert text.count("# TYPE repro_drops_total counter") == 1
+
+
+def test_registries_share_family_single_header():
+    from repro.obs.export import registries_to_prometheus
+
+    regs = []
+    for worker in ("w0", "w1"):
+        reg = MetricsRegistry()
+        reg.counter(
+            "events_total", help="Events processed.", labels={"worker": worker}
+        ).inc(5)
+        regs.append(reg)
+    text = registries_to_prometheus(regs)
+    assert text.count("# HELP repro_events_total") == 1
+    assert text.count("# TYPE repro_events_total counter") == 1
+    assert 'repro_events_total{worker="w0"} 5' in text
+    assert 'repro_events_total{worker="w1"} 5' in text
+
+
+def test_registries_first_nonempty_help_wins():
+    from repro.obs.export import registries_to_prometheus
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x_total", labels={"r": "a"}).inc()  # no help
+    b.counter("x_total", help="Late help.", labels={"r": "b"}).inc()
+    text = registries_to_prometheus([a, b])
+    assert "# HELP repro_x_total Late help." in text
+
+
+def test_registries_kind_conflict_raises():
+    import pytest
+
+    from repro.obs.export import registries_to_prometheus
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("depth").inc()
+    b.gauge("depth").set(1.0)
+    with pytest.raises(ValueError, match="depth"):
+        registries_to_prometheus([a, b])
+
+
+def test_registries_duplicate_series_first_wins():
+    from repro.obs.export import registries_to_prometheus
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x_total", labels={"q": "same"}).inc(1)
+    b.counter("x_total", labels={"q": "same"}).inc(99)
+    text = registries_to_prometheus([a, b])
+    assert text.count('repro_x_total{q="same"}') == 1
+    assert 'repro_x_total{q="same"} 1' in text
+
+
+def test_help_text_escapes_backslash_and_newline():
+    reg = MetricsRegistry()
+    reg.counter("x_total", help='multi\nline \\ "quoted"').inc()
+    text = to_prometheus(reg)
+    # Newlines and backslashes escaped; quotes left alone (help, not label).
+    assert '# HELP repro_x_total multi\\nline \\\\ "quoted"' in text
+    assert all("\n" not in line or line == "" for line in text.split("\n"))
+
+
+def test_label_roundtrip_trailing_backslash_and_newline():
+    from repro.obs.export import _split_key
+
+    reg = MetricsRegistry()
+    gnarly = {"path": "a\\", "msg": "line1\nline2", "q": 'quo"te'}
+    reg.counter("x_total", labels=gnarly).inc(7)
+    snap = reg.snapshot()
+    (key,) = snap["counters"]
+    name, labels = _split_key(key)
+    assert name == "x_total"
+    assert labels == gnarly
+    # And the rendered page keeps every series on one line (labels sorted).
+    samples, _ = _parse(snapshot_to_prometheus(snap))
+    assert samples['repro_x_total{msg="line1\\nline2",path="a\\\\",q="quo\\"te"}'] == "7"
+
+
+def test_split_label_parts_handles_escaped_quote_before_comma():
+    from repro.obs.export import _split_label_parts
+
+    parts = _split_label_parts('a="x\\\\",b="y,z",c="w"')
+    assert parts == ['a="x\\\\"', 'b="y,z"', 'c="w"']

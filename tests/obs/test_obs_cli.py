@@ -102,3 +102,138 @@ def test_obs_empty_dir(tmp_path, capsys):
     empty = tmp_path / "empty"
     empty.mkdir()
     assert main(["obs", "summary", str(empty)]) == 1
+
+
+# -- trace / profile / diff / tail --follow / bench summary -----------------------
+
+
+def _write_traced_log(path, label="cell", seed=1, base=100.0):
+    from repro.obs.runlog import RunLogWriter
+
+    with RunLogWriter(path) as w:
+        w.manifest(label=label, config={}, config_hash="h",
+                   repro_version="1", seed=seed, engine="packet")
+        w.write("span", span_id=f"{label}.2", parent_id=f"{label}.1",
+                name="transfer", cat="phase", t_start=base + 0.5,
+                dur_s=1.0, pid=9, labels={})
+        w.write("span", span_id=f"{label}.1", parent_id=None, name="run",
+                cat="run", t_start=base, dur_s=2.0, pid=9,
+                labels={"seed": seed})
+        w.write("profile", kinds={"link_tx": {"self_s": 0.4, "events": 10},
+                                  "ack_process": {"self_s": 0.5, "events": 5}},
+                loop_wall_s=1.0, events=15, stride=1)
+        w.summary(status="ok", wall_s=2.0, events=15, events_per_sec=7.5,
+                  peak_rss_kb=1)
+
+
+def test_obs_trace_exports_perfetto_json(tmp_path, capsys):
+    import json
+
+    from repro.obs.chrome_trace import validate_chrome_trace
+
+    _write_traced_log(tmp_path / "cell.jsonl")
+    assert main(["obs", "trace", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace.json" in out and "ui.perfetto.dev" in out
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"]["spans"] == 2
+    # Explicit output path.
+    target = tmp_path / "custom.json"
+    assert main(["obs", "trace", str(tmp_path / "cell.jsonl"),
+                 "--out", str(target)]) == 0
+    assert target.exists()
+
+
+def test_obs_trace_warns_on_spanless_log(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "plain.jsonl"
+    with RunLogWriter(log) as w:
+        w.manifest(label="plain", config={}, config_hash="h",
+                   repro_version="1", seed=1, engine="packet")
+        w.summary(status="ok", wall_s=1.0, events=1, events_per_sec=1.0,
+                  peak_rss_kb=1)
+    assert main(["obs", "trace", str(log)]) == 0
+    assert "no span records" in capsys.readouterr().err
+
+
+def test_obs_profile_table_and_missing_records(tmp_path, capsys):
+    _write_traced_log(tmp_path / "cell.jsonl")
+    assert main(["obs", "profile", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "link_tx" in out and "ack_process" in out
+    assert main(["obs", "profile", str(tmp_path), "--top", "1"]) == 0
+    top1 = capsys.readouterr().out
+    assert "ack_process" in top1 and "link_tx" not in top1
+
+    empty = tmp_path / "noprofile"
+    empty.mkdir()
+    from repro.obs.runlog import RunLogWriter
+
+    with RunLogWriter(empty / "x.jsonl") as w:
+        w.manifest(label="x", config={}, config_hash="h",
+                   repro_version="1", seed=1, engine="packet")
+        w.summary(status="ok", wall_s=1.0, events=1, events_per_sec=1.0,
+                  peak_rss_kb=1)
+    assert main(["obs", "profile", str(empty)]) == 1
+    assert "no profile records" in capsys.readouterr().err
+
+
+def test_obs_diff_renders_phase_and_kind_tables(tmp_path, capsys):
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.mkdir(), b.mkdir()
+    _write_traced_log(a / "cell.jsonl", base=100.0)
+    _write_traced_log(b / "cell.jsonl", base=200.0)
+    assert main(["obs", "diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "transfer" in out and "run" in out
+    assert "link_tx" in out
+
+
+def test_obs_tail_follow_renders_and_exits(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "campaign.jsonl"
+    with RunLogWriter(log) as w:
+        w.write("campaign_progress", finished=2, total=4, failed=0,
+                retried=0, label="cell-2", eta_s=5.0, events_per_sec=10.0)
+    # One render then exit: the file is static, so a second update never
+    # fires (renders happen only when the fingerprint changes).
+    assert main(["obs", "tail", str(tmp_path), "--follow",
+                 "--interval", "0.05", "--max-updates", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2/4 done" in out
+
+
+def test_obs_summary_renders_bench_records(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "bench.jsonl"
+    with RunLogWriter(log) as w:
+        w.manifest(label="bench_2026-08-06", config={}, config_hash="h",
+                   repro_version="1", seed=0, engine="bench")
+        w.write("bench", name="single_flow_datapath", wall_s=1.25,
+                events=50_000, events_per_sec=40_000.0)
+        w.summary(status="ok", wall_s=1.25, events=50_000,
+                  events_per_sec=40_000.0, peak_rss_kb=1)
+    assert main(["obs", "summary", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "single_flow_datapath" in out
+    assert "bench" in out
+    # A bench log has no fairness outcome — no J=nan junk line.
+    assert "J=" not in out
+
+
+def test_obs_validate_covers_campaign_log(tmp_path, capsys):
+    from repro.obs.runlog import RunLogWriter
+
+    log = tmp_path / "campaign.jsonl"
+    with RunLogWriter(log) as w:
+        w.write("campaign_progress", finished=1, total=1, failed=0,
+                retried=0, label="cell-1", eta_s=0.0, events_per_sec=1.0)
+        w.write("span", span_id="c.1", parent_id="ghost.7", name="campaign",
+                cat="campaign", t_start=1.0, dur_s=1.0, pid=1, labels={})
+    # The dangling parent_id must fail validation (span-tree integrity).
+    assert main(["obs", "validate", str(log)]) == 1
+    assert "does not resolve" in capsys.readouterr().err

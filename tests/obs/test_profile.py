@@ -1,0 +1,205 @@
+"""Unit + integration tests for the event-loop self-profiler."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    ACK_KIND,
+    EventLoopProfiler,
+    classify,
+    diff_profiles,
+    render_profile,
+    register_profiler_gauges,
+)
+from repro.sim.engine import Simulator
+from repro.units import mbps, seconds
+
+
+def _run_profiled_sim(stride=1, count=500):
+    sim = Simulator()
+    fired = {"n": 0}
+
+    def tick():
+        fired["n"] += 1
+
+    for i in range(count):
+        sim.schedule(i * 1000, tick)
+    sim.profiler = EventLoopProfiler(stride=stride)
+    sim.run()
+    assert fired["n"] == count
+    return sim
+
+
+class _Owner:
+    def cb(self):
+        pass
+
+
+class _Packet:
+    def __init__(self, is_ack):
+        self.is_ack = is_ack
+
+
+def test_classify_bound_method_and_plain_function():
+    owner = _Owner()
+    assert classify(owner.cb, ()) == "_Owner.cb"
+
+    def local_fn():
+        pass
+
+    assert classify(local_fn, ()) == "local_fn"
+
+
+def test_classify_splits_ack_deliveries():
+    class Link:
+        def _deliver(self, pkt):
+            pass
+
+    link = Link()
+    assert classify(link._deliver, (_Packet(is_ack=True),)) == ACK_KIND
+    assert classify(link._deliver, (_Packet(is_ack=False),)) == "packet_deliver"
+
+
+def test_stride_validation():
+    with pytest.raises(ValueError):
+        EventLoopProfiler(stride=0)
+
+
+def test_profiled_loop_counts_every_event():
+    sim = _run_profiled_sim(stride=1, count=500)
+    prof = sim.profiler
+    assert prof.events == 500
+    assert prof.sampled == 500
+    assert sim.events_processed == 500
+    assert prof.loop_wall_s > 0
+    assert prof.runs == 1
+    assert sum(prof.event_counts.values()) == 500
+
+
+def test_stride_one_coverage_is_near_total():
+    sim = _run_profiled_sim(stride=1, count=2000)
+    # Chained timestamps fold heap pops and loop bookkeeping into the
+    # event they precede, so self-times sum to ~the whole loop wall.
+    assert sim.profiler.coverage >= 0.95
+
+
+def test_sampling_stride_scales_attribution():
+    sim = _run_profiled_sim(stride=10, count=1000)
+    prof = sim.profiler
+    assert prof.events == 1000
+    assert prof.sampled == pytest.approx(100, abs=1)
+    snap = prof.snapshot()
+    raw = sum(prof.self_time_s.values())
+    assert prof.attributed_s == pytest.approx(raw * prof.events / prof.sampled)
+    assert snap["stride"] == 10
+    # Scaled per-kind event counts approximate the real totals.
+    assert sum(k["events"] for k in snap["kinds"].values()) == pytest.approx(
+        1000, rel=0.05
+    )
+
+
+def test_profiler_accumulates_across_run_segments():
+    sim = Simulator()
+    sim.profiler = EventLoopProfiler()
+
+    def noop():
+        pass
+
+    for i in range(10):
+        sim.schedule(i * 1000, noop)
+    sim.run(seconds(0.5))
+    sim.run()
+    assert sim.profiler.runs == 2
+    assert sim.profiler.events == 10
+
+
+def test_snapshot_is_run_log_profile_record_shaped():
+    sim = _run_profiled_sim()
+    snap = sim.profiler.snapshot()
+    for key in ("stride", "events", "sampled", "loop_wall_s", "attributed_s",
+                "coverage", "sim_time_s", "skew", "kinds"):
+        assert key in snap
+    for row in snap["kinds"].values():
+        assert {"self_s", "events"} <= set(row)
+
+
+def test_outcomes_bit_identical_with_profiler_attached(tmp_path):
+    cfg = ExperimentConfig(
+        cca_pair=("bbrv1", "cubic"),
+        bottleneck_bw_bps=mbps(20),
+        duration_s=2.0,
+        mss_bytes=1500,
+        flows_per_node=1,
+        seed=11,
+    )
+    from repro.experiments.runner import run_packet_experiment
+
+    plain = run_packet_experiment(cfg)
+    from repro.obs.session import TelemetryOptions
+
+    profiled = run_packet_experiment(
+        cfg, TelemetryOptions(dir=str(tmp_path), profile=True,
+                              sample_interval_s=None)
+    )
+    assert profiled.jain_index == plain.jain_index
+    assert profiled.total_throughput_bps == plain.total_throughput_bps
+    assert profiled.total_retransmits == plain.total_retransmits
+    assert profiled.bottleneck_drops == plain.bottleneck_drops
+    assert [f.bytes_received for f in profiled.flows] == [
+        f.bytes_received for f in plain.flows
+    ]
+    # Acceptance: per-kind self time explains >= 95% of the loop wall.
+    assert profiled.extra["obs"]["profile_coverage"] >= 0.95
+
+
+def test_real_datapath_kinds_are_classified():
+    from repro.cca.registry import make_cca
+    from repro.tcp.connection import open_connection
+    from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(10), buffer_bdp=2.0,
+                       mss_bytes=1500, seed=1)
+    )
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"),
+                           mss=1500, flow_id=1)
+    conn.start()
+    db.sim.profiler = EventLoopProfiler()
+    db.network.run(seconds(1.0))
+    kinds = set(db.sim.profiler.self_time_s)
+    assert "link_tx" in kinds
+    assert ACK_KIND in kinds
+    assert "packet_deliver" in kinds
+
+
+def test_render_profile_table():
+    profile = {
+        "stride": 1, "events": 100, "loop_wall_s": 1.0, "coverage": 0.98,
+        "skew": 25.0,
+        "kinds": {"link_tx": {"self_s": 0.6, "events": 60},
+                  "ack_process": {"self_s": 0.38, "events": 40}},
+    }
+    text = render_profile(profile, source="x.jsonl")
+    assert "link_tx" in text and "ack_process" in text
+    assert "98.0%" in text
+    assert "x.jsonl" in text
+    top1 = render_profile(profile, top=1)
+    assert "ack_process" not in top1
+
+
+def test_diff_profiles_union_and_order():
+    a = {"kinds": {"x": {"self_s": 1.0}, "y": {"self_s": 0.1}}}
+    b = {"kinds": {"y": {"self_s": 0.2}, "z": {"self_s": 3.0}}}
+    rows = diff_profiles(a, b)
+    assert rows[0] == ("z", 0.0, 3.0)
+    assert set(r[0] for r in rows) == {"x", "y", "z"}
+
+
+def test_register_profiler_gauges():
+    reg = MetricsRegistry()
+    prof = EventLoopProfiler()
+    register_profiler_gauges(reg, prof)
+    snap = reg.snapshot()
+    assert "profile_sim_wall_skew" in snap["gauges"]
+    assert "profile_coverage" in snap["gauges"]

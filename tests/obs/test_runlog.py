@@ -122,3 +122,84 @@ def test_records_are_single_json_lines(tmp_path):
     _write_minimal(path)
     for line in path.read_text().splitlines():
         json.loads(line)  # every line independently parseable
+
+
+def _span_rec(span_id="a.1", **over):
+    rec = {"record": "span", "t_wall": 1.0, "span_id": span_id,
+           "parent_id": None, "name": "x", "cat": "phase",
+           "t_start": 1.0, "dur_s": 0.5, "pid": 1, "labels": {}}
+    rec.update(over)
+    return rec
+
+
+def test_validate_spans_flags_broken_trees():
+    from repro.obs.runlog import validate_spans
+
+    assert validate_spans([_span_rec()]) == []
+    errors = validate_spans([_span_rec(), _span_rec()])
+    assert any("duplicate span_id" in e for e in errors)
+    errors = validate_spans([_span_rec(dur_s=-1.0)])
+    assert any("non-negative" in e for e in errors)
+    errors = validate_spans([_span_rec(span_id=None)])
+    assert any("bad span_id" in e for e in errors)
+    errors = validate_spans([_span_rec(parent_id="ghost.9")])
+    assert any("does not resolve" in e for e in errors)
+    errors = validate_spans([_span_rec(labels=["not", "a", "dict"])])
+    assert any("labels must be an object" in e for e in errors)
+    errors = validate_spans([_span_rec(t_start="noon")])
+    assert any("t_start must be numeric" in e for e in errors)
+
+
+def test_validate_run_log_checks_span_and_profile_records(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunLogWriter(path) as w:
+        w.manifest(**_manifest_kwargs())
+        w.write("span", span_id="b.1", parent_id="missing.0", name="run",
+                cat="run", t_start=1.0, dur_s=1.0, pid=2, labels={})
+        w.write("profile", kinds={"link_tx": {"self_s": 0.1}},  # no 'events'
+                loop_wall_s=0.2, events=10, stride=1)
+        w.summary(status="ok", wall_s=1.0, events=10, events_per_sec=10.0,
+                  peak_rss_kb=1)
+    errors = validate_run_log(read_run_log(path))
+    assert any("does not resolve" in e for e in errors)
+    assert any("kind 'link_tx' malformed" in e for e in errors)
+
+
+def test_validate_accepts_bench_records(tmp_path):
+    path = tmp_path / "bench.jsonl"
+    with RunLogWriter(path) as w:
+        w.manifest(**_manifest_kwargs(engine="bench"))
+        w.write("bench", name="single_flow_datapath", wall_s=1.5,
+                events=1000, events_per_sec=666.7)
+        w.summary(status="ok", wall_s=1.5, events=1000,
+                  events_per_sec=666.7, peak_rss_kb=1)
+    assert validate_run_log(read_run_log(path)) == []
+    # A bench record missing its timing fields is flagged.
+    records = read_run_log(path)
+    del records[1]["wall_s"]
+    errors = validate_run_log(records)
+    assert any("missing fields" in e for e in errors)
+
+
+def test_validate_campaign_log(tmp_path):
+    from repro.obs.runlog import validate_campaign_log
+
+    path = tmp_path / "campaign.jsonl"
+    with RunLogWriter(path) as w:
+        w.write("campaign_progress", finished=1, total=2, failed=0,
+                retried=0, label="cell-1", eta_s=3.0, events_per_sec=10.0)
+        w.write("campaign_retry", label="cell-2", attempt=1, delay_s=0.5,
+                error="boom", kind="error")
+        w.write("span", span_id="c.1", parent_id=None, name="campaign",
+                cat="campaign", t_start=1.0, dur_s=2.0, pid=1, labels={})
+    assert validate_campaign_log(read_run_log(path)) == []
+
+    assert validate_campaign_log([]) == ["campaign log is empty"]
+    errors = validate_campaign_log(
+        [{"record": "summary", "t_wall": 1.0}]
+    )
+    assert any("does not belong in a campaign log" in e for e in errors)
+    errors = validate_campaign_log(
+        [{"record": "campaign_progress", "t_wall": 1.0, "finished": 1}]
+    )
+    assert any("missing fields" in e for e in errors)

@@ -1,0 +1,171 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import pytest
+
+from repro.obs.runlog import RunLogWriter, read_run_log, validate_spans
+from repro.obs.spans import (
+    CAT_CAMPAIGN,
+    CAT_RUN,
+    NULL_SPAN,
+    NULL_SPAN_TRACER,
+    SpanTracer,
+)
+
+
+class _FakeClock:
+    """Deterministic perf/wall clock for span timing assertions."""
+
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _tracer(clock=None):
+    clock = clock or _FakeClock()
+    return SpanTracer(clock=clock, wall_clock=clock), clock
+
+
+def test_nested_spans_parent_resolve_and_close():
+    tracer, clock = _tracer()
+    run = tracer.start("run", CAT_RUN)
+    with tracer.span("setup"):
+        clock.advance(1.0)
+    with tracer.span("transfer"):
+        clock.advance(5.0)
+    run.close()
+    assert tracer.open_spans == 0
+    assert [r["name"] for r in tracer.finished] == ["setup", "transfer", "run"]
+    setup, transfer, run_rec = tracer.finished
+    assert setup["parent_id"] == run_rec["span_id"]
+    assert transfer["parent_id"] == run_rec["span_id"]
+    assert run_rec["parent_id"] is None
+    assert transfer["dur_s"] == pytest.approx(5.0)
+    assert run_rec["dur_s"] == pytest.approx(6.0)
+    assert validate_spans(tracer.finished) == []
+
+
+def test_span_ids_unique_and_pid_scoped():
+    tracer, _ = _tracer()
+    a = tracer.start("a")
+    b = tracer.start("b")
+    assert a.span_id != b.span_id
+    assert a.span_id.startswith(f"{tracer.pid:x}.")
+
+
+def test_close_is_idempotent():
+    tracer, clock = _tracer()
+    span = tracer.start("x")
+    clock.advance(1.0)
+    span.close()
+    clock.advance(9.0)
+    span.close()
+    assert len(tracer.finished) == 1
+    assert tracer.finished[0]["dur_s"] == pytest.approx(1.0)
+
+
+def test_exception_marks_status_error():
+    tracer, _ = _tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert tracer.finished[0]["labels"]["status"] == "error"
+
+
+def test_abandoned_child_does_not_wedge_stack():
+    tracer, _ = _tracer()
+    run = tracer.start("run", CAT_RUN)
+    tracer.start("forgotten")  # never closed
+    run.close()
+    assert tracer.open_spans == 0
+    # Only the explicitly closed span is emitted.
+    assert [r["name"] for r in tracer.finished] == ["run"]
+
+
+def test_close_open_merges_labels_innermost_first():
+    tracer, _ = _tracer()
+    tracer.start("outer")
+    tracer.start("inner")
+    assert tracer.close_open(status="error") == 2
+    assert [r["name"] for r in tracer.finished] == ["inner", "outer"]
+    assert all(r["labels"]["status"] == "error" for r in tracer.finished)
+
+
+def test_detached_span_with_explicit_parent_and_lane():
+    tracer, _ = _tracer()
+    root = tracer.start("campaign", CAT_CAMPAIGN)
+    worker = tracer.start("cell-1", parent=root, detached=True, lane=3)
+    # Detached spans never join the stack.
+    assert tracer.current is root
+    worker.close()
+    root.close()
+    rec = tracer.finished[0]
+    assert rec["parent_id"] == root.span_id
+    assert rec["lane"] == 3
+    assert "lane" not in tracer.finished[1]  # root has no lane
+    assert validate_spans(tracer.finished) == []
+
+
+def test_sequential_spans_on_one_lane_do_not_overlap():
+    clock = _FakeClock()
+    tracer = SpanTracer(lane=0, clock=clock, wall_clock=clock)
+    for i in range(3):
+        with tracer.span(f"run-{i}"):
+            clock.advance(2.0)
+    spans = sorted(tracer.finished, key=lambda s: s["t_start"])
+    for prev, cur in zip(spans, spans[1:]):
+        assert prev["lane"] == cur["lane"] == 0
+        assert prev["t_start"] + prev["dur_s"] <= cur["t_start"]
+
+
+def test_instant_emits_zero_duration_marker():
+    tracer, _ = _tracer()
+    tracer.instant("retry", label="cell-1", attempt=2)
+    rec = tracer.finished[0]
+    assert rec["dur_s"] == 0.0
+    assert rec["labels"] == {"label": "cell-1", "attempt": 2}
+    assert tracer.open_spans == 0
+
+
+def test_annotate_returns_span_and_merges():
+    tracer, _ = _tracer()
+    span = tracer.start("run").annotate(seed=1)
+    span.annotate(events=42)
+    span.close()
+    assert tracer.finished[0]["labels"] == {"seed": 1, "events": 42}
+
+
+def test_spans_stream_to_run_log_writer(tmp_path):
+    path = tmp_path / "log.jsonl"
+    writer = RunLogWriter(path)
+    tracer = SpanTracer(writer)
+    with tracer.span("setup"):
+        pass
+    writer.close()
+    records = read_run_log(path)
+    assert records[0]["record"] == "span"
+    assert records[0]["name"] == "setup"
+    assert validate_spans(records) == []
+    assert tracer.emitted == 1
+    assert tracer.finished == []  # streamed, not retained
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_SPAN_TRACER.enabled
+    span = NULL_SPAN_TRACER.start("x")
+    assert span is NULL_SPAN
+    # The full real-tracer signature must be accepted (callers pass
+    # lane/parent/detached unconditionally).
+    assert NULL_SPAN_TRACER.start("w", parent=span, detached=True,
+                                  lane=0, labels={"a": 1}) is NULL_SPAN
+    with NULL_SPAN_TRACER.span("y", seed=1) as s:
+        s.annotate(a=1)
+    NULL_SPAN_TRACER.instant("z")
+    assert NULL_SPAN_TRACER.current is None
+    assert NULL_SPAN_TRACER.open_spans == 0
+    assert NULL_SPAN_TRACER.close_open() == 0
+    assert NULL_SPAN_TRACER.finished == []
