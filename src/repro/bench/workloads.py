@@ -201,6 +201,41 @@ def fluid_steps(duration_s: float, n_flows: int = 500) -> Tuple[int, int]:
     return steps * n_flows, int(sim.delivered_total.sum())
 
 
+def fluid_batched_shard(duration_s: float, n_seeds: int = 3, flows_per_node: int = 10) -> Tuple[int, int]:
+    """Batched fluid backend: one lock-step shard of many configs.
+
+    Builds a homogeneous shard (4 CCA pairs x ``n_seeds`` seeds, all FIFO
+    at 1 Gbps) and advances it as a single stacked integration — the
+    campaign fast path for ``engine="fluid_batched"``.  Events are
+    lane-steps (steps x configs x flows), the batched analogue of
+    ``fluid_steps``, so the two rows are directly comparable per lane.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.fluid.batched import BatchedFluidSimulation
+
+    pairs = (("cubic", "cubic"), ("bbrv1", "cubic"), ("reno", "htcp"), ("bbrv2", "bbrv2"))
+    configs = [
+        ExperimentConfig(
+            cca_pair=pair,
+            aqm="fifo",
+            buffer_bdp=2.0,
+            bottleneck_bw_bps=1e9,
+            duration_s=duration_s,
+            mss_bytes=8900,
+            seed=seed,
+            engine="fluid_batched",
+            flows_per_node=flows_per_node,
+        )
+        for pair in pairs
+        for seed in range(1, n_seeds + 1)
+    ]
+    sim = BatchedFluidSimulation(configs)
+    sim.run(duration_s)
+    steps = int(round(duration_s / sim.dt))
+    n_configs, width = sim.delivered_total.shape
+    return steps * n_configs * width, int(sim.delivered_total.sum())
+
+
 #: The harness registry.  Order is the execution/report order.
 WORKLOADS: Tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
@@ -248,6 +283,12 @@ WORKLOADS: Tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
         "fluid_steps",
         fluid_steps,
+        params={"duration_s": 5.0},
+        quick_params={"duration_s": 5.0 / QUICK_FACTOR},
+    ),
+    WorkloadSpec(
+        "fluid_batched_shard",
+        fluid_batched_shard,
         params={"duration_s": 5.0},
         quick_params={"duration_s": 5.0 / QUICK_FACTOR},
     ),

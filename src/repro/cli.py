@@ -100,7 +100,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         mss_bytes=args.mss,
         seed=args.seed,
-        engine=args.engine,
+        engine=args.engine.replace("-", "_"),
         scale=args.scale,
         flows_per_node=args.flows,
         faults=_parse_faults(args),
@@ -136,6 +136,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = get_preset(args.preset)
     if args.limit:
         configs = configs[: args.limit]
+    if args.engine:
+        import dataclasses
+
+        engine = args.engine.replace("-", "_")
+        configs = [dataclasses.replace(cfg, engine=engine) for cfg in configs]
     if args.fault_profile:
         import dataclasses
 
@@ -291,7 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--duration", type=float, default=30.0)
     p_run.add_argument("--mss", type=int, default=8900)
     p_run.add_argument("--seed", type=int, default=1)
-    p_run.add_argument("--engine", default="packet", choices=["packet", "fluid"])
+    p_run.add_argument(
+        "--engine", default="packet", choices=["packet", "fluid", "fluid-batched"]
+    )
     p_run.add_argument("--scale", type=float, default=1.0, help="divide all link rates by this")
     p_run.add_argument("--flows", type=int, default=None, help="flows per sender node (default: Table 2)")
     p_run.add_argument("--telemetry", action="store_true", help="write a JSONL run log + manifest")
@@ -315,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run a preset campaign")
     p_sweep.add_argument("--preset", default="paper-fluid", choices=sorted(PRESETS))
+    p_sweep.add_argument(
+        "--engine",
+        default=None,
+        choices=["packet", "fluid", "fluid-batched"],
+        help="override the preset's engine on every config "
+        "(fluid-batched runs whole shards as one stacked integration)",
+    )
     p_sweep.add_argument("--out", default="results.jsonl")
     p_sweep.add_argument("--jobs", type=int, default=1)
     p_sweep.add_argument("--limit", type=int, default=0, help="run only the first N configs")

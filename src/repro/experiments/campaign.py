@@ -6,6 +6,14 @@ CPU-bound pure Python, so processes, not threads) and streams results into
 a :class:`~repro.experiments.storage.ResultStore` as they complete, which
 makes interrupted sweeps resumable.
 
+Configs with ``engine == "fluid_batched"`` take a fast path in the plain
+serial/pool modes: they are grouped into lock-step shards (see
+:mod:`repro.fluid.state`) and each shard advances as **one** stacked
+integration, with per-config rows recorded individually.  Telemetry and
+hardened mode fall back to one run per config through
+:func:`~repro.experiments.runner.run_experiment` — bit-identical, because
+batched results do not depend on shard composition.
+
 A worker raising no longer aborts the pool: the exception is captured as a
 :class:`FailedRun` row (with the traceback string), appended to a sibling
 ``<store>.failures.jsonl`` file, and counted in the returned
@@ -170,6 +178,65 @@ def _run_one_safe(payload: tuple) -> dict:
         }
 
 
+def _run_batched_shard_safe(config_dicts: List[dict]) -> dict:
+    """Run one batched-fluid shard; tagged per-config rows under ``many``.
+
+    The whole shard advances as one stacked integration.  If it raises,
+    every member config gets its own ``err`` row so resume/retry treat
+    them individually (results are independent of shard composition, so
+    a rerun of the survivors alone is bit-identical).
+    """
+    configs = [ExperimentConfig.from_dict(d) for d in config_dicts]
+    try:
+        from repro.fluid.batched import run_fluid_batch
+
+        results = run_fluid_batch(configs)
+        return {"many": [{"ok": r.to_dict()} for r in results]}
+    except Exception as exc:
+        tb = _traceback.format_exc()
+        return {
+            "many": [
+                {
+                    "err": FailedRun(
+                        config=d,
+                        label=c.label(),
+                        error=repr(exc),
+                        traceback=tb,
+                    ).to_dict()
+                }
+                for d, c in zip(config_dicts, configs)
+            ]
+        }
+
+
+def _pool_entry_mixed(payload: tuple) -> dict:
+    """Pool worker dispatching per-config runs and batched-fluid shards."""
+    kind = payload[0]
+    if kind == "one":
+        return _run_one_safe((payload[1], payload[2]))
+    return _run_batched_shard_safe(payload[1])
+
+
+def _split_batched(
+    configs: Sequence[ExperimentConfig], enabled: bool
+) -> tuple:
+    """Partition configs into batched-fluid shards and per-config rest.
+
+    With ``enabled`` False (telemetry or hardened mode, which want one
+    run/process per config) everything stays per-config — correct either
+    way, because a one-config shard reproduces the shard member's rows
+    bit-for-bit (batch-composition invariance).
+    """
+    batched = [c for c in configs if c.engine == "fluid_batched"] if enabled else []
+    if not batched:
+        return [], list(configs)
+    from repro.fluid.state import plan_shards
+
+    shards = [[batched[i] for i in s] for s in plan_shards(batched)]
+    singles = [c for c in configs if c.engine != "fluid_batched"]
+    return shards, singles
+
+
 def _proc_entry(worker_fn: Callable[[tuple], dict], payload: tuple, conn) -> None:
     """Hardened-mode process body: run one config, ship the tagged dict back.
 
@@ -315,7 +382,20 @@ def run_campaign(
                 root=root,
             )
         elif serial:
-            for cfg in todo:
+            shards, singles = _split_batched(todo, telemetry is None)
+            for shard_cfgs in shards:
+                wspan = spans.start(
+                    f"fluid-batched[{len(shard_cfgs)}]", CAT_WORKER, lane=0
+                )
+                for tagged in _run_batched_shard_safe(
+                    [c.to_dict() for c in shard_cfgs]
+                )["many"]:
+                    if "ok" in tagged:
+                        _record(ExperimentResult.from_dict(tagged["ok"]))
+                    else:
+                        _record_failure(FailedRun.from_dict(tagged["err"]))
+                wspan.close()
+            for cfg in singles:
                 wspan = spans.start(cfg.label(), CAT_WORKER, lane=0)
                 try:
                     result = run_experiment(cfg, telemetry)
@@ -336,15 +416,22 @@ def run_campaign(
             # Pool mode observes completions only (the workers' own run
             # logs carry their run/phase spans), so the campaign timeline
             # records root + store spans and leaves worker lanes to the
-            # Chrome-trace exporter's per-pid stitching.
+            # Chrome-trace exporter's per-pid stitching.  Batched-fluid
+            # configs ship as whole shards, one stacked integration per
+            # worker invocation.
             ctx = mp.get_context("spawn" if sys.platform == "win32" else "fork")
-            payloads = [(c.to_dict(), telemetry_dict) for c in todo]
+            shards, singles = _split_batched(todo, telemetry is None)
+            payloads = [("one", c.to_dict(), telemetry_dict) for c in singles]
+            payloads += [
+                ("shard", [c.to_dict() for c in shard]) for shard in shards
+            ]
             with ctx.Pool(processes=jobs) as pool:
-                for tagged in pool.imap_unordered(_run_one_safe, payloads):
-                    if "ok" in tagged:
-                        _record(ExperimentResult.from_dict(tagged["ok"]))
-                    else:
-                        _record_failure(FailedRun.from_dict(tagged["err"]))
+                for tagged in pool.imap_unordered(_pool_entry_mixed, payloads):
+                    for row in tagged.get("many", [tagged]):
+                        if "ok" in row:
+                            _record(ExperimentResult.from_dict(row["ok"]))
+                        else:
+                            _record_failure(FailedRun.from_dict(row["err"]))
         return done
     finally:
         counts = done.summary()

@@ -87,7 +87,7 @@ class ExperimentConfig:
     duration_s: float = PAPER_DURATION_S
     mss_bytes: int = 8900
     seed: int = 0
-    engine: str = "packet"  # "packet" | "fluid"
+    engine: str = "packet"  # "packet" | "fluid" | "fluid_batched"
     scale: float = 1.0
     #: Override Table 2 (None = derive from the *unscaled* bandwidth).
     flows_per_node: Optional[int] = None
@@ -113,7 +113,7 @@ class ExperimentConfig:
         )
         if self.aqm not in ("fifo", "red", "fq_codel", "codel", "pie"):
             raise ValueError(f"unknown AQM {self.aqm!r}")
-        if self.engine not in ("packet", "fluid"):
+        if self.engine not in ("packet", "fluid", "fluid_batched"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")

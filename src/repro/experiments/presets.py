@@ -6,6 +6,8 @@ presets trade scope for tractability along the axes DESIGN.md documents:
 
 - ``paper-fluid``  — the full grid on the fluid engine (fast; the default
   source for EXPERIMENTS.md's Table 3 / figure-shape numbers).
+- ``paper-fluid-batched`` — the same grid on the vectorized fluid
+  backend; bit-identical results, one stacked integration per shard.
 - ``scaled-des``   — the packet engine with every link rate divided by
   ``SCALE`` and a shortened duration.  BDP-in-packets stays ordered
   across tiers, so buffer-dependent phenomena keep their shape.
@@ -36,6 +38,17 @@ class Preset:
 
 def _paper_fluid() -> List[ExperimentConfig]:
     return full_matrix(engine="fluid", repetitions=5)
+
+
+def _paper_fluid_batched() -> List[ExperimentConfig]:
+    """The paper grid on the vectorized fluid backend.
+
+    Bit-identical results to ``paper-fluid`` (the cross-validation suite
+    in ``tests/fluid/test_batched_vs_scalar.py`` enforces it); the
+    campaign driver advances each lock-step shard of 270 configs as one
+    stacked integration instead of 270 separate runs.
+    """
+    return full_matrix(engine="fluid_batched", repetitions=5)
 
 
 def _scaled_des() -> List[ExperimentConfig]:
@@ -96,6 +109,11 @@ def _chaos_smoke() -> List[ExperimentConfig]:
 
 PRESETS: Dict[str, Preset] = {
     "paper-fluid": Preset("paper-fluid", "Full 810-config grid, fluid engine, 5 reps", _paper_fluid),
+    "paper-fluid-batched": Preset(
+        "paper-fluid-batched",
+        "Full 810-config grid, batched fluid engine, 5 reps (bit-identical, faster)",
+        _paper_fluid_batched,
+    ),
     "scaled-des": Preset(
         "scaled-des",
         f"Full grid, packet engine, rates / {SCALED_DES_SCALE:g}, {SCALED_DES_DURATION_S:g}s",

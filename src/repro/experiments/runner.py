@@ -48,16 +48,22 @@ def run_experiment(
     (every flow/queue statistic is bit-identical with it on or off; only
     ``events_processed`` additionally counts the sampler's timer events).
     """
-    if config.engine == "fluid":
-        from repro.fluid.runner import run_fluid_experiment
+    if config.engine in ("fluid", "fluid_batched"):
+        if config.engine == "fluid":
+            from repro.fluid.runner import run_fluid_experiment as fluid_run
+        else:
+            # One-config shard of the batched integrator — bit-identical
+            # to the scalar path (see repro.fluid.batched), so campaign
+            # fallbacks that run batched configs one at a time are exact.
+            from repro.fluid.batched import run_fluid_single as fluid_run
 
         session = TelemetrySession.start(config, telemetry)
         if session is None:
-            return run_fluid_experiment(config)
+            return fluid_run(config)
         try:
             with session.spans.span("run", CAT_RUN, label=config.label(),
-                                    engine="fluid", seed=config.seed):
-                result = run_fluid_experiment(config)
+                                    engine=config.engine, seed=config.seed):
+                result = fluid_run(config)
         except Exception as exc:
             session.record_failure(exc)
             raise

@@ -13,7 +13,17 @@ Cross-validated against the packet engine on the low-bandwidth tiers in
 ``tests/integration/test_engine_agreement.py``.
 """
 
+from repro.fluid.batched import BatchedFluidSimulation, run_fluid_batch, run_fluid_single
 from repro.fluid.model import FluidSimulation
 from repro.fluid.runner import run_fluid_experiment
+from repro.fluid.state import plan_shards, shard_key
 
-__all__ = ["FluidSimulation", "run_fluid_experiment"]
+__all__ = [
+    "BatchedFluidSimulation",
+    "FluidSimulation",
+    "plan_shards",
+    "run_fluid_batch",
+    "run_fluid_experiment",
+    "run_fluid_single",
+    "shard_key",
+]

@@ -15,23 +15,146 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.fluid.noise import UniformTable, poisson_from_uniform
+
+# --- pure drop/serve laws ----------------------------------------------------
+#
+# Rows-form (one row per config) element-wise laws shared by the scalar
+# classes below (which pass a single row) and the batched backend in
+# repro.fluid.batched (which passes a whole (n_configs, n_flows) block).
+# Padded columns carry zero backlog/arrivals and provably do not change
+# any real column's result (see docs/FLUID.md).
+
+
+def waterfill_rows(supply: np.ndarray, cap: np.ndarray) -> np.ndarray:
+    """Max-min fair allocation of ``cap[c]`` across each row of demands."""
+    totals = supply.sum(axis=1)
+    under = totals <= cap
+    if under.all():
+        return supply.copy()
+    n_rows, width = supply.shape
+    order = np.sort(supply, axis=1)
+    csum = np.cumsum(order, axis=1)
+    prefix = np.concatenate([np.zeros((n_rows, 1)), csum[:, :-1]], axis=1)
+    remaining = width - np.arange(width)
+    theta = (cap[:, None] - prefix) / remaining
+    ok = theta <= order
+    any_ok = ok.any(axis=1)
+    idx = np.where(any_ok, np.argmax(ok, axis=1), width - 1)
+    theta_star = theta[np.arange(n_rows), idx]
+    return np.where(under[:, None], supply, np.minimum(supply, theta_star[:, None]))
+
 
 def waterfill(supply: np.ndarray, cap: float) -> np.ndarray:
     """Max-min fair allocation of ``cap`` across ``supply`` demands."""
-    total = float(supply.sum())
-    if total <= cap:
-        return supply.copy()
-    order = np.sort(supply)
-    n = len(order)
-    csum = np.concatenate(([0.0], np.cumsum(order)))
-    remaining = n - np.arange(n)
-    theta = (cap - csum[:-1]) / remaining
-    ok = theta <= order
-    if not ok.any():
-        theta_star = theta[-1]
-    else:
-        theta_star = theta[np.argmax(ok)]
-    return np.minimum(supply, theta_star)
+    return waterfill_rows(supply[None, :], np.asarray([float(cap)]))[0]
+
+
+def shared_queue_serve(
+    backlog: np.ndarray,
+    accepted: np.ndarray,
+    serve_cap: np.ndarray,
+    limit: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Processor-sharing service + tail drop, rows form.
+
+    Returns ``(served, new_backlog, tail_drops)`` for per-row service
+    budget ``serve_cap`` (capacity*dt) and shared limit ``limit``.
+    """
+    supply = backlog + accepted
+    totals = supply.sum(axis=1)
+    serve = np.minimum(totals, serve_cap)
+    ratio = np.divide(serve, totals, out=np.zeros_like(serve), where=totals > 0)
+    served = supply * ratio[:, None]
+    new_backlog = supply - served
+    bsum = new_backlog.sum(axis=1)
+    excess = bsum - limit
+    need = excess > 1e-12
+    tail = np.zeros_like(supply)
+    if need.any():
+        # Tail drop hits the newest arrivals, proportionally.  Computed
+        # only for overflowing rows (element-wise ops are positionally
+        # consistent, and non-overflowing rows drop exactly 0.0 either
+        # way, so the row-compacted form is bit-identical).
+        rows = np.nonzero(need)[0]
+        acc_r = accepted[rows]
+        nb_r = new_backlog[rows]
+        exc_r = excess[rows]
+        bsum_r = bsum[rows]
+        weights = np.minimum(acc_r, nb_r)
+        wsum = weights.sum(axis=1)
+        num = exc_r[:, None] * weights
+        prop = np.divide(
+            num, wsum[:, None], out=np.zeros_like(num), where=(wsum > 0)[:, None]
+        )
+        tail_prop = np.minimum(nb_r, prop)
+        flat_ratio = np.divide(
+            exc_r, bsum_r, out=np.zeros_like(exc_r), where=bsum_r > 0
+        )
+        tail_flat = nb_r * flat_ratio[:, None]
+        chosen = np.where((wsum > 0)[:, None], tail_prop, tail_flat)
+        tail[rows] = chosen
+        new_backlog[rows] = nb_r - chosen
+    return served, new_backlog, tail
+
+
+def red_ewma_gain(weight, exponent):
+    """Effective EWMA gain after folding ``exponent`` per-packet updates."""
+    return 1.0 - np.power(1.0 - weight, exponent)
+
+
+def red_drop_probability(avg, min_th, max_th, max_p, gentle):
+    """RED (gentle) drop-probability ramp from the averaged queue."""
+    ramp = max_p * (avg - min_th) / (max_th - min_th)
+    gentle_ramp = max_p + (1 - max_p) * (avg - max_th) / max_th
+    return np.where(
+        avg < min_th,
+        0.0,
+        np.where(
+            avg < max_th,
+            ramp,
+            np.where(gentle & (avg < 2 * max_th), gentle_ramp, 1.0),
+        ),
+    )
+
+
+def pie_scale(p):
+    """PIE auto-tuning gain scale from the current drop probability."""
+    return np.where(
+        p < 0.000001, 1 / 2048,
+        np.where(
+            p < 0.00001, 1 / 512,
+            np.where(
+                p < 0.0001, 1 / 128,
+                np.where(
+                    p < 0.001, 1 / 32,
+                    np.where(p < 0.01, 1 / 8, np.where(p < 0.1, 1 / 2, 1.0)),
+                ),
+            ),
+        ),
+    )
+
+
+def pie_probability_step(p, qdelay, qdelay_old, target, alpha, beta):
+    """One PI controller update of the PIE drop probability."""
+    delta = pie_scale(p) * (alpha * (qdelay - target) + beta * (qdelay - qdelay_old))
+    p_new = np.minimum(1.0, np.maximum(0.0, p + delta))
+    return np.where((qdelay == 0.0) & (qdelay_old == 0.0), p_new * 0.98, p_new)
+
+
+def evict_fattest(backlog: np.ndarray, drops: np.ndarray, limit: float, excess: float, n_flows: int) -> None:
+    """Shed a shared-limit overflow from the fattest flows (in place, 1D)."""
+    order = np.argsort(backlog)[::-1]
+    for idx in order:
+        take = min(backlog[idx] - limit / n_flows, excess)
+        if take <= 0:
+            break
+        take = min(take, backlog[idx])
+        backlog[idx] -= take
+        drops[idx] += take
+        excess -= take
+        if excess <= 1e-12:
+            break
 
 
 class FluidAqm:
@@ -58,25 +181,15 @@ class FluidAqm:
 
     def _serve_shared(self, accepted: np.ndarray, dt: float) -> Tuple[np.ndarray, np.ndarray]:
         """Processor-sharing service + tail drop to the shared limit."""
-        supply = self.backlog + accepted
-        total = float(supply.sum())
-        serve = min(total, self.capacity * dt)
-        served = supply * (serve / total) if total > 0 else np.zeros(self.n)
-        backlog = supply - served
-        excess = float(backlog.sum()) - self.limit
-        tail_drops = np.zeros(self.n)
-        if excess > 1e-12:
-            # Tail drop hits the newest arrivals, proportionally.
-            weights = np.minimum(accepted, backlog)
-            wsum = float(weights.sum())
-            if wsum > 0:
-                tail_drops = np.minimum(backlog, excess * weights / wsum)
-            else:
-                tail_drops = backlog * (excess / float(backlog.sum()))
-            backlog = backlog - tail_drops
-        self.backlog = backlog
-        self.total_dropped += float(tail_drops.sum())
-        return served, tail_drops
+        served, backlog, tail_drops = shared_queue_serve(
+            self.backlog[None, :],
+            accepted[None, :],
+            np.asarray([self.capacity * dt]),
+            np.asarray([self.limit]),
+        )
+        self.backlog = backlog[0]
+        self.total_dropped += float(tail_drops[0].sum())
+        return served[0], tail_drops[0]
 
 
 class FluidFifo(FluidAqm):
@@ -108,6 +221,9 @@ class FluidRed(FluidAqm):
     ):
         super().__init__(limit_pkts, capacity_pps, n_flows)
         self.rng = rng
+        # Drop-lottery uniforms: one row per step, consumed positionally
+        # whether or not the ramp is active (see repro.fluid.noise).
+        self._lottery = UniformTable(rng, n_flows)
         # Fixed classic-tc thresholds (30/90 packets), clamped to the buffer
         # — matching repro.aqm.red.RedQueue (see the note there).
         if min_th is not None:
@@ -124,30 +240,24 @@ class FluidRed(FluidAqm):
         self.avg = 0.0
 
     def _drop_probability(self) -> float:
-        if self.avg < self.min_th:
-            return 0.0
-        if self.avg < self.max_th:
-            return self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
-        if self.gentle and self.avg < 2 * self.max_th:
-            return self.max_p + (1 - self.max_p) * (self.avg - self.max_th) / self.max_th
-        return 1.0
+        return float(
+            red_drop_probability(self.avg, self.min_th, self.max_th, self.max_p, self.gentle)
+        )
 
     def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        u = self._lottery.next_row()
         n_arr = float(arrivals.sum())
-        # Per-packet EWMA folded over this step's arrivals.
-        if n_arr > 0:
-            w_eff = 1.0 - (1.0 - self.weight) ** n_arr
-            self.avg += w_eff * (float(self.backlog.sum()) - self.avg)
-        else:
-            # Idle decay toward the (empty) instantaneous queue.
-            decay = 1.0 - (1.0 - self.weight) ** (self.capacity * dt)
-            self.avg += decay * (float(self.backlog.sum()) - self.avg)
+        # Per-packet EWMA folded over this step's arrivals; when idle the
+        # average decays toward the (empty) instantaneous queue instead.
+        exponent = n_arr if n_arr > 0 else self.capacity * dt
+        w_eff = float(red_ewma_gain(self.weight, exponent))
+        self.avg += w_eff * (float(self.backlog.sum()) - self.avg)
         p = self._drop_probability()
         if p > 0:
             # Floyd/Jacobson count-uniformization spaces drops uniformly over
             # [1, 1/p_b] packets, i.e. an effective rate of ~2*p_b.
             p_eff = min(1.0, 2.0 * p)
-            early = np.minimum(arrivals, self.rng.poisson(arrivals * p_eff).astype(float))
+            early = np.minimum(arrivals, poisson_from_uniform(arrivals * p_eff, u))
         else:
             early = np.zeros(self.n)
         self.total_dropped += float(early.sum())
@@ -211,17 +321,7 @@ class FluidFqCodel(FluidAqm):
         # Shared memory limit: evict from the fattest flows.
         excess = float(backlog.sum()) - self.limit
         if excess > 1e-12:
-            order = np.argsort(backlog)[::-1]
-            for idx in order:
-                take = min(backlog[idx] - self.limit / self.n, excess)
-                if take <= 0:
-                    break
-                take = min(take, backlog[idx])
-                backlog[idx] -= take
-                drops[idx] += take
-                excess -= take
-                if excess <= 1e-12:
-                    break
+            evict_fattest(backlog, drops, self.limit, excess, self.n)
 
         self.backlog = backlog
         self.total_dropped += float(drops.sum())
@@ -252,38 +352,32 @@ class FluidPie(FluidAqm):
         if rng is None:
             raise ValueError("fluid PIE needs an rng")
         self.rng = rng
+        self._lottery = UniformTable(rng, n_flows)
         self.drop_prob = 0.0
         self.qdelay_old_s = 0.0
         self._since_update_s = 0.0
 
     def _scale(self) -> float:
-        p = self.drop_prob
-        for threshold, scale in (
-            (0.000001, 1 / 2048), (0.00001, 1 / 512), (0.0001, 1 / 128),
-            (0.001, 1 / 32), (0.01, 1 / 8), (0.1, 1 / 2),
-        ):
-            if p < threshold:
-                return scale
-        return 1.0
+        return float(pie_scale(self.drop_prob))
 
     def _update(self) -> None:
         qdelay = float(self.backlog.sum()) / self.capacity
-        delta = self._scale() * (
-            self.ALPHA * (qdelay - self.TARGET_S)
-            + self.BETA * (qdelay - self.qdelay_old_s)
+        self.drop_prob = float(
+            pie_probability_step(
+                self.drop_prob, qdelay, self.qdelay_old_s,
+                self.TARGET_S, self.ALPHA, self.BETA,
+            )
         )
-        self.drop_prob = min(1.0, max(0.0, self.drop_prob + delta))
-        if qdelay == 0.0 and self.qdelay_old_s == 0.0:
-            self.drop_prob *= 0.98
         self.qdelay_old_s = qdelay
 
     def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        u = self._lottery.next_row()
         self._since_update_s += dt
         while self._since_update_s >= self.T_UPDATE_S:
             self._since_update_s -= self.T_UPDATE_S
             self._update()
         if self.drop_prob > 0:
-            early = np.minimum(arrivals, self.rng.poisson(arrivals * self.drop_prob).astype(float))
+            early = np.minimum(arrivals, poisson_from_uniform(arrivals * self.drop_prob, u))
         else:
             early = np.zeros(self.n)
         self.total_dropped += float(early.sum())

@@ -1,0 +1,875 @@
+"""Batched fluid backend: advance a whole shard of configs in lock-step.
+
+Every per-flow quantity of the scalar integrator becomes a
+``(n_configs, n_flows)`` matrix; the CCA round updates and AQM drop laws
+become masked element-wise array ops over those blocks.  The scalar path
+(:mod:`repro.fluid.model` + the rule classes) remains the **oracle**:
+for every CCA x AQM cell the batched backend reproduces its per-flow
+results bit-for-bit (``tests/fluid/test_batched_vs_scalar.py``), which
+is what licenses using the fast path for the paper's 810 x 5 grid.
+
+The bitwise contract rests on three properties:
+
+1. all randomness is positionally consumed from per-config streams
+   (:mod:`repro.fluid.noise`), so draws do not depend on batch
+   composition;
+2. every arithmetic expression is either IEEE-exact (``+ - * /``,
+   comparisons) or routed through the same numpy kernel in both paths
+   (``exp/log/sqrt/cbrt/power``) — the shared laws live in
+   :mod:`repro.fluid.cca_rules` / :mod:`repro.fluid.aqm_rules`;
+3. the rare per-lane draws of the BBR state machines (collapse lottery,
+   cycle randomization) come from per-*flow* streams, so interleaving
+   many configs cannot reorder any one lane's draw sequence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.fluid.aqm_rules import (
+    evict_fattest,
+    red_drop_probability,
+    red_ewma_gain,
+    pie_probability_step,
+    shared_queue_serve,
+    waterfill_rows,
+)
+from repro.fluid.cca_rules import (
+    BBR_CWND_GAIN,
+    BBR_CYCLE,
+    BBR_DRAIN_GAIN,
+    BBR_HIGH_GAIN,
+    BBR_RING,
+    BBR2_BETA,
+    BBR2_DRAIN_GAIN,
+    BBR2_HEADROOM,
+    BBR2_LOSS_THRESH,
+    BBR2_STARTUP_GAIN,
+    CUBIC_FRIENDLY_INC,
+    INIT_CWND,
+    RATE_FLOOR_PPS,
+    aimd_backoff,
+    bbr_bdp,
+    cubic_epoch_k,
+    cubic_epoch_origin,
+    cubic_target,
+    cubic_wmax_after_loss,
+    htcp_adaptive_beta,
+    htcp_alpha,
+    htcp_bw_stable,
+    hystart_exit_eta,
+    slow_start_next,
+)
+from repro.fluid.model import DEFAULT_STEPS_PER_RTT
+from repro.fluid.noise import BatchUniformTable, poisson_from_uniform
+from repro.fluid.runner import (
+    FluidGeometry,
+    build_fluid_result,
+    flow_cca_names,
+    fluid_geometry,
+)
+from repro.fluid.state import (
+    CCA_CODE,
+    RATE_BASED_CODES,
+    canonical_aqm_family,
+    plan_shards,
+    shard_key,
+    shard_widths,
+)
+from repro.metrics.summary import ExperimentResult
+from repro.sim.rng import RngStreams
+
+# BBR state machine lane codes.
+S_STARTUP, S_DRAIN, S_PROBE_BW, S_PROBE_RTT = 0, 1, 2, 3
+P_DOWN, P_CRUISE, P_UP = 0, 1, 2
+_CYCLE_ARR = np.asarray(BBR_CYCLE)
+
+_RENO_BETA = 0.5
+
+
+# --- batched AQMs ------------------------------------------------------------
+
+
+class _BatchAqm:
+    """Per-shard AQM state: one row of flow backlogs per config."""
+
+    def __init__(self, limit: np.ndarray, capacity: np.ndarray, n_configs: int, width: int):
+        self.limit = limit
+        self.capacity = capacity
+        self.backlog = np.zeros((n_configs, width))
+        self.total_dropped = np.zeros(n_configs)
+
+    def step(self, arrivals: np.ndarray, dt: float, now_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def flow_delay_s(self) -> np.ndarray:
+        delay = self.backlog.sum(axis=1) / self.capacity
+        return np.broadcast_to(delay[:, None], self.backlog.shape)
+
+    def _serve(self, accepted: np.ndarray, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        served, backlog, tail = shared_queue_serve(
+            self.backlog, accepted, self.capacity * dt, self.limit
+        )
+        self.backlog = backlog
+        self.total_dropped += tail.sum(axis=1)
+        return served, tail
+
+
+class _BatchFifo(_BatchAqm):
+    def step(self, arrivals, dt, now_s):
+        return self._serve(arrivals, dt)
+
+
+class _BatchRed(_BatchAqm):
+    def __init__(self, limit, capacity, n_configs, width, lottery, params: Sequence[dict]):
+        super().__init__(limit, capacity, n_configs, width)
+        self.lottery = lottery
+        min_th, max_th, max_p, weight, gentle = [], [], [], [], []
+        for c, p in enumerate(params):
+            lim = float(limit[c])
+            mn = p.get("min_th")
+            mn = float(mn) if mn is not None else max(1.0, min(30.0, lim / 3.0))
+            mx = p.get("max_th")
+            mx = float(mx) if mx is not None else max(mn + 1.0, min(90.0, lim * 0.75))
+            min_th.append(mn)
+            max_th.append(mx)
+            max_p.append(float(p.get("max_p", 0.02)))
+            weight.append(float(p.get("weight", 0.002)))
+            gentle.append(bool(p.get("gentle", True)))
+        self.min_th = np.asarray(min_th)
+        self.max_th = np.asarray(max_th)
+        self.max_p = np.asarray(max_p)
+        self.weight = np.asarray(weight)
+        self.gentle = np.asarray(gentle)
+        self.avg = np.zeros(n_configs)
+
+    def step(self, arrivals, dt, now_s):
+        u = self.lottery.next_block()
+        n_arr = arrivals.sum(axis=1)
+        exponent = np.where(n_arr > 0, n_arr, self.capacity * dt)
+        w_eff = red_ewma_gain(self.weight, exponent)
+        self.avg += w_eff * (self.backlog.sum(axis=1) - self.avg)
+        p = red_drop_probability(self.avg, self.min_th, self.max_th, self.max_p, self.gentle)
+        p_eff = np.minimum(1.0, 2.0 * p)
+        # lam == 0 maps to 0 drops, so inactive-ramp rows need no gating.
+        early = np.minimum(arrivals, poisson_from_uniform(arrivals * p_eff[:, None], u))
+        self.total_dropped += early.sum(axis=1)
+        served, tail = self._serve(arrivals - early, dt)
+        return served, early + tail
+
+
+class _BatchPie(_BatchAqm):
+    TARGET_S = 0.015
+    T_UPDATE_S = 0.015
+    ALPHA = 0.125
+    BETA = 1.25
+
+    def __init__(self, limit, capacity, n_configs, width, lottery):
+        super().__init__(limit, capacity, n_configs, width)
+        self.lottery = lottery
+        self.drop_prob = np.zeros(n_configs)
+        self.qdelay_old_s = np.zeros(n_configs)
+        self._since_update_s = 0.0
+
+    def step(self, arrivals, dt, now_s):
+        u = self.lottery.next_block()
+        self._since_update_s += dt
+        while self._since_update_s >= self.T_UPDATE_S:
+            self._since_update_s -= self.T_UPDATE_S
+            qdelay = self.backlog.sum(axis=1) / self.capacity
+            self.drop_prob = pie_probability_step(
+                self.drop_prob, qdelay, self.qdelay_old_s,
+                self.TARGET_S, self.ALPHA, self.BETA,
+            )
+            self.qdelay_old_s = qdelay
+        early = np.minimum(
+            arrivals, poisson_from_uniform(arrivals * self.drop_prob[:, None], u)
+        )
+        self.total_dropped += early.sum(axis=1)
+        served, tail = self._serve(arrivals - early, dt)
+        return served, early + tail
+
+
+class _BatchFqCodel(_BatchAqm):
+    TARGET_S = 0.005
+    INTERVAL_S = 0.100
+
+    def __init__(self, limit, capacity, n_configs, width, n_real: Sequence[int]):
+        super().__init__(limit, capacity, n_configs, width)
+        self.n_real = [int(n) for n in n_real]
+        self.above_since = np.full((n_configs, width), -1.0)
+        self.count = np.zeros((n_configs, width))
+        self.drop_credit = np.zeros((n_configs, width))
+
+    def step(self, arrivals, dt, now_s):
+        supply = self.backlog + arrivals
+        served = waterfill_rows(supply, self.capacity * dt)
+        backlog = supply - served
+
+        active = backlog > 1e-9
+        n_active = np.maximum(1, active.sum(axis=1))
+        share_pps = self.capacity / n_active
+        sojourn = backlog / share_pps[:, None]
+
+        above = (sojourn > self.TARGET_S) & (backlog > 1.0)
+        fresh = above & (self.above_since < 0)
+        above_since = np.where(fresh, now_s, self.above_since)
+        above_since = np.where(above, above_since, -1.0)
+        count = np.where(above, self.count, np.floor(self.count / 2.0))
+        credit = np.where(above, self.drop_credit, 0.0)
+
+        dropping = above & (now_s - above_since >= self.INTERVAL_S)
+        rate = np.sqrt(count + 1.0) / self.INTERVAL_S
+        credit = np.where(dropping, credit + rate * dt, credit)
+        drops = np.where(dropping, np.floor(credit), 0.0)
+        credit = credit - drops
+        drops = np.minimum(drops, backlog)
+        count = count + drops
+        backlog = backlog - drops
+
+        # Shared memory limit: evict from the fattest flows.  Eviction is
+        # done over each config's real columns so the argsort permutation
+        # matches the scalar oracle's.
+        excess = backlog.sum(axis=1) - self.limit
+        for c in np.nonzero(excess > 1e-12)[0]:
+            n = self.n_real[c]
+            evict_fattest(
+                backlog[c, :n], drops[c, :n], float(self.limit[c]), float(excess[c]), n
+            )
+
+        self.backlog = backlog
+        self.above_since = above_since
+        self.count = count
+        self.drop_credit = credit
+        self.total_dropped += drops.sum(axis=1)
+        return served, drops
+
+    def flow_delay_s(self) -> np.ndarray:
+        active = self.backlog > 1e-9
+        n_active = np.maximum(1, active.sum(axis=1))
+        share_pps = self.capacity / n_active
+        return self.backlog / share_pps[:, None]
+
+
+# --- the batched integrator --------------------------------------------------
+
+
+class BatchedFluidSimulation:
+    """Lock-step integrator over one shard of compatible configs.
+
+    All configs must share the shard key (AQM family, base RTT, duration,
+    warmup — and flow count unless ``pad=True``); see
+    :func:`repro.fluid.state.plan_shards`.
+    """
+
+    def __init__(self, configs: Sequence[ExperimentConfig], *, pad: bool = False):
+        if not configs:
+            raise ValueError("need at least one config")
+        keys = {shard_key(c, pad=pad) for c in configs}
+        if len(keys) > 1:
+            raise ValueError(f"configs are not shard-compatible: {sorted(map(str, keys))}")
+        self.configs = list(configs)
+        self.pad = pad
+        self.geoms: List[FluidGeometry] = [fluid_geometry(c) for c in configs]
+        widths, width = shard_widths(configs, range(len(configs)))
+        self.widths = widths
+        C, W = len(configs), width
+        self.C, self.W = C, W
+
+        geom0 = self.geoms[0]
+        self.base_rtt = geom0.base_rtt_s
+        self.steps_per_rtt = DEFAULT_STEPS_PER_RTT
+        self.dt = self.base_rtt / self.steps_per_rtt
+        self.burst_pkts = 4
+        self.now = 0.0
+
+        self.capacity = np.asarray([g.capacity_pps for g in self.geoms])
+        limit = np.asarray([g.limit_pkts for g in self.geoms])
+        if (self.capacity <= 0).any() or (limit <= 0).any():
+            raise ValueError("limit and capacity must be positive")
+
+        # Per-config streams; same names the scalar runner uses.
+        self._rngs = [RngStreams(c.seed) for c in configs]
+
+        # Lane layout: CCA codes, active mask, start times (padded lanes
+        # never start), per-lane draw streams created lazily on first use.
+        from repro.cca.registry import canonical_cca_name
+
+        self.cca_code = np.full((C, W), -1, dtype=np.int64)
+        self.active = np.zeros((C, W), dtype=bool)
+        starts = np.full((C, W), np.inf)
+        for c, config in enumerate(configs):
+            n = widths[c]
+            names = flow_cca_names(config, n)
+            self.cca_code[c, :n] = [CCA_CODE[canonical_cca_name(x)] for x in names]
+            self.active[c, :n] = True
+            starts[c, :n] = self._rngs[c].stream("flow-start").uniform(0.0, 0.1, size=n)
+        self.start_times = starts
+        self._codes_present = sorted(set(self.cca_code[self.active].tolist()))
+
+        # Arrival noise: one positional uniform per (config, flow, step).
+        chunk = max(8, min(512, 4_000_000 // max(1, C * W)))
+        self._arrival_noise = BatchUniformTable(
+            [r.stream("arrivals") for r in self._rngs], widths, W, chunk_steps=chunk
+        )
+
+        self.aqm = self._make_aqm(limit, chunk)
+
+        # Shared CCA outputs.
+        self.cwnd = np.full((C, W), INIT_CWND)
+        self.ssthresh = np.full((C, W), np.inf)
+        self.pacing = np.full((C, W), np.nan)
+        self.cap = np.full((C, W), np.inf)
+
+        # Round bookkeeping.
+        self.next_round = starts + self.base_rtt
+        self.round_delivered = np.zeros((C, W))
+        self.round_lost = np.zeros((C, W))
+        self.round_started_at = starts.copy()
+        self.delivered_total = np.zeros((C, W))
+        self.dropped_total = np.zeros((C, W))
+
+        # Per-family state blocks (allocated only for present families).
+        if CCA_CODE["cubic"] in self._codes_present:
+            self.cu_w_max = np.zeros((C, W))
+            self.cu_epoch = np.full((C, W), np.nan)
+            self.cu_k = np.zeros((C, W))
+            self.cu_origin = np.zeros((C, W))
+            self.cu_w_est = np.zeros((C, W))
+        if CCA_CODE["htcp"] in self._codes_present:
+            self.ht_last_cong = np.full((C, W), np.nan)
+            self.ht_rtt_min = np.full((C, W), np.inf)
+            self.ht_rtt_max = np.zeros((C, W))
+            self.ht_beta = np.full((C, W), 0.5)
+            self.ht_max_bw = np.zeros((C, W))
+            self.ht_old_max_bw = np.zeros((C, W))
+            self.ht_modeswitch = np.zeros((C, W), dtype=bool)
+        if RATE_BASED_CODES & set(self._codes_present):
+            self.bb_state = np.zeros((C, W), dtype=np.int64)
+            self.bb_ring = np.zeros((C, W, BBR_RING))
+            self.bb_pos = np.zeros((C, W), dtype=np.int64)
+            self.bb_min_rtt = np.full((C, W), np.inf)
+            self.bb_min_rtt_stamp = np.zeros((C, W))
+            self.bb_full_bw = np.zeros((C, W))
+            self.bb_full_bw_count = np.zeros((C, W), dtype=np.int64)
+            self.bb_cycle_index = np.full((C, W), 2, dtype=np.int64)
+            self.bb_cycle_stamp = np.zeros((C, W))
+            self.bb_probe_until = np.full((C, W), np.nan)
+        if CCA_CODE["bbrv2"] in self._codes_present:
+            self.b2_inflight_hi = np.full((C, W), np.inf)
+            self.b2_phase = np.zeros((C, W), dtype=np.int64)
+            self.b2_phase_stamp = np.zeros((C, W))
+
+        # Lazily created per-lane draw generators (BBR lotteries).
+        self._gen_cache: dict = {}
+
+        # Measurement window.
+        self._measure_delivered: Optional[np.ndarray] = None
+
+    # -- construction helpers --------------------------------------------------
+
+    def _make_aqm(self, limit: np.ndarray, chunk: int) -> _BatchAqm:
+        family = canonical_aqm_family(self.configs[0].aqm)
+        C, W = self.C, self.W
+        if family == "fifo":
+            return _BatchFifo(limit, self.capacity, C, W)
+        if family == "fq_codel":
+            return _BatchFqCodel(limit, self.capacity, C, W, self.widths)
+        lottery = BatchUniformTable(
+            [r.stream("aqm") for r in self._rngs], self.widths, W, chunk_steps=chunk
+        )
+        if family == "red":
+            params = [c.aqm_params for c in self.configs]
+            return _BatchRed(limit, self.capacity, C, W, lottery, params)
+        if family == "pie":
+            return _BatchPie(limit, self.capacity, C, W, lottery)
+        raise ValueError(f"unknown AQM family {family!r}")
+
+    def _lane_gen(self, c: int, f: int) -> np.random.Generator:
+        key = (c, f)
+        gen = self._gen_cache.get(key)
+        if gen is None:
+            gen = self._rngs[c].stream(f"cca-flow{f}")
+            self._gen_cache[key] = gen
+        return gen
+
+    # -- stepping --------------------------------------------------------------
+
+    def _rates(self, rtt_eff: np.ndarray, started: np.ndarray) -> np.ndarray:
+        window_rate = self.cwnd / rtt_eff
+        x = np.where(np.isnan(self.pacing), window_rate, self.pacing)
+        capped = np.isfinite(self.cap)
+        if capped.any():
+            allowed = np.maximum(0.0, (self.cap - self.aqm.backlog) / self.base_rtt)
+            x = np.where(capped, np.minimum(x, allowed), x)
+        return np.where(started, x, 0.0)
+
+    def step(self) -> None:
+        """Advance every config in the shard by one ``dt`` tick."""
+        started = self.start_times <= self.now
+        rtt_eff = self.base_rtt + self.aqm.flow_delay_s()
+        x = self._rates(rtt_eff, started)
+        arrivals = x * self.dt
+        b = self.burst_pkts
+        u = self._arrival_noise.next_block()
+        arrivals = poisson_from_uniform(arrivals / b, u) * b
+        delivered, dropped = self.aqm.step(arrivals, self.dt, self.now)
+
+        self.delivered_total += delivered
+        self.dropped_total += dropped
+        self.round_delivered += delivered
+        self.round_lost += dropped
+        self.now += self.dt
+
+        due = started & (self.now >= self.next_round)
+        if due.any():
+            self._round_updates(due, x)
+
+    def _round_updates(self, due: np.ndarray, x: np.ndarray) -> None:
+        now = self.now
+        rtt_after = self.base_rtt + self.aqm.flow_delay_s()
+        ci, fi = np.nonzero(due)
+        span = np.maximum(now - self.round_started_at[ci, fi], self.dt)
+        delivered = self.round_delivered[ci, fi]
+        lost = self.round_lost[ci, fi]
+        delivery_rate = delivered / span
+        inflight = x[ci, fi] * self.base_rtt + self.aqm.backlog[ci, fi]
+        total = delivered + lost
+        loss_rate = np.divide(lost, total, out=np.zeros_like(lost), where=total > 0)
+        rtt = rtt_after[ci, fi]
+
+        codes = self.cca_code[ci, fi]
+        for code in self._codes_present:
+            sel = codes == code
+            if not sel.any():
+                continue
+            args = (
+                ci[sel], fi[sel], now, rtt[sel], delivery_rate[sel],
+                inflight[sel], loss_rate[sel], delivered[sel], lost[sel],
+            )
+            if code == CCA_CODE["reno"]:
+                self._round_reno(*args)
+            elif code == CCA_CODE["cubic"]:
+                self._round_cubic(*args)
+            elif code == CCA_CODE["htcp"]:
+                self._round_htcp(*args)
+            elif code == CCA_CODE["bbrv1"]:
+                self._round_bbrv1(*args)
+            else:
+                self._round_bbrv2(*args)
+
+        self.round_delivered[ci, fi] = 0.0
+        self.round_lost[ci, fi] = 0.0
+        self.round_started_at[ci, fi] = now
+        self.next_round[ci, fi] = now + rtt
+
+    # -- CCA kernels -----------------------------------------------------------
+    #
+    # Each kernel gathers the due lanes of its CCA into compact 1D arrays,
+    # applies the scalar rule class's update (same expressions, element-
+    # wise), and scatters the results back — so per-step cost scales with
+    # how many lanes actually finished a round, not with the shard size.
+
+    def _round_reno(self, ci, fi, now, rtt, rate, inflight, loss_rate, delivered, lost):
+        cwnd = self.cwnd[ci, fi]
+        ssth = self.ssthresh[ci, fi]
+        loss = lost > 0
+        slow = ~loss & (cwnd < ssth)
+        ss_new = aimd_backoff(cwnd, _RENO_BETA)
+        ssth = np.where(loss, ss_new, ssth)
+        cwnd = np.where(
+            loss, ss_new, np.where(slow, slow_start_next(cwnd, ssth), cwnd + 1.0)
+        )
+        self.ssthresh[ci, fi] = ssth
+        self.cwnd[ci, fi] = cwnd
+
+    def _round_cubic(self, ci, fi, now, rtt, rate, inflight, loss_rate, delivered, lost):
+        cwnd = self.cwnd[ci, fi]
+        ssth = self.ssthresh[ci, fi]
+        w_max = self.cu_w_max[ci, fi]
+        epoch = self.cu_epoch[ci, fi]
+        k = self.cu_k[ci, fi]
+        origin = self.cu_origin[ci, fi]
+        w_est = self.cu_w_est[ci, fi]
+
+        loss = lost > 0
+        w_max = np.where(loss, cubic_wmax_after_loss(cwnd, w_max), w_max)
+        ss_new = aimd_backoff(cwnd, 0.7)
+        ssth = np.where(loss, ss_new, ssth)
+        cwnd = np.where(loss, ss_new, cwnd)
+        epoch = np.where(loss, np.nan, epoch)
+
+        surv = ~loss
+        in_ss = surv & (cwnd < ssth)
+        eta = hystart_exit_eta(self.base_rtt)
+        exit_ss = in_ss & (rtt >= self.base_rtt + eta) & (cwnd >= 16)
+        ssth = np.where(exit_ss, cwnd, ssth)
+        stay = in_ss & ~exit_ss
+        cwnd = np.where(stay, slow_start_next(cwnd, ssth), cwnd)
+
+        ca = surv & ~stay
+        init = ca & np.isnan(epoch)
+        epoch = np.where(init, now, epoch)
+        k = np.where(init, cubic_epoch_k(cwnd, w_max), k)
+        origin = np.where(init, cubic_epoch_origin(cwnd, w_max), origin)
+        w_est = np.where(init, cwnd, w_est)
+        with np.errstate(invalid="ignore"):
+            t = now - epoch + rtt
+            target = cubic_target(origin, k, t)
+            inc = np.where(target > cwnd, target - cwnd, 0.01)
+        cwnd = np.where(ca, cwnd + inc, cwnd)
+        w_est = np.where(ca, w_est + CUBIC_FRIENDLY_INC, w_est)
+        cwnd = np.where(ca & (w_est > cwnd), w_est, cwnd)
+
+        self.cwnd[ci, fi] = cwnd
+        self.ssthresh[ci, fi] = ssth
+        self.cu_w_max[ci, fi] = w_max
+        self.cu_epoch[ci, fi] = epoch
+        self.cu_k[ci, fi] = k
+        self.cu_origin[ci, fi] = origin
+        self.cu_w_est[ci, fi] = w_est
+
+    def _round_htcp(self, ci, fi, now, rtt, rate, inflight, loss_rate, delivered, lost):
+        cwnd = self.cwnd[ci, fi]
+        ssth = self.ssthresh[ci, fi]
+        last_cong = self.ht_last_cong[ci, fi]
+        rtt_min = np.minimum(self.ht_rtt_min[ci, fi], rtt)
+        rtt_max = np.maximum(self.ht_rtt_max[ci, fi], rtt)
+        beta = self.ht_beta[ci, fi]
+        max_bw = np.maximum(self.ht_max_bw[ci, fi], rate)
+        old_max_bw = self.ht_old_max_bw[ci, fi]
+        modeswitch = self.ht_modeswitch[ci, fi]
+
+        loss = lost > 0
+        slow = ~loss & (cwnd < ssth)
+        ca = ~loss & ~slow
+
+        if loss.any():
+            stable = htcp_bw_stable(max_bw, old_max_bw)
+            adaptive = stable & modeswitch & (rtt_max > 0) & np.isfinite(rtt_min)
+            beta_new = np.where(
+                stable,
+                np.where(adaptive, htcp_adaptive_beta(rtt_min, rtt_max), 0.5),
+                0.5,
+            )
+            beta = np.where(loss, beta_new, beta)
+            # Scalar rule: unstable resets the switch; stable arms (or
+            # keeps) it whether or not the adaptive branch fired.
+            modeswitch = np.where(loss, stable, modeswitch)
+            old_max_bw = np.where(loss, max_bw, old_max_bw)
+            max_bw = np.where(loss, 0.0, max_bw)
+            ss_new = aimd_backoff(cwnd, beta)
+            ssth = np.where(loss, ss_new, ssth)
+            cwnd = np.where(loss, ss_new, cwnd)
+            last_cong = np.where(loss, now, last_cong)
+            rtt_min = np.where(loss, np.inf, rtt_min)
+            rtt_max = np.where(loss, 0.0, rtt_max)
+
+        cwnd = np.where(slow, slow_start_next(cwnd, ssth), cwnd)
+        if ca.any():
+            alpha = htcp_alpha(now - last_cong, beta)
+            cwnd = np.where(ca, cwnd + alpha, cwnd)
+
+        self.cwnd[ci, fi] = cwnd
+        self.ssthresh[ci, fi] = ssth
+        self.ht_last_cong[ci, fi] = last_cong
+        self.ht_rtt_min[ci, fi] = rtt_min
+        self.ht_rtt_max[ci, fi] = rtt_max
+        self.ht_beta[ci, fi] = beta
+        self.ht_max_bw[ci, fi] = max_bw
+        self.ht_old_max_bw[ci, fi] = old_max_bw
+        self.ht_modeswitch[ci, fi] = modeswitch
+
+    def _round_bbrv1(self, ci, fi, now, rtt, rate, inflight, loss_rate, delivered, lost):
+        cwnd = self.cwnd[ci, fi]
+        pacing = self.pacing[ci, fi]
+        cap = self.cap[ci, fi]
+        state = self.bb_state[ci, fi]
+        ring = self.bb_ring[ci, fi, :]
+        pos = self.bb_pos[ci, fi]
+        min_rtt = self.bb_min_rtt[ci, fi]
+        min_stamp = self.bb_min_rtt_stamp[ci, fi]
+        full_bw = self.bb_full_bw[ci, fi]
+        full_cnt = self.bb_full_bw_count[ci, fi]
+        cyc_idx = self.bb_cycle_index[ci, fi]
+        cyc_stamp = self.bb_cycle_stamp[ci, fi]
+        probe_until = self.bb_probe_until[ci, fi]
+
+        # Rare RTO-like collapse lottery, drawn from each lane's own stream.
+        for j in np.nonzero(loss_rate > 0.4)[0]:
+            if self._lane_gen(int(ci[j]), int(fi[j])).random() < 0.03:
+                full_bw[j] = 0.0
+                full_cnt[j] = 0
+                ring[j, :] = 0.0
+                ring[j, pos[j]] = RATE_FLOOR_PPS
+                pacing[j] = RATE_FLOOR_PPS
+                state[j] = S_STARTUP
+
+        upd = rtt < min_rtt
+        min_rtt = np.where(upd, rtt, min_rtt)
+        min_stamp = np.where(upd, now, min_stamp)
+        push = rate > 0
+        if push.any():
+            jj = np.nonzero(push)[0]
+            pos[jj] = (pos[jj] + 1) % BBR_RING
+            ring[jj, pos[jj]] = rate[jj]
+        bw = ring.max(axis=1)
+        bdp = bbr_bdp(bw, min_rtt)
+
+        st = state == S_STARTUP
+        grew = st & (bw >= full_bw * 1.25)
+        full_bw = np.where(grew, bw, full_bw)
+        full_cnt = np.where(grew, 0, np.where(st, full_cnt + 1, full_cnt))
+        state = np.where(st & (full_cnt >= 3), S_DRAIN, state)
+
+        exit_d = (state == S_DRAIN) & (inflight <= bdp)
+        if exit_d.any():
+            for j in np.nonzero(exit_d)[0]:
+                cyc_idx[j] = int(self._lane_gen(int(ci[j]), int(fi[j])).integers(2, 8))
+            state = np.where(exit_d, S_PROBE_BW, state)
+            cyc_stamp = np.where(exit_d, now, cyc_stamp)
+
+        pb = state == S_PROBE_BW
+        adv = pb & (now - cyc_stamp > np.maximum(min_rtt, 1e-3))
+        cyc_idx = np.where(adv, (cyc_idx + 1) % len(BBR_CYCLE), cyc_idx)
+        cyc_stamp = np.where(adv, now, cyc_stamp)
+        to_pr = pb & (now - min_stamp > 10.0)
+        state = np.where(to_pr, S_PROBE_RTT, state)
+        probe_until = np.where(to_pr, now + 0.2, probe_until)
+
+        exit_pr = (state == S_PROBE_RTT) & (now >= probe_until)
+        min_stamp = np.where(exit_pr, now, min_stamp)
+        state = np.where(exit_pr, S_PROBE_BW, state)
+        cyc_stamp = np.where(exit_pr, now, cyc_stamp)
+
+        gain = np.where(
+            state == S_STARTUP, BBR_HIGH_GAIN,
+            np.where(
+                state == S_DRAIN, BBR_DRAIN_GAIN,
+                np.where(state == S_PROBE_RTT, 1.0, _CYCLE_ARR[cyc_idx]),
+            ),
+        )
+        cap_gain = np.where(
+            (state == S_STARTUP) | (state == S_DRAIN), BBR_HIGH_GAIN,
+            np.where(state == S_PROBE_RTT, 0.5, BBR_CWND_GAIN),
+        )
+        have_bw = bw > 0
+        pacing = np.where(have_bw, np.maximum(RATE_FLOOR_PPS, gain * bw), np.nan)
+        cap = np.where(have_bw, np.maximum(4.0, cap_gain * bdp), cap)
+        cwnd = np.where(have_bw, cwnd, np.minimum(cwnd * 2.0, 1e9))
+
+        self.cwnd[ci, fi] = cwnd
+        self.pacing[ci, fi] = pacing
+        self.cap[ci, fi] = cap
+        self.bb_state[ci, fi] = state
+        self.bb_ring[ci, fi, :] = ring
+        self.bb_pos[ci, fi] = pos
+        self.bb_min_rtt[ci, fi] = min_rtt
+        self.bb_min_rtt_stamp[ci, fi] = min_stamp
+        self.bb_full_bw[ci, fi] = full_bw
+        self.bb_full_bw_count[ci, fi] = full_cnt
+        self.bb_cycle_index[ci, fi] = cyc_idx
+        self.bb_cycle_stamp[ci, fi] = cyc_stamp
+        self.bb_probe_until[ci, fi] = probe_until
+
+    def _round_bbrv2(self, ci, fi, now, rtt, rate, inflight, loss_rate, delivered, lost):
+        cwnd = self.cwnd[ci, fi]
+        cap = self.cap[ci, fi]
+        state = self.bb_state[ci, fi]
+        ring = self.bb_ring[ci, fi, :]
+        pos = self.bb_pos[ci, fi]
+        min_rtt = self.bb_min_rtt[ci, fi]
+        min_stamp = self.bb_min_rtt_stamp[ci, fi]
+        full_bw = self.bb_full_bw[ci, fi]
+        full_cnt = self.bb_full_bw_count[ci, fi]
+        probe_until = self.bb_probe_until[ci, fi]
+        hi = self.b2_inflight_hi[ci, fi]
+        phase = self.b2_phase[ci, fi]
+        phase_stamp = self.b2_phase_stamp[ci, fi]
+
+        upd = rtt < min_rtt
+        min_rtt = np.where(upd, rtt, min_rtt)
+        min_stamp = np.where(upd, now, min_stamp)
+        push = rate > 0
+        if push.any():
+            jj = np.nonzero(push)[0]
+            pos[jj] = (pos[jj] + 1) % BBR_RING
+            ring[jj, pos[jj]] = rate[jj]
+        bw = ring.max(axis=1)
+        bdp = bbr_bdp(bw, min_rtt)
+
+        high_loss = (loss_rate >= BBR2_LOSS_THRESH) & (lost >= 2)
+        if high_loss.any():
+            fin = np.isfinite(hi)
+            base = np.where(fin, hi, np.maximum(inflight, bdp))
+            new_hi = np.maximum(
+                4.0, np.minimum(base, np.maximum(inflight, 4.0)) * BBR2_BETA
+            )
+            hi = np.where(high_loss, new_hi, hi)
+
+        st = state == S_STARTUP
+        grew = st & (bw >= full_bw * 1.25)
+        full_bw = np.where(grew, bw, full_bw)
+        full_cnt = np.where(grew, 0, np.where(st, full_cnt + 1, full_cnt))
+        state = np.where(st & ((full_cnt >= 3) | high_loss), S_DRAIN, state)
+
+        exit_d = (state == S_DRAIN) & (inflight <= bdp)
+        state = np.where(exit_d, S_PROBE_BW, state)
+        phase = np.where(exit_d, P_DOWN, phase)
+        phase_stamp = np.where(exit_d, now, phase_stamp)
+
+        pb = state == S_PROBE_BW
+        # Snapshot the phase so the DOWN/CRUISE/UP arms stay elif-exclusive
+        # within one round, like the scalar state machine.
+        ph0 = phase.copy()
+        fin = np.isfinite(hi)
+        bound = np.where(fin, hi * (1 - BBR2_HEADROOM), np.inf)
+        down = pb & (ph0 == P_DOWN)
+        to_cruise = down & (inflight <= np.maximum(4.0, np.minimum(bdp, bound)))
+        if to_cruise.any():
+            for j in np.nonzero(to_cruise)[0]:
+                phase_stamp[j] = now + float(
+                    self._lane_gen(int(ci[j]), int(fi[j])).uniform(-0.5, 0.5)
+                )
+            phase = np.where(to_cruise, P_CRUISE, phase)
+        cruise = pb & (ph0 == P_CRUISE)
+        to_up = cruise & (now - phase_stamp > 2.5)
+        phase = np.where(to_up, P_UP, phase)
+        phase_stamp = np.where(to_up, now, phase_stamp)
+        up = pb & (ph0 == P_UP)
+        grow = up & np.isfinite(hi) & ~high_loss
+        hi = np.where(grow, hi + np.maximum(1.0, delivered), hi)
+        to_down = up & (
+            high_loss | (now - phase_stamp > 4 * np.maximum(min_rtt, 1e-3))
+        )
+        phase = np.where(to_down, P_DOWN, phase)
+        phase_stamp = np.where(to_down, now, phase_stamp)
+        to_pr = pb & (now - min_stamp > 5.0)
+        state = np.where(to_pr, S_PROBE_RTT, state)
+        probe_until = np.where(to_pr, now + 0.2, probe_until)
+
+        exit_pr = (state == S_PROBE_RTT) & (now >= probe_until)
+        min_stamp = np.where(exit_pr, now, min_stamp)
+        state = np.where(exit_pr, S_PROBE_BW, state)
+        phase = np.where(exit_pr, P_DOWN, phase)
+        phase_stamp = np.where(exit_pr, now, phase_stamp)
+
+        gain = np.where(
+            state == S_STARTUP, BBR2_STARTUP_GAIN,
+            np.where(
+                state == S_DRAIN, BBR2_DRAIN_GAIN,
+                np.where(
+                    state == S_PROBE_RTT, 1.0,
+                    np.where(phase == P_DOWN, 0.9, np.where(phase == P_UP, 1.25, 1.0)),
+                ),
+            ),
+        )
+        cap_gain = np.where(state == S_PROBE_RTT, 0.5, 2.0)
+        have_bw = bw > 0
+        new_cap = np.maximum(4.0, cap_gain * bdp)
+        fin = np.isfinite(hi)
+        hi_eff = np.where(
+            (phase == P_CRUISE) & (state == S_PROBE_BW), hi * (1 - BBR2_HEADROOM), hi
+        )
+        new_cap = np.where(fin, np.minimum(new_cap, np.maximum(4.0, hi_eff)), new_cap)
+        pacing = np.where(have_bw, np.maximum(RATE_FLOOR_PPS, gain * bw), np.nan)
+        cap = np.where(have_bw, new_cap, cap)
+        cwnd = np.where(have_bw, cwnd, np.minimum(cwnd * 2.0, 1e9))
+
+        self.cwnd[ci, fi] = cwnd
+        self.pacing[ci, fi] = pacing
+        self.cap[ci, fi] = cap
+        self.bb_state[ci, fi] = state
+        self.bb_ring[ci, fi, :] = ring
+        self.bb_pos[ci, fi] = pos
+        self.bb_min_rtt[ci, fi] = min_rtt
+        self.bb_min_rtt_stamp[ci, fi] = min_stamp
+        self.bb_full_bw[ci, fi] = full_bw
+        self.bb_full_bw_count[ci, fi] = full_cnt
+        self.bb_probe_until[ci, fi] = probe_until
+        self.b2_inflight_hi[ci, fi] = hi
+        self.b2_phase[ci, fi] = phase
+        self.b2_phase_stamp[ci, fi] = phase_stamp
+
+    # -- driving / outputs -----------------------------------------------------
+
+    def run(self, duration_s: float) -> None:
+        """Step the whole shard forward by ``duration_s`` simulated seconds."""
+        end = self.now + duration_s
+        while self.now < end - 1e-12:
+            self.step()
+
+    def begin_measurement(self) -> None:
+        """Snapshot delivery counters; :attr:`measured_delivered` counts
+        only what arrives after this call (post-warmup window)."""
+        self._measure_delivered = self.delivered_total.copy()
+
+    @property
+    def measured_delivered(self) -> np.ndarray:
+        if self._measure_delivered is None:
+            return self.delivered_total.copy()
+        return self.delivered_total - self._measure_delivered
+
+
+# --- experiment-level entry points -------------------------------------------
+
+
+def _run_shard(configs: Sequence[ExperimentConfig], *, pad: bool) -> List[ExperimentResult]:
+    wall_start = time.perf_counter()
+    sim = BatchedFluidSimulation(configs, pad=pad)
+    config0 = configs[0]
+    if config0.warmup_s > 0:
+        sim.run(config0.warmup_s)
+        sim.begin_measurement()
+        sim.run(config0.duration_s - config0.warmup_s)
+    else:
+        sim.begin_measurement()
+        sim.run(config0.duration_s)
+    wall_each = (time.perf_counter() - wall_start) / len(configs)
+
+    results: List[ExperimentResult] = []
+    window = sim.measured_delivered
+    for c, config in enumerate(configs):
+        n = sim.widths[c]
+        results.append(
+            build_fluid_result(
+                config,
+                sim.geoms[c],
+                delivered_window=window[c, :n],
+                delivered_total=sim.delivered_total[c, :n],
+                dropped_total=sim.dropped_total[c, :n],
+                aqm_dropped=float(sim.aqm.total_dropped[c]),
+                engine="fluid_batched",
+                wallclock_s=wall_each,
+            )
+        )
+    return results
+
+
+def run_fluid_batch(
+    configs: Sequence[ExperimentConfig],
+    *,
+    pad: bool = False,
+    max_shard: int = 0,
+) -> List[ExperimentResult]:
+    """Run many configs through the batched backend; results in input order.
+
+    Configs are grouped into lock-step shards automatically; per-config
+    results are independent of the grouping (and, with ``pad=False``,
+    bit-identical to the scalar fluid engine).
+    """
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    for shard in plan_shards(configs, pad=pad, max_shard=max_shard):
+        shard_results = _run_shard([configs[i] for i in shard], pad=pad)
+        for i, res in zip(shard, shard_results):
+            results[i] = res
+    return [r for r in results if r is not None]
+
+
+def run_fluid_single(config: ExperimentConfig) -> ExperimentResult:
+    """Run one config on the batched backend (a shard of one)."""
+    return _run_shard([config], pad=False)[0]

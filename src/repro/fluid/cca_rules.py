@@ -21,6 +21,112 @@ import numpy as np
 INIT_CWND = 10.0
 MIN_CWND = 2.0
 
+# Algorithm constants, shared between the per-flow rule objects below and
+# the vectorized kernels in repro.fluid.batched.
+CUBIC_C = 0.4
+CUBIC_BETA = 0.7
+CUBIC_FRIENDLY_INC = 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA)
+HYSTART_ETA_MIN_S = 0.004
+HYSTART_ETA_MAX_S = 0.016
+HTCP_DELTA_L_S = 1.0
+HTCP_BETA_MIN = 0.5
+HTCP_BETA_MAX = 0.8
+BBR_HIGH_GAIN = 2.885
+BBR_DRAIN_GAIN = 1.0 / BBR_HIGH_GAIN
+BBR_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+BBR_CWND_GAIN = 2.0
+BBR_RING = 10
+RATE_FLOOR_PPS = INIT_CWND / 0.1
+BBR2_STARTUP_GAIN = 2.77
+BBR2_DRAIN_GAIN = 1.0 / 2.77
+BBR2_LOSS_THRESH = 0.02
+BBR2_BETA = 0.7
+BBR2_HEADROOM = 0.15
+
+
+# --- pure per-round laws -----------------------------------------------------
+#
+# Element-wise numpy functions shared by the scalar rule objects (cold
+# paths) and the batched kernels (whole (config, flow) blocks).  Hot
+# scalar paths that cannot afford a numpy call keep a literal python
+# mirror of the same expression — `+ - * /` and comparisons are IEEE-
+# exact, so mirrors stay bit-identical; anything transcendental must go
+# through the numpy kernel in BOTH paths (python `**` is not
+# bit-identical to numpy array `**` and is banned here).
+
+
+def slow_start_next(cwnd, ssthresh):
+    """Classic slow-start doubling, clamped to ssthresh."""
+    nxt = np.minimum(cwnd * 2.0, np.maximum(ssthresh, cwnd))
+    return np.where(nxt > ssthresh, ssthresh, nxt)
+
+
+def aimd_backoff(cwnd, beta):
+    """Multiplicative decrease with the global cwnd floor."""
+    return np.maximum(cwnd * beta, MIN_CWND)
+
+
+def hystart_exit_eta(base_rtt_s: float) -> float:
+    """HyStart delay threshold for leaving slow start."""
+    return min(HYSTART_ETA_MAX_S, max(HYSTART_ETA_MIN_S, base_rtt_s / 8))
+
+
+def cubic_wmax_after_loss(cwnd, w_max):
+    """Fast-convergence w_max update on a loss round."""
+    return np.where(cwnd < w_max, cwnd * (2.0 - CUBIC_BETA) / 2.0, cwnd)
+
+
+def cubic_epoch_k(cwnd, w_max):
+    """Time-to-origin K at the start of a cubic epoch."""
+    diff = np.where(cwnd < w_max, (w_max - cwnd) / CUBIC_C, 0.0)
+    return np.cbrt(diff)
+
+
+def cubic_epoch_origin(cwnd, w_max):
+    """Plateau the cubic curve aims for this epoch."""
+    return np.where(cwnd < w_max, w_max, cwnd)
+
+
+def cubic_target(origin, k, t):
+    """Cubic window target at epoch time ``t`` (exact ops only)."""
+    d = t - k
+    return origin + CUBIC_C * (d * d * d)
+
+
+def htcp_alpha(elapsed_s, beta):
+    """H-TCP per-round additive increase from time since congestion.
+
+    ``elapsed_s`` may be NaN (no congestion event yet) — that lane gets
+    the pre-threshold increase of 1.0.
+    """
+    x = np.maximum(np.asarray(elapsed_s, dtype=np.float64) - HTCP_DELTA_L_S, 0.0)
+    xh = x / 2.0
+    grown = 2.0 * (1.0 - beta) * (1.0 + 10.0 * x + xh * xh)
+    return np.where(x > 0.0, grown, 1.0)
+
+
+def htcp_bw_stable(max_bw, old_max_bw):
+    """Linux H-TCP bandwidth switch: throughput within [-20%, +25%]."""
+    return (4.0 * old_max_bw <= 5.0 * max_bw) & (5.0 * max_bw <= 6.0 * old_max_bw)
+
+
+def htcp_adaptive_beta(rtt_min_s, rtt_max_s):
+    """Adaptive backoff factor rtt_min/rtt_max clamped to [0.5, 0.8].
+
+    Caller guards ``rtt_max_s > 0`` and finite ``rtt_min_s``; unguarded
+    lanes produce NaN and must be discarded by the caller's mask.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.asarray(rtt_min_s, dtype=np.float64) / rtt_max_s
+    return np.minimum(HTCP_BETA_MAX, np.maximum(HTCP_BETA_MIN, ratio))
+
+
+def bbr_bdp(bw, min_rtt_s):
+    """BDP estimate; INIT_CWND until both bw and min_rtt are modelled."""
+    have = (np.asarray(bw, dtype=np.float64) > 0.0) & np.isfinite(min_rtt_s)
+    safe_rtt = np.where(np.isfinite(min_rtt_s), min_rtt_s, 0.0)
+    return np.where(have, bw * safe_rtt, INIT_CWND)
+
 
 class RoundInfo:
     """What one flow experienced during one RTT-long round."""
@@ -66,9 +172,7 @@ class FluidCca:
 
     def _slow_start_round(self, info: RoundInfo) -> None:
         """Double per round up to ssthresh (classic slow start)."""
-        self.cwnd = min(self.cwnd * 2.0, max(self.ssthresh, self.cwnd))
-        if self.cwnd > self.ssthresh:
-            self.cwnd = self.ssthresh
+        self.cwnd = float(slow_start_next(self.cwnd, self.ssthresh))
 
     @property
     def in_slow_start(self) -> bool:
@@ -83,7 +187,7 @@ class FluidReno(FluidCca):
 
     def round_update(self, info: RoundInfo) -> None:
         if info.lost > 0:
-            self.ssthresh = max(self.cwnd * self.BETA, MIN_CWND)
+            self.ssthresh = float(aimd_backoff(self.cwnd, self.BETA))
             self.cwnd = self.ssthresh
         elif self.in_slow_start:
             self._slow_start_round(info)
@@ -95,10 +199,10 @@ class FluidCubic(FluidCca):
     """Cubic curve with fast convergence and a HyStart-style exit."""
 
     name = "cubic"
-    C = 0.4
-    BETA = 0.7
-    HYSTART_ETA_MIN_S = 0.004
-    HYSTART_ETA_MAX_S = 0.016
+    C = CUBIC_C
+    BETA = CUBIC_BETA
+    HYSTART_ETA_MIN_S = HYSTART_ETA_MIN_S
+    HYSTART_ETA_MAX_S = HYSTART_ETA_MAX_S
 
     def __init__(self, rng=None):
         super().__init__(rng)
@@ -110,17 +214,14 @@ class FluidCubic(FluidCca):
 
     def round_update(self, info: RoundInfo) -> None:
         if info.lost > 0:
-            if self.cwnd < self.w_max:
-                self.w_max = self.cwnd * (2.0 - self.BETA) / 2.0
-            else:
-                self.w_max = self.cwnd
-            self.ssthresh = max(self.cwnd * self.BETA, MIN_CWND)
+            self.w_max = float(cubic_wmax_after_loss(self.cwnd, self.w_max))
+            self.ssthresh = float(aimd_backoff(self.cwnd, self.BETA))
             self.cwnd = self.ssthresh
             self.epoch_start_s = None
             return
         if self.in_slow_start:
             # HyStart: leave slow start once queueing delay builds.
-            eta = min(self.HYSTART_ETA_MAX_S, max(self.HYSTART_ETA_MIN_S, info.base_rtt_s / 8))
+            eta = hystart_exit_eta(info.base_rtt_s)
             if info.rtt_s >= info.base_rtt_s + eta and self.cwnd >= 16:
                 self.ssthresh = self.cwnd
             else:
@@ -128,22 +229,18 @@ class FluidCubic(FluidCca):
                 return
         if self.epoch_start_s is None:
             self.epoch_start_s = info.now_s
-            if self.cwnd < self.w_max:
-                self.k = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
-                self.origin = self.w_max
-            else:
-                self.k = 0.0
-                self.origin = self.cwnd
+            self.k = float(cubic_epoch_k(self.cwnd, self.w_max))
+            self.origin = float(cubic_epoch_origin(self.cwnd, self.w_max))
             self.w_est = self.cwnd
         t = info.now_s - self.epoch_start_s + info.rtt_s
-        target = self.origin + self.C * (t - self.k) ** 3
+        target = cubic_target(self.origin, self.k, t)
         if target > self.cwnd:
             # Converge toward the cubic target over roughly one RTT.
             self.cwnd += (target - self.cwnd)
         else:
             self.cwnd += 0.01
         # TCP-friendly floor.
-        self.w_est += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        self.w_est += CUBIC_FRIENDLY_INC
         if self.w_est > self.cwnd:
             self.cwnd = self.w_est
 
@@ -152,8 +249,8 @@ class FluidHTcp(FluidCca):
     """Elapsed-time alpha, adaptive beta, Linux bandwidth switch."""
 
     name = "htcp"
-    DELTA_L_S = 1.0
-    BETA_MIN, BETA_MAX = 0.5, 0.8
+    DELTA_L_S = HTCP_DELTA_L_S
+    BETA_MIN, BETA_MAX = HTCP_BETA_MIN, HTCP_BETA_MAX
 
     def __init__(self, rng=None):
         super().__init__(rng)
@@ -167,26 +264,28 @@ class FluidHTcp(FluidCca):
         self.modeswitch = False
 
     def _alpha(self, now_s: float) -> float:
+        # Hot-path python mirror of htcp_alpha() — exact ops only.
         if self.last_congestion_s is None:
             return 1.0
         dt = now_s - self.last_congestion_s
-        if dt <= self.DELTA_L_S:
+        if dt <= HTCP_DELTA_L_S:
             return 1.0
-        x = dt - self.DELTA_L_S
-        return 2.0 * (1.0 - self.beta) * (1.0 + 10.0 * x + (x / 2.0) ** 2)
+        x = dt - HTCP_DELTA_L_S
+        xh = x / 2.0
+        return 2.0 * (1.0 - self.beta) * (1.0 + 10.0 * x + xh * xh)
 
     def _update_beta(self) -> None:
         max_bw, old_max_bw = self.max_bw, self.old_max_bw
         self.old_max_bw = max_bw
         self.max_bw = 0.0
-        if not (4 * old_max_bw <= 5 * max_bw <= 6 * old_max_bw):
-            self.beta = self.BETA_MIN
+        if not bool(htcp_bw_stable(max_bw, old_max_bw)):
+            self.beta = HTCP_BETA_MIN
             self.modeswitch = False
             return
         if self.modeswitch and self.rtt_max_s > 0 and math.isfinite(self.rtt_min_s):
-            self.beta = min(self.BETA_MAX, max(self.BETA_MIN, self.rtt_min_s / self.rtt_max_s))
+            self.beta = float(htcp_adaptive_beta(self.rtt_min_s, self.rtt_max_s))
         else:
-            self.beta = self.BETA_MIN
+            self.beta = HTCP_BETA_MIN
             self.modeswitch = True
 
     def round_update(self, info: RoundInfo) -> None:
@@ -195,7 +294,7 @@ class FluidHTcp(FluidCca):
         self.max_bw = max(self.max_bw, info.delivery_rate_pps)
         if info.lost > 0:
             self._update_beta()
-            self.ssthresh = max(self.cwnd * self.beta, MIN_CWND)
+            self.ssthresh = float(aimd_backoff(self.cwnd, self.beta))
             self.cwnd = self.ssthresh
             self.last_congestion_s = info.now_s
             self.rtt_min_s = float("inf")
@@ -228,9 +327,9 @@ class FluidBbrV1(FluidCca):
 
     name = "bbrv1"
     rate_based = True
-    HIGH_GAIN = 2.885
-    CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
-    CWND_GAIN = 2.0
+    HIGH_GAIN = BBR_HIGH_GAIN
+    CYCLE = BBR_CYCLE
+    CWND_GAIN = BBR_CWND_GAIN
     PROBE_RTT_INTERVAL_S = 10.0
     PROBE_RTT_DURATION_S = 0.2
 
@@ -246,7 +345,7 @@ class FluidBbrV1(FluidCca):
         self.cycle_stamp_s = 0.0
         self.probe_rtt_until_s: Optional[float] = None
         self.pacing_pps = None  # engine treats None as "unmodelled yet"
-        self.rate_floor_pps = INIT_CWND / 0.1
+        self.rate_floor_pps = RATE_FLOOR_PPS
 
     def _bdp(self) -> float:
         bw = self.bw_filter.get()
@@ -300,9 +399,9 @@ class FluidBbrV1(FluidCca):
 
         # Outputs.
         if self.state == "STARTUP":
-            gain, cap_gain = self.HIGH_GAIN, self.HIGH_GAIN
+            gain, cap_gain = BBR_HIGH_GAIN, BBR_HIGH_GAIN
         elif self.state == "DRAIN":
-            gain, cap_gain = 1.0 / self.HIGH_GAIN, self.HIGH_GAIN
+            gain, cap_gain = BBR_DRAIN_GAIN, BBR_HIGH_GAIN
         elif self.state == "PROBE_RTT":
             gain, cap_gain = 1.0, 0.5
         else:
@@ -332,9 +431,9 @@ class FluidBbrV2(FluidBbrV1):
     """BBRv2 rules: inflight_hi with the 2% loss threshold + probe cycle."""
 
     name = "bbrv2"
-    LOSS_THRESH = 0.02
-    BETA = 0.7
-    HEADROOM = 0.15
+    LOSS_THRESH = BBR2_LOSS_THRESH
+    BETA = BBR2_BETA
+    HEADROOM = BBR2_HEADROOM
     PROBE_RTT_INTERVAL_S = 5.0
     CRUISE_S = 2.5
 
@@ -402,9 +501,9 @@ class FluidBbrV2(FluidBbrV1):
                 self.phase_stamp_s = now
 
         if self.state == "STARTUP":
-            gain, cap_gain = 2.77, 2.0
+            gain, cap_gain = BBR2_STARTUP_GAIN, 2.0
         elif self.state == "DRAIN":
-            gain, cap_gain = 1.0 / 2.77, 2.0
+            gain, cap_gain = BBR2_DRAIN_GAIN, 2.0
         elif self.state == "PROBE_RTT":
             gain, cap_gain = 1.0, 0.5
         elif self.phase == "DOWN":

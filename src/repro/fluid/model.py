@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.fluid.aqm_rules import FluidAqm
 from repro.fluid.cca_rules import FluidCca, RoundInfo
+from repro.fluid.noise import UniformTable, poisson_from_uniform
 
 DEFAULT_STEPS_PER_RTT = 5
 
@@ -56,11 +57,20 @@ class FluidSimulation:
         # With an arrival RNG, per-step arrivals are Poisson-sampled around
         # the fluid rate in bursts of ``burst_pkts`` (ACK-clocked TCP sends
         # back-to-back runs) — the packet-level burstiness that makes small
-        # buffers overflow (mean-field arrivals never would).
+        # buffers overflow (mean-field arrivals never would).  The variates
+        # come from a positionally consumed uniform table through the
+        # shared inverse-CDF transform, so the batched backend reproduces
+        # them bit-for-bit (see repro.fluid.noise).
         self.arrival_rng = arrival_rng
         if burst_pkts < 1:
             raise ValueError(f"burst_pkts must be >= 1, got {burst_pkts}")
         self.burst_pkts = burst_pkts
+        self._arrival_noise = (
+            UniformTable(arrival_rng, self.n) if arrival_rng is not None else None
+        )
+        # Measurement-window bookkeeping (begin_measurement()).
+        self._measure_start_s: Optional[float] = None
+        self._measure_delivered: Optional[np.ndarray] = None
 
         starts = np.asarray(start_times_s if start_times_s is not None else np.zeros(self.n), dtype=float)
         if len(starts) != self.n:
@@ -100,9 +110,10 @@ class FluidSimulation:
         rtt_eff = self.base_rtt + self.aqm.flow_delay_s()
         x = self._rates(rtt_eff, started)
         arrivals = x * self.dt
-        if self.arrival_rng is not None:
+        if self._arrival_noise is not None:
             b = self.burst_pkts
-            arrivals = self.arrival_rng.poisson(arrivals / b).astype(float) * b
+            u = self._arrival_noise.next_row()
+            arrivals = poisson_from_uniform(arrivals / b, u) * b
         delivered, dropped = self.aqm.step(arrivals, self.dt, self.now)
 
         self.delivered_total += delivered
@@ -143,6 +154,44 @@ class FluidSimulation:
 
     # -- outputs -----------------------------------------------------------------
 
+    def begin_measurement(self) -> None:
+        """Mark the start of the measurement window (end of warmup).
+
+        Delivery before this point — slow-start transients, staggered
+        flow starts — is excluded from :attr:`measured_delivered` and
+        :meth:`measured_throughput_pps`, matching the post-warmup
+        convention the packet engine and ``analysis`` use.
+        """
+        self._measure_start_s = self.now
+        self._measure_delivered = self.delivered_total.copy()
+
+    @property
+    def measured_delivered(self) -> np.ndarray:
+        """Per-flow segments delivered since :meth:`begin_measurement`."""
+        if self._measure_delivered is None:
+            return self.delivered_total.copy()
+        return self.delivered_total - self._measure_delivered
+
+    def measured_throughput_pps(self) -> np.ndarray:
+        """Per-flow delivery rate (segments/s) over the measurement window.
+
+        Unlike :meth:`throughput_pps`, this excludes everything before
+        :meth:`begin_measurement` — both the delivered packets and the
+        elapsed time — so warmup cannot dilute (or inflate) the rate.
+        """
+        start = self._measure_start_s if self._measure_start_s is not None else 0.0
+        window = self.now - start
+        if window <= 0:
+            return np.zeros(self.n)
+        return self.measured_delivered / window
+
     def throughput_pps(self, duration_s: float) -> np.ndarray:
-        """Per-flow mean delivery rate over ``duration_s`` (segments/s)."""
+        """Per-flow delivery rate (segments/s) averaged over ``duration_s``.
+
+        This divides the run's *total* delivery by the caller-supplied
+        duration — if the run included a warmup, warmup traffic is
+        counted and the result is NOT the steady-state rate.  Use
+        :meth:`begin_measurement` + :meth:`measured_throughput_pps` for
+        the post-warmup convention.
+        """
         return self.delivered_total / duration_s

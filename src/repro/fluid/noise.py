@@ -1,0 +1,262 @@
+"""Shared stochastic machinery for the scalar and batched fluid paths.
+
+Both fluid backends draw their packet-level randomness — Poisson burst
+arrivals and the RED/PIE drop lotteries — from **positionally consumed
+uniform tables**: each simulation step consumes exactly one uniform per
+flow from a per-config stream, whether or not the value ends up used.
+The uniform is turned into a Poisson variate by the inverse-CDF
+transform in :func:`poisson_from_uniform`.
+
+This layout is what makes the batched backend bit-for-bit reproducible
+against the scalar oracle *and* independent of batch composition: a
+config's uniform sequence depends only on its own seed and the step
+index, never on which other configs share the batch, how wide the batch
+is, or how the table is chunked in memory.
+
+Bitwise ground rules (verified on this numpy build, enforced by the
+cross-validation suite):
+
+- ``+ - * /`` and comparisons are IEEE-exact and therefore identical
+  between python floats and numpy element-wise ops;
+- ``np.exp/np.log/np.sqrt/np.cbrt/np.power`` are positionally
+  consistent between scalar and array calls;
+- python ``**`` is NOT bit-identical to numpy array ``**`` — neither
+  path may use it where cross-path equality matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Above this rate the inverse-CDF counting loop is replaced by the
+#: normal approximation (both paths, so they stay bit-identical).  Real
+#: per-flow-per-step burst rates sit around 1-10; only the unmodelled
+#: BBR cwnd-doubling transient ever exceeds this.
+LAM_SWITCH = 32.0
+
+#: Hard cap on the counting loop, shared by both implementations so a
+#: pathological ``u`` ~ 1 resolves to the same value everywhere.
+MAX_K = 1024.0
+
+_SMALL_N = 16
+
+# Acklam's rational approximation of the inverse normal CDF.
+_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+      1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+      6.680131188771972e+01, -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+      -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+      3.754408661907416e+00)
+_P_LOW = 0.02425
+
+
+def norm_ppf(u: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam), numpy ops only."""
+    u = np.asarray(u, dtype=np.float64)
+    q = u - 0.5
+    r = q * q
+    central = (
+        (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5]) * q
+        / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ul = np.where(u > 0.0, u, 1.0)
+        ql = np.sqrt(-2.0 * np.log(ul))
+        low = (
+            ((((_C[0] * ql + _C[1]) * ql + _C[2]) * ql + _C[3]) * ql + _C[4]) * ql + _C[5]
+        ) / ((((_D[0] * ql + _D[1]) * ql + _D[2]) * ql + _D[3]) * ql + 1.0)
+        uh = 1.0 - u
+        uhg = np.where(uh > 0.0, uh, 1.0)
+        qh = np.sqrt(-2.0 * np.log(uhg))
+        high = -(
+            ((((_C[0] * qh + _C[1]) * qh + _C[2]) * qh + _C[3]) * qh + _C[4]) * qh + _C[5]
+        ) / ((((_D[0] * qh + _D[1]) * qh + _D[2]) * qh + _D[3]) * qh + 1.0)
+    out = np.where(u < _P_LOW, low, np.where(u > 1.0 - _P_LOW, high, central))
+    return np.where(u <= 0.0, -np.inf, out)
+
+
+def _count_loop(lam: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Vectorized inverse-CDF Poisson for ``lam <= LAM_SWITCH``."""
+    p = np.exp(-lam)
+    cum = p.copy()
+    k = np.zeros(lam.shape)
+    kk = 0.0
+    # Dense phase: full-array updates while most lanes are still counting.
+    while kk < MAX_K:
+        active = u >= cum
+        n_act = np.count_nonzero(active)
+        if n_act == 0:
+            return k
+        if n_act * 4 < active.size:
+            break
+        k += active
+        kk += 1.0
+        p *= lam / kk
+        cum += p
+    # Sparse tail: most lanes converged; finish the stragglers compacted.
+    # Each lane sees the identical p/cum/k update sequence it would in the
+    # dense loop, so results stay bit-for-bit the same.
+    kf = k.ravel()
+    idx = np.nonzero((u >= cum).ravel())[0]
+    if idx.size == 0:
+        return k
+    lam_a = lam.ravel()[idx]
+    u_a = u.ravel()[idx]
+    p_a = p.ravel()[idx]
+    cum_a = cum.ravel()[idx]
+    k_a = kf[idx]
+    while idx.size and kk < MAX_K:
+        k_a += 1.0
+        kk += 1.0
+        p_a *= lam_a / kk
+        cum_a += p_a
+        still = u_a >= cum_a
+        if not still.all():
+            done = ~still
+            kf[idx[done]] = k_a[done]
+            idx = idx[still]
+            lam_a = lam_a[still]
+            u_a = u_a[still]
+            p_a = p_a[still]
+            cum_a = cum_a[still]
+            k_a = k_a[still]
+    if idx.size:
+        kf[idx] = k_a
+    return k
+
+
+def _poisson_big(lam: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Normal approximation for the rare huge-rate lanes."""
+    z = norm_ppf(u)
+    return np.maximum(0.0, np.floor(lam + np.sqrt(lam) * z))
+
+
+def _poisson_vector(lam: np.ndarray, u: np.ndarray) -> np.ndarray:
+    lam_f = lam.ravel()
+    u_f = u.ravel()
+    bi = np.nonzero(lam_f > LAM_SWITCH)[0]
+    if bi.size:
+        # Big lanes are rare (BBR slow-start transients).  Run the count
+        # loop on the full array with those lanes zeroed — lam == 0 makes
+        # them retire on the first compare, and per-lane sequences do not
+        # depend on array composition — then overwrite them with the
+        # normal approximation.  This avoids gathering the ~full-size
+        # small-lane complement through a boolean mask every step.
+        lam_z = lam_f.copy()
+        lam_z[bi] = 0.0
+        out = _count_loop(lam_z, u_f)
+        out[bi] = _poisson_big(lam_f[bi], u_f[bi])
+        return out.reshape(lam.shape)
+    return _count_loop(lam_f, u_f).reshape(lam.shape)
+
+
+def _poisson_small(lam: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Per-element python loop — bit-identical to :func:`_poisson_vector`.
+
+    The loop body uses only exact IEEE ops (``* / + >=``); the two
+    transcendental seeds (``exp``, and ``norm_ppf`` for big lanes) go
+    through the same numpy kernels the vector path uses.
+    """
+    p0 = np.exp(-lam)
+    fl, fu, fp = lam.ravel(), u.ravel(), p0.ravel()
+    out = np.empty(lam.size)
+    for i in range(lam.size):
+        l = float(fl[i])
+        if l > LAM_SWITCH:
+            out[i] = float(_poisson_big(fl[i : i + 1], fu[i : i + 1])[0])
+            continue
+        uu = float(fu[i])
+        p = float(fp[i])
+        cum = p
+        k = 0.0
+        while uu >= cum and k < MAX_K:
+            k += 1.0
+            p *= l / k
+            cum += p
+        out[i] = k
+    return out.reshape(lam.shape)
+
+
+def poisson_from_uniform(lam, u) -> np.ndarray:
+    """Map uniforms in [0, 1) to Poisson(lam) variates, elementwise.
+
+    Exact inverse-CDF for ``lam <= LAM_SWITCH``; a floor-of-normal
+    approximation above (consistently in both fluid paths, which is
+    what matters — the transform defines the model).  ``lam == 0``
+    maps to 0 without consuming anything but the positional uniform.
+    """
+    lam = np.asarray(lam, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    if lam.size <= _SMALL_N:
+        return _poisson_small(lam, u)
+    return _poisson_vector(lam, u)
+
+
+class UniformTable:
+    """Chunked per-step uniform rows for one config.
+
+    ``next_row()`` returns the ``(width,)`` row for the current step and
+    advances.  Values at (step, flow) depend only on the generator's
+    seed — the chunk size is a pure performance knob: refilling in
+    blocks of ``chunk`` steps yields the same row-major sequence as any
+    other chunking.
+    """
+
+    def __init__(self, rng: np.random.Generator, width: int, chunk_steps: int = 512):
+        if width <= 0 or chunk_steps <= 0:
+            raise ValueError("width and chunk_steps must be positive")
+        self.rng = rng
+        self.width = width
+        self.chunk = chunk_steps
+        self._buf: Optional[np.ndarray] = None
+        self._i = chunk_steps
+
+    def next_row(self) -> np.ndarray:
+        """The next step's ``(width,)`` row of uniforms, in table order."""
+        if self._i >= self.chunk:
+            self._buf = self.rng.random((self.chunk, self.width))
+            self._i = 0
+        row = self._buf[self._i]
+        self._i += 1
+        return row
+
+
+class BatchUniformTable:
+    """Stacked uniform tables for a shard of configs.
+
+    Lane ``c`` of the ``(n_configs, width)`` block returned by
+    :meth:`next_block` is filled from config ``c``'s own generator over
+    its own real flow count — bitwise the same rows
+    :class:`UniformTable` would hand the scalar path.  Padded columns
+    stay 0.0 and are only ever consumed against ``lam == 0``.
+    """
+
+    def __init__(
+        self,
+        rngs: Sequence[np.random.Generator],
+        widths: Sequence[int],
+        pad_width: int,
+        chunk_steps: int = 128,
+    ):
+        self.rngs: List[np.random.Generator] = list(rngs)
+        self.widths = [int(w) for w in widths]
+        if any(w <= 0 or w > pad_width for w in self.widths):
+            raise ValueError("flow widths must be in [1, pad_width]")
+        self.pad_width = int(pad_width)
+        self.chunk = int(chunk_steps)
+        self._buf = np.zeros((len(self.rngs), self.chunk, self.pad_width))
+        self._i = self.chunk
+
+    def next_block(self) -> np.ndarray:
+        """The next step's ``(n_configs, pad_width)`` block of uniforms."""
+        if self._i >= self.chunk:
+            for c, (rng, w) in enumerate(zip(self.rngs, self.widths)):
+                self._buf[c, :, :w] = rng.random((self.chunk, w))
+            self._i = 0
+        block = self._buf[:, self._i, :]
+        self._i += 1
+        return block

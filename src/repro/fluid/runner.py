@@ -2,18 +2,23 @@
 
 Produces the same :class:`~repro.metrics.summary.ExperimentResult` record
 as the packet runner, so the analysis layer is engine-agnostic.
+
+The geometry/flow/result helpers here are shared with the batched
+backend (:mod:`repro.fluid.batched`), which must assemble bit-identical
+inputs and outputs for every config in a shard.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.fluid.aqm_rules import make_fluid_aqm
-from repro.fluid.cca_rules import make_fluid_cca
+from repro.fluid.cca_rules import FLUID_CCAS, FluidCca, make_fluid_cca
 from repro.fluid.model import FluidSimulation
 from repro.metrics.fairness import jain_index
 from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
@@ -23,60 +28,90 @@ from repro.testbed.sites import PAPER_RTT_NS
 from repro.units import bdp_bytes
 
 
-def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one configuration on the fluid engine."""
-    wall_start = time.perf_counter()
-    rngs = RngStreams(config.seed)
+@dataclass(frozen=True)
+class FluidGeometry:
+    """Bottleneck numbers both fluid backends derive from a config."""
 
-    # Geometry (same numbers the dumbbell builder computes).
+    base_rtt_s: float
+    capacity_bps: float
+    capacity_pps: float
+    limit_pkts: float
+    n_flows: int
+
+    @property
+    def node_of(self) -> np.ndarray:
+        return np.repeat([0, 1], self.n_flows // 2)
+
+
+def fluid_geometry(config: ExperimentConfig) -> FluidGeometry:
+    """Compute the bottleneck geometry (same numbers the dumbbell builder uses)."""
     rtt_ns = int(PAPER_RTT_NS * config.delay_multiplier)
-    base_rtt_s = rtt_ns / 1e9
     capacity_bps = config.bottleneck_bw_bps / config.scale
-    capacity_pps = capacity_bps / (8 * config.mss_bytes)
     bdp_b = bdp_bytes(capacity_bps, rtt_ns)
-    limit_pkts = max(1.0, config.buffer_bdp * bdp_b / config.mss_bytes)
-
-    plan = config.plan
-    per_node = plan.flows_per_node
-    n_flows = 2 * per_node
-    node_of = np.repeat([0, 1], per_node)
-
-    cca_rng = rngs.stream("cca")
-    flows = [
-        make_fluid_cca(config.cca_pair[node_of[i]], cca_rng) for i in range(n_flows)
-    ]
-    start_rng = rngs.stream("flow-start")
-    starts = start_rng.uniform(0.0, 0.1, size=n_flows)
-
-    aqm = make_fluid_aqm(
-        config.aqm,
-        limit_pkts,
-        capacity_pps,
-        n_flows,
-        rng=rngs.stream("aqm"),
-        **config.aqm_params,
+    return FluidGeometry(
+        base_rtt_s=rtt_ns / 1e9,
+        capacity_bps=capacity_bps,
+        capacity_pps=capacity_bps / (8 * config.mss_bytes),
+        limit_pkts=max(1.0, config.buffer_bdp * bdp_b / config.mss_bytes),
+        n_flows=2 * config.plan.flows_per_node,
     )
-    sim = FluidSimulation(
-        capacity_pps=capacity_pps,
-        base_rtt_s=base_rtt_s,
-        aqm=aqm,
-        flows=flows,
-        start_times_s=starts,
-        arrival_rng=rngs.stream("arrivals"),
-    )
-    if config.warmup_s > 0:
-        sim.run(config.warmup_s)
-        warmup_delivered = sim.delivered_total.copy()
-        sim.run(config.duration_s - config.warmup_s)
-    else:
-        warmup_delivered = np.zeros(n_flows)
-        sim.run(config.duration_s)
 
+
+def flow_cca_names(config: ExperimentConfig, n_flows: int) -> List[str]:
+    """Per-flow CCA name (first half node 1, second half node 2)."""
+    per_node = n_flows // 2
+    return [config.cca_pair[0]] * per_node + [config.cca_pair[1]] * per_node
+
+
+def make_fluid_flows(config: ExperimentConfig, rngs: RngStreams, n_flows: int) -> List[FluidCca]:
+    """Instantiate per-flow rule objects with per-flow RNG streams.
+
+    Only rate-based (BBR-family) rules draw randomness, and each gets
+    its **own** named stream — so a flow's draw sequence depends only on
+    the config seed and its flow index, never on what other flows did.
+    That is what lets the batched backend interleave round updates from
+    many configs and still reproduce the scalar oracle bit-for-bit.
+    """
+    from repro.cca.registry import canonical_cca_name
+
+    flows: List[FluidCca] = []
+    for i, name in enumerate(flow_cca_names(config, n_flows)):
+        cls = FLUID_CCAS[canonical_cca_name(name)]
+        rng = rngs.stream(f"cca-flow{i}") if cls.rate_based else None
+        flows.append(make_fluid_cca(name, rng))
+    return flows
+
+
+def flow_start_times(rngs: RngStreams, n_flows: int) -> np.ndarray:
+    """Staggered flow start times from the config's flow-start stream."""
+    return rngs.stream("flow-start").uniform(0.0, 0.1, size=n_flows)
+
+
+def build_fluid_result(
+    config: ExperimentConfig,
+    geom: FluidGeometry,
+    *,
+    delivered_window: np.ndarray,
+    delivered_total: np.ndarray,
+    dropped_total: np.ndarray,
+    aqm_dropped: float,
+    engine: str,
+    wallclock_s: float,
+) -> ExperimentResult:
+    """Assemble the ExperimentResult record (shared by both fluid backends)."""
     measured_s = config.duration_s - config.warmup_s
-    delivered_window = sim.delivered_total - warmup_delivered
     thr_pps = delivered_window / measured_s
     thr_bps = thr_pps * 8 * config.mss_bytes
-    retx = sim.dropped_total  # every dropped segment is retransmitted once
+    retx = dropped_total  # every dropped segment is retransmitted once
+    node_of = geom.node_of
+
+    # List-form per-flow fields (identical values; avoids per-element
+    # numpy scalar indexing, which dominates wide-shard result assembly).
+    node_list = node_of.tolist()
+    thr_list = thr_bps.tolist()
+    bytes_list = (delivered_window * config.mss_bytes).tolist()
+    seg_list = (delivered_total + dropped_total).tolist()
+    retx_list = retx.tolist()
 
     flow_stats: List[FlowStats] = []
     senders: List[SenderStats] = []
@@ -84,16 +119,18 @@ def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
         mask = node_of == node_idx
         node_name = f"client{node_idx + 1}"
         cca_name = config.cca_pair[node_idx]
-        for i in np.nonzero(mask)[0]:
+        for i, nd in enumerate(node_list):
+            if nd != node_idx:
+                continue
             flow_stats.append(
                 FlowStats(
-                    flow_id=int(i),
+                    flow_id=i,
                     sender_node=node_name,
                     cca=cca_name,
-                    throughput_bps=float(thr_bps[i]),
-                    bytes_received=int(delivered_window[i] * config.mss_bytes),
-                    segments_sent=int(sim.delivered_total[i] + sim.dropped_total[i]),
-                    retransmits=int(round(retx[i])),
+                    throughput_bps=thr_list[i],
+                    bytes_received=int(bytes_list[i]),
+                    segments_sent=int(seg_list[i]),
+                    retransmits=int(round(retx_list[i])),
                     rto_count=0,
                     fast_recoveries=0,
                 )
@@ -115,13 +152,57 @@ def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
         senders=senders,
         flows=flow_stats,
         jain_index=jain_index(throughputs),
-        link_utilization=link_utilization(throughputs, capacity_bps),
+        link_utilization=link_utilization(throughputs, geom.capacity_bps),
         total_retransmits=sum(s.retransmits for s in senders),
         total_throughput_bps=sum(throughputs),
-        bottleneck_drops=int(round(aqm.total_dropped)),
+        bottleneck_drops=int(round(aqm_dropped)),
         duration_s=measured_s,
-        engine="fluid",
+        engine=engine,
         events_processed=0,
-        wallclock_s=time.perf_counter() - wall_start,
+        wallclock_s=wallclock_s,
         extra=extra,
+    )
+
+
+def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one configuration on the (scalar) fluid engine."""
+    wall_start = time.perf_counter()
+    rngs = RngStreams(config.seed)
+    geom = fluid_geometry(config)
+
+    flows = make_fluid_flows(config, rngs, geom.n_flows)
+    starts = flow_start_times(rngs, geom.n_flows)
+    aqm = make_fluid_aqm(
+        config.aqm,
+        geom.limit_pkts,
+        geom.capacity_pps,
+        geom.n_flows,
+        rng=rngs.stream("aqm"),
+        **config.aqm_params,
+    )
+    sim = FluidSimulation(
+        capacity_pps=geom.capacity_pps,
+        base_rtt_s=geom.base_rtt_s,
+        aqm=aqm,
+        flows=flows,
+        start_times_s=starts,
+        arrival_rng=rngs.stream("arrivals"),
+    )
+    if config.warmup_s > 0:
+        sim.run(config.warmup_s)
+        sim.begin_measurement()
+        sim.run(config.duration_s - config.warmup_s)
+    else:
+        sim.begin_measurement()
+        sim.run(config.duration_s)
+
+    return build_fluid_result(
+        config,
+        geom,
+        delivered_window=sim.measured_delivered,
+        delivered_total=sim.delivered_total,
+        dropped_total=sim.dropped_total,
+        aqm_dropped=aqm.total_dropped,
+        engine="fluid",
+        wallclock_s=time.perf_counter() - wall_start,
     )

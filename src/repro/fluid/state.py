@@ -1,0 +1,102 @@
+"""Shard planning and state-layout constants for the batched fluid backend.
+
+A *shard* is a set of configs the batched integrator can advance in
+lock-step: they must share the integration geometry (base RTT and
+therefore dt, duration, warmup) and the AQM family (so one vectorized
+drop law covers the whole block).  Everything else — bandwidth tier,
+buffer size, CCA pair, seed, RED knobs — varies per config and lives in
+per-config arrays.
+
+Two width policies:
+
+- ``pad=False`` (default): flow count is part of the shard key, every
+  row has the same width, and results are **bit-for-bit** identical to
+  the scalar oracle.
+- ``pad=True``: configs with different flow counts share a shard; rows
+  are padded to the widest config and masked.  Padding perturbs numpy's
+  pairwise row-sum grouping once a row exceeds ~8 elements, so this
+  mode is held to a documented tolerance instead of exact equality
+  (see docs/FLUID.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+
+#: Integer lane codes for the vectorized CCA kernels.
+CCA_CODE: Dict[str, int] = {
+    "reno": 0,
+    "cubic": 1,
+    "htcp": 2,
+    "bbrv1": 3,
+    "bbrv2": 4,
+}
+
+#: Codes whose kernels pace (BBR family) and own a per-lane RNG stream.
+RATE_BASED_CODES = frozenset({CCA_CODE["bbrv1"], CCA_CODE["bbrv2"]})
+
+
+def canonical_aqm_family(name: str) -> str:
+    """AQM family implementing ``name`` (codel is served by fq_codel)."""
+    key = name.lower()
+    return "fq_codel" if key == "codel" else key
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """Lock-step compatibility key: configs in one shard share these."""
+
+    aqm_family: str
+    n_flows: int  # 0 in pad mode (width handled by padding)
+    base_rtt_ns: int
+    duration_s: float
+    warmup_s: float
+
+
+def shard_key(config: ExperimentConfig, *, pad: bool = False) -> ShardKey:
+    """Compute the lock-step compatibility key for one config."""
+    from repro.testbed.sites import PAPER_RTT_NS
+
+    return ShardKey(
+        aqm_family=canonical_aqm_family(config.aqm),
+        n_flows=0 if pad else 2 * config.plan.flows_per_node,
+        base_rtt_ns=int(PAPER_RTT_NS * config.delay_multiplier),
+        duration_s=float(config.duration_s),
+        warmup_s=float(config.warmup_s),
+    )
+
+
+def plan_shards(
+    configs: Sequence[ExperimentConfig],
+    *,
+    pad: bool = False,
+    max_shard: int = 0,
+) -> List[List[int]]:
+    """Group config indices into lock-step shards (insertion-ordered).
+
+    ``max_shard > 0`` additionally splits each group into chunks of at
+    most that many configs — a memory knob only: per-config results do
+    not depend on shard composition.
+    """
+    groups: Dict[ShardKey, List[int]] = {}
+    for i, config in enumerate(configs):
+        groups.setdefault(shard_key(config, pad=pad), []).append(i)
+    shards: List[List[int]] = []
+    for members in groups.values():
+        if max_shard and len(members) > max_shard:
+            for lo in range(0, len(members), max_shard):
+                shards.append(members[lo : lo + max_shard])
+        else:
+            shards.append(members)
+    return shards
+
+
+def shard_widths(
+    configs: Sequence[ExperimentConfig], shard: Sequence[int]
+) -> Tuple[List[int], int]:
+    """Per-config flow counts and the padded row width for one shard."""
+    widths = [2 * configs[i].plan.flows_per_node for i in shard]
+    return widths, max(widths)

@@ -1,0 +1,88 @@
+"""Cross-validation: the batched fluid backend against the scalar oracle.
+
+The batched integrator (:mod:`repro.fluid.batched`) is a performance
+backend, not a second model: in unpadded mode it must reproduce the
+scalar :class:`repro.fluid.model.FluidSimulation` results *bit for bit* —
+every float in the result dict, not approximately.  These tests sweep
+every CCA x AQM pair through both paths and compare the full normalized
+``ExperimentResult`` dicts with ``==``; any divergence (a different drop
+round, one ulp in a throughput) is a failure.
+
+Normalization removes only fields that legitimately differ between the
+two paths: ``wallclock_s`` (host timing) and the ``engine`` tag (the
+whole point is running the same config on both engines).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.fluid.batched import run_fluid_batch, run_fluid_single
+from repro.fluid.runner import run_fluid_experiment
+
+CCAS = ("reno", "cubic", "htcp", "bbrv1", "bbrv2")
+AQMS = ("fifo", "red", "fq_codel", "pie")
+
+
+def _config(cca: str, aqm: str, **overrides) -> ExperimentConfig:
+    params = dict(
+        cca_pair=(cca, "cubic"),
+        aqm=aqm,
+        buffer_bdp=1.0,
+        bottleneck_bw_bps=100e6,
+        duration_s=8.0,
+        warmup_s=2.0,
+        mss_bytes=8900,
+        seed=1234,
+        flows_per_node=3,
+        engine="fluid_batched",
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _norm(result) -> dict:
+    d = result.to_dict()
+    d.pop("wallclock_s", None)
+    d.pop("engine", None)
+    d["config"].pop("engine", None)
+    return d
+
+
+@pytest.mark.parametrize("aqm", AQMS)
+def test_batched_matches_scalar_oracle(aqm):
+    """One shard of all five CCAs vs the scalar oracle, bitwise, per AQM."""
+    configs = [_config(cca, aqm) for cca in CCAS]
+    batched = run_fluid_batch(configs)
+    assert len(batched) == len(configs)
+    for config, batch_result in zip(configs, batched):
+        scalar = run_fluid_experiment(config)
+        assert batch_result.engine == "fluid_batched"
+        assert _norm(batch_result) == _norm(scalar), (
+            f"batched != scalar for {config.cca_pair} over {aqm}"
+        )
+
+
+def test_whole_grid_single_batch():
+    """All 20 CCA x AQM cells through ONE run_fluid_batch call.
+
+    Exercises the shard planner (four shards, one per AQM family) and the
+    result re-ordering: each member must be bit-identical to the same
+    config run as a one-config shard.  Together with the per-AQM oracle
+    tests above this closes the loop grid -> shard -> single -> scalar.
+    """
+    configs = [_config(cca, aqm) for cca in CCAS for aqm in AQMS]
+    batched = run_fluid_batch(configs)
+    assert len(batched) == len(configs)
+    for config, batch_result in zip(configs, batched):
+        single = run_fluid_single(config)
+        assert _norm(batch_result) == _norm(single), (
+            f"grid batch != single shard for {config.cca_pair} over {config.aqm}"
+        )
+
+
+def test_batched_result_is_tagged():
+    """The engine tag distinguishes the backend; everything else matches."""
+    config = _config("cubic", "fifo", duration_s=4.0, warmup_s=1.0)
+    result = run_fluid_single(config)
+    assert result.engine == "fluid_batched"
+    assert result.config["engine"] == "fluid_batched"

@@ -85,3 +85,30 @@ def test_rounds_advance_with_rtt():
     sim.run(1.0)
     # ~20 rounds in 1 s at 50 ms RTT (fewer with queueing).
     assert 5 <= sim.flows[0].cwnd  # slow start ran several rounds
+
+
+def test_measurement_window_excludes_warmup():
+    """measured_throughput_pps counts only post-begin_measurement delivery;
+    throughput_pps over the full duration dilutes it with warmup."""
+    sim = _sim(n=2)
+    sim.run(5.0)
+    warmup_delivered = sim.delivered_total.copy()
+    sim.begin_measurement()
+    t0 = sim.now
+    assert np.array_equal(sim.measured_delivered, np.zeros(2))
+    sim.run(10.0)
+
+    window = sim.measured_delivered
+    assert np.array_equal(window, sim.delivered_total - warmup_delivered)
+    assert np.array_equal(sim.measured_throughput_pps(), window / (sim.now - t0))
+    # Slow start means the first 5 s deliver less than steady state, so
+    # full-duration averaging understates the measured-window rate.
+    assert sim.throughput_pps(15.0).sum() < sim.measured_throughput_pps().sum()
+
+
+def test_measurement_window_defaults_to_whole_run():
+    """Without begin_measurement, measured_* falls back to run totals."""
+    sim = _sim(n=1)
+    sim.run(3.0)
+    assert np.array_equal(sim.measured_delivered, sim.delivered_total)
+    assert np.array_equal(sim.measured_throughput_pps(), sim.delivered_total / sim.now)

@@ -126,6 +126,22 @@ GOLDEN_CONFIGS = {
     "fluid_fifo": dict(
         cca_pair=("cubic", "cubic"), aqm="fifo", engine="fluid",
         bottleneck_bw_bps=500e6, duration_s=10.0),
+    # Batched fluid backend, one fixture per AQM family.  These must stay
+    # bit-identical to the scalar fluid engine on the same config (the
+    # cross-validation suite asserts it pairwise; the goldens pin the
+    # absolute values so both engines can't drift together unnoticed).
+    "batched_fifo": dict(
+        cca_pair=("cubic", "cubic"), aqm="fifo", engine="fluid_batched",
+        bottleneck_bw_bps=500e6, duration_s=10.0),
+    "batched_red": dict(
+        cca_pair=("bbrv1", "cubic"), aqm="red", engine="fluid_batched",
+        bottleneck_bw_bps=500e6, duration_s=10.0),
+    "batched_fq_codel": dict(
+        cca_pair=("bbrv2", "cubic"), aqm="fq_codel", engine="fluid_batched",
+        bottleneck_bw_bps=500e6, duration_s=10.0),
+    "batched_pie": dict(
+        cca_pair=("htcp", "reno"), aqm="pie", engine="fluid_batched",
+        bottleneck_bw_bps=500e6, duration_s=10.0),
     # Pinned fault scenarios: the full result dict — including the fault
     # audit trail in extra["faults"] — must stay bit-identical, so any
     # change to fault compilation, firing order, or the drain-on-down

@@ -1,9 +1,14 @@
-"""Cross-validation: the fluid engine against the packet engine.
+"""Cross-validation: the three engines against each other.
 
 The fluid engine exists to cover the paper's high-bandwidth tiers, so on
-the low tier (where the packet engine is ground truth) both engines must
-agree on the *qualitative* outcomes: who wins, roughly by how much, and
-the utilization/fairness regimes.
+the low tier (where the packet engine is ground truth) both fluid paths
+must agree with it on the *qualitative* outcomes: who wins, roughly by
+how much, and the utilization/fairness regimes.  The batched fluid
+backend is held to a much stronger bar against the scalar fluid engine —
+**bit-for-bit** equality of the full result (it is a vectorization of
+the same integrator, not a second model; see
+``tests/fluid/test_batched_vs_scalar.py`` for the exhaustive CCA x AQM
+sweep).
 """
 
 import pytest
@@ -12,10 +17,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.units import mbps
 
+ENGINES = ("packet", "fluid", "fluid_batched")
 
-def _pair(pair, aqm, buffer_bdp, *, duration=40.0, seed=31):
+
+def _results(pair, aqm, buffer_bdp, *, duration=40.0, seed=31):
     out = {}
-    for engine in ("packet", "fluid"):
+    for engine in ENGINES:
         out[engine] = run_experiment(
             ExperimentConfig(
                 cca_pair=pair, aqm=aqm, buffer_bdp=buffer_bdp,
@@ -23,40 +30,53 @@ def _pair(pair, aqm, buffer_bdp, *, duration=40.0, seed=31):
                 mss_bytes=1500, flows_per_node=1, seed=seed, engine=engine,
             )
         )
-    return out["packet"], out["fluid"]
+    _assert_fluid_paths_identical(out["fluid"], out["fluid_batched"])
+    return out
+
+
+def _assert_fluid_paths_identical(fluid, batched):
+    """Scalar vs batched fluid: the full result dict, exactly."""
+    a, b = fluid.to_dict(), batched.to_dict()
+    for d in (a, b):
+        d.pop("wallclock_s", None)
+        d.pop("engine", None)
+        d["config"].pop("engine", None)
+    assert a == b, "batched fluid backend diverged from the scalar oracle"
+
+
+def _pair(pair, aqm, buffer_bdp, **kw):
+    out = _results(pair, aqm, buffer_bdp, **kw)
+    return out["packet"], out["fluid"], out["fluid_batched"]
 
 
 def test_fifo_intra_cubic_agreement():
-    packet, fluid = _pair(("cubic", "cubic"), "fifo", 2.0)
-    assert packet.jain_index > 0.9 and fluid.jain_index > 0.9
-    assert packet.link_utilization > 0.9 and fluid.link_utilization > 0.9
+    for r in _pair(("cubic", "cubic"), "fifo", 2.0):
+        assert r.jain_index > 0.9, r.engine
+        assert r.link_utilization > 0.9, r.engine
 
 
 def test_fifo_small_buffer_bbr_dominance_agreement():
-    packet, fluid = _pair(("bbrv1", "cubic"), "fifo", 0.5)
-    for r in (packet, fluid):
+    for r in _pair(("bbrv1", "cubic"), "fifo", 0.5):
         assert r.throughput_of("bbrv1") > r.throughput_of("cubic"), r.engine
 
 
 def test_fifo_large_buffer_cubic_dominance_agreement():
-    packet, fluid = _pair(("bbrv1", "cubic"), "fifo", 16.0, duration=60.0)
-    for r in (packet, fluid):
+    for r in _pair(("bbrv1", "cubic"), "fifo", 16.0, duration=60.0):
         assert r.throughput_of("cubic") > r.throughput_of("bbrv1"), r.engine
 
 
 def test_red_bbr_starves_cubic_agreement():
-    packet, fluid = _pair(("bbrv1", "cubic"), "red", 2.0)
-    for r in (packet, fluid):
+    for r in _pair(("bbrv1", "cubic"), "red", 2.0):
         assert r.throughput_of("bbrv1") > 3 * r.throughput_of("cubic"), r.engine
         assert r.jain_index < 0.75, r.engine
 
 
 def test_fq_codel_fairness_agreement():
-    packet, fluid = _pair(("bbrv1", "cubic"), "fq_codel", 2.0)
-    for r in (packet, fluid):
+    for r in _pair(("bbrv1", "cubic"), "fq_codel", 2.0):
         assert r.jain_index > 0.9, r.engine
 
 
 def test_utilization_within_band():
-    packet, fluid = _pair(("cubic", "cubic"), "fifo", 2.0)
+    packet, fluid, batched = _pair(("cubic", "cubic"), "fifo", 2.0)
     assert fluid.link_utilization == pytest.approx(packet.link_utilization, abs=0.15)
+    assert batched.link_utilization == fluid.link_utilization
