@@ -158,6 +158,40 @@ def datapath_spans_disabled(duration_s: float, bw_mbps: float = 20.0) -> Tuple[i
     return db.sim.events_processed, conn.receiver.bytes_received
 
 
+def datapath_fairness_disabled(duration_s: float, bw_mbps: float = 20.0) -> Tuple[int, int]:
+    """``single_flow_datapath`` with the fairness probe left disabled.
+
+    Companion gate to ``datapath_obs_disabled`` / ``datapath_spans_disabled``
+    for the fairness observatory: ``instrument_packet_fairness`` is called
+    exactly the way the experiment runner calls it, with the cadence left at
+    ``None``, so it must return ``None`` and schedule nothing — the
+    events/sec must match ``single_flow_datapath`` within noise.  Any
+    per-packet or per-event cost sneaking into the disabled path shows up
+    here against the baseline.
+    """
+    from repro.cca.registry import make_cca
+    from repro.obs.fairness import instrument_packet_fairness
+    from repro.tcp.connection import open_connection
+    from repro.testbed.dumbbell import DumbbellConfig, build_dumbbell
+    from repro.units import mbps, seconds
+
+    db = build_dumbbell(
+        DumbbellConfig(bottleneck_bw_bps=mbps(bw_mbps), buffer_bdp=2.0, mss_bytes=1500, seed=1)
+    )
+    conn = open_connection(db.clients[0], db.servers[0], make_cca("cubic"), mss=1500, flow_id=1)
+    sampler = instrument_packet_fairness(
+        db.sim,
+        db.bottleneck_qdisc,
+        db.config.scaled_bottleneck_bps,
+        [(1, 0, lambda: conn.receiver.bytes_received)],
+        None,
+    )
+    assert sampler is None  # disabled probe must not touch the event loop
+    conn.start()
+    db.network.run(seconds(duration_s))
+    return db.sim.events_processed, conn.receiver.bytes_received
+
+
 def contended_datapath_aqm(duration_s: float, aqm: str, bw_mbps: float = 20.0) -> Tuple[int, int]:
     """Two competing flows (BBRv1 vs CUBIC) through a non-trivial AQM.
 
@@ -265,6 +299,12 @@ WORKLOADS: Tuple[WorkloadSpec, ...] = (
     WorkloadSpec(
         "datapath_spans_disabled",
         datapath_spans_disabled,
+        params={"duration_s": 5.0},
+        quick_params={"duration_s": 5.0 / QUICK_FACTOR},
+    ),
+    WorkloadSpec(
+        "datapath_fairness_disabled",
+        datapath_fairness_disabled,
         params={"duration_s": 5.0},
         quick_params={"duration_s": 5.0 / QUICK_FACTOR},
     ),

@@ -104,6 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         flows_per_node=args.flows,
         faults=_parse_faults(args),
+        fairness_interval_s=args.fairness,
     )
     telemetry = _telemetry_options(args)
     result = run_experiment(cfg, telemetry)
@@ -119,6 +120,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     faults = result.extra.get("faults") if isinstance(result.extra, dict) else None
     if faults:
         print(f"faults      : {faults['injected']} mutations injected")
+    fairness = result.extra.get("fairness") if isinstance(result.extra, dict) else None
+    if fairness:
+        conv = fairness.get("convergence_time_s")
+        conv_text = f"{conv:.2f}s" if conv is not None else "never"
+        print(
+            f"fairness    : {fairness.get('samples', 0)} samples "
+            f"@ {fairness.get('interval_s')}s, converged {conv_text}, "
+            f"{fairness.get('oscillations', 0)} oscillations, "
+            f"{len(fairness.get('sync_loss_t_s') or [])} sync losses"
+        )
     obs = result.extra.get("obs") if isinstance(result.extra, dict) else None
     if obs:
         print(f"run log     : {obs['run_log']} ({obs['events_per_sec']:.0f} ev/s)")
@@ -148,6 +159,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         profile = get_profile(args.fault_profile)
         configs = [dataclasses.replace(cfg, faults=list(profile)) for cfg in configs]
+    if args.fairness is not None:
+        import dataclasses
+
+        configs = [
+            dataclasses.replace(cfg, fairness_interval_s=args.fairness)
+            for cfg in configs
+        ]
     store = ResultStore(args.out) if args.out else None
     telemetry = _telemetry_options(args)
     campaign_log = (
@@ -256,7 +274,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
-    """Span/profiler flags shared by ``run`` and ``sweep`` (docs/TRACING.md)."""
+    """Span/profiler/fairness flags shared by ``run`` and ``sweep``
+    (docs/TRACING.md, docs/OBSERVABILITY.md)."""
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -275,6 +294,17 @@ def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="profile every N-th event instead of all (implies --profile)",
+    )
+    parser.add_argument(
+        "--fairness",
+        type=float,
+        nargs="?",
+        const=1.0,
+        default=None,
+        metavar="SEC",
+        help="record fairness dynamics (Jain/phi/queue series, convergence, "
+        "sync losses) every SEC simulated seconds (default 1.0; works on "
+        "all engines, never perturbs outcomes — see docs/OBSERVABILITY.md)",
     )
 
 

@@ -12,7 +12,11 @@ serial/pool modes: they are grouped into lock-step shards (see
 integration, with per-config rows recorded individually.  Telemetry and
 hardened mode fall back to one run per config through
 :func:`~repro.experiments.runner.run_experiment` — bit-identical, because
-batched results do not depend on shard composition.
+batched results do not depend on shard composition.  Fairness sampling
+(``fairness_interval_s``) works on both paths: the batched fast path
+drives one vectorized probe hook per shard, and the fallback samples
+per-run (see :mod:`repro.obs.fairness`) — the recorded series are
+identical either way.
 
 A worker raising no longer aborts the pool: the exception is captured as a
 :class:`FailedRun` row (with the traceback string), appended to a sibling
@@ -669,9 +673,22 @@ class CampaignProgress:
             return 0.0
         return elapsed / finished * (total - finished)
 
-    def _emit(self, finished: int, total: int, label: str) -> None:
+    def _emit(
+        self,
+        finished: int,
+        total: int,
+        label: str,
+        result: Optional[ExperimentResult] = None,
+    ) -> None:
         if self._writer is not None:
             elapsed = self._clock() - self._start
+            extra = {}
+            if result is not None:
+                # Headline fairness alongside liveness, so a tailing
+                # observer (or the sweep service of ROADMAP item 2) sees
+                # the science stream by, not just the throughput.
+                extra["jain"] = result.jain_index
+                extra["phi"] = result.link_utilization
             self._writer.write(
                 "campaign_progress",
                 finished=finished,
@@ -681,6 +698,7 @@ class CampaignProgress:
                 label=label,
                 eta_s=self._eta_s(finished, total),
                 events_per_sec=self._events / elapsed if elapsed > 0 else 0.0,
+                **extra,
             )
 
     def __call__(self, finished: int, total: int, result: ExperimentResult) -> None:
@@ -690,7 +708,11 @@ class CampaignProgress:
             eta = self._eta_s(finished, total)
             if eta:
                 print(f"    eta ~{eta:.0f}s", flush=True)
-        self._emit(finished, total, ExperimentConfig.from_dict(result.config).label())
+        self._emit(
+            finished, total,
+            ExperimentConfig.from_dict(result.config).label(),
+            result,
+        )
 
     def failure(self, finished: int, total: int, failure: FailedRun) -> None:
         """``on_failure`` companion callback to ``__call__``."""

@@ -102,6 +102,10 @@ class ExperimentConfig:
     #: Sample the bottleneck queue (backlog/drops/RED avg) at this cadence
     #: (packet engine only; the paper's "detailed router logs" future work).
     queue_monitor_interval_s: Optional[float] = None
+    #: Record fairness dynamics (Jain/φ/queue series, convergence time,
+    #: sync-loss instants) at this simulated-time cadence.  Works on all
+    #: three engines and never perturbs outcomes (see repro.obs.fairness).
+    fairness_interval_s: Optional[float] = None
     #: Deterministic fault-injection timeline: a list of FaultSpec dicts
     #: (see repro.faults and docs/FAULTS.md).  Packet engine only.
     faults: List[Dict[str, Any]] = field(default_factory=list)
@@ -121,6 +125,8 @@ class ExperimentConfig:
             raise ValueError("warmup must be in [0, duration)")
         if self.flows_per_node is not None and self.flows_per_node < 1:
             raise ValueError("flows_per_node must be >= 1")
+        if self.fairness_interval_s is not None and self.fairness_interval_s <= 0:
+            raise ValueError("fairness_interval_s must be positive")
         if self.faults:
             from repro.faults.spec import normalize_faults
 
@@ -170,6 +176,9 @@ class ExperimentConfig:
             # config hashes, and golden fixtures) byte-identical to the
             # pre-faults era.
             d.pop("faults", None)
+        if self.fairness_interval_s is None:
+            # Same compatibility contract for fairness-unsampled configs.
+            d.pop("fairness_interval_s", None)
         return d
 
     @classmethod

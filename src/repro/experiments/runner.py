@@ -21,6 +21,7 @@ from repro.metrics.queue_monitor import QueueMonitor
 from repro.metrics.summary import ExperimentResult, FlowStats, SenderStats
 from repro.metrics.timeseries import ThroughputSampler
 from repro.metrics.utilization import link_utilization
+from repro.obs.fairness import instrument_packet_fairness
 from repro.obs.session import TelemetryOptions, TelemetrySession
 from repro.obs.spans import CAT_RUN, NULL_SPAN_TRACER
 from repro.tcp.connection import Connection, open_connection
@@ -194,6 +195,18 @@ def _execute_packet(
             net.sim, dumbbell.bottleneck_qdisc, seconds(config.queue_monitor_interval_s)
         )
         queue_monitor.start()
+
+    fairness_sampler = instrument_packet_fairness(
+        net.sim,
+        dumbbell.bottleneck_qdisc,
+        dumbbell.config.scaled_bottleneck_bps,
+        [
+            (conn.flow_id, node_idx, (lambda r=conn.receiver: r.bytes_received))
+            for node_idx, conns in enumerate(connections)
+            for conn in conns
+        ],
+        config.fairness_interval_s,
+    )
     setup_span.close()
 
     # The event-loop phase is one wall-clock region; when spans are on and
@@ -215,12 +228,17 @@ def _execute_packet(
         current.close()  # transfer (or warmup, if the boundary never fired)
 
     with spans.span("collect"):
+        # Flush the samplers' final partial intervals before reading them.
+        if sampler is not None:
+            sampler.stop()
+        if fairness_sampler is not None:
+            fairness_sampler.stop()
         for conns in connections:
             for conn in conns:
                 conn.stop()
         result = _collect(
             config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
-            wall_start, fault_schedule,
+            wall_start, fault_schedule, fairness_sampler,
         )
     run_span.annotate(events=dumbbell.sim.events_processed)
     run_span.close()
@@ -229,7 +247,7 @@ def _execute_packet(
 
 def _collect(
     config, dumbbell, connections, sampler, queue_monitor, warmup_bytes,
-    wall_start, fault_schedule=None,
+    wall_start, fault_schedule=None, fairness_sampler=None,
 ) -> ExperimentResult:
     measured_s = config.duration_s - config.warmup_s
     flows: List[FlowStats] = []
@@ -281,6 +299,8 @@ def _collect(
     # Per-flow fairness (n = all flows) alongside the paper's per-sender
     # index — the "scaling capability" measure of contribution #2.
     extra["flow_jain_index"] = jain_index([f.throughput_bps for f in flows])
+    if fairness_sampler is not None:
+        extra["fairness"] = fairness_sampler.probe.to_dict()
     if fault_schedule is not None:
         # Deterministic audit trail of what was injected (simulated-time
         # stamps only, so it is golden-fixture comparable).

@@ -370,6 +370,11 @@ class BatchedFluidSimulation:
         # Measurement window.
         self._measure_delivered: Optional[np.ndarray] = None
 
+        # Passive per-step sampling seam (see set_sample_hook).
+        self._sample_hook = None
+        self._sample_every = 1
+        self._sample_count = 0
+
     # -- construction helpers --------------------------------------------------
 
     def _make_aqm(self, limit: np.ndarray, chunk: int) -> _BatchAqm:
@@ -428,6 +433,24 @@ class BatchedFluidSimulation:
         due = started & (self.now >= self.next_round)
         if due.any():
             self._round_updates(due, x)
+
+        if self._sample_hook is not None:
+            self._sample_count += 1
+            if self._sample_count % self._sample_every == 0:
+                self._sample_hook(self)
+
+    def set_sample_hook(self, hook, every_steps: int) -> None:
+        """Install a read-only observer called every ``every_steps`` steps.
+
+        Same contract as the scalar integrator's hook: the observer runs
+        after the step completes and must not mutate state or consume
+        randomness, so sampled and unsampled shards stay bit-identical.
+        """
+        if every_steps < 1:
+            raise ValueError(f"every_steps must be >= 1, got {every_steps}")
+        self._sample_hook = hook
+        self._sample_every = every_steps
+        self._sample_count = 0
 
     def _round_updates(self, due: np.ndarray, x: np.ndarray) -> None:
         now = self.now
@@ -822,6 +845,13 @@ def _run_shard(configs: Sequence[ExperimentConfig], *, pad: bool) -> List[Experi
     wall_start = time.perf_counter()
     sim = BatchedFluidSimulation(configs, pad=pad)
     config0 = configs[0]
+    probes = None
+    if config0.fairness_interval_s:
+        # Shard members share the cadence (it is part of the shard key),
+        # so one vectorized hook drives every row's probe.
+        from repro.obs.fairness import attach_batched_fairness
+
+        probes = attach_batched_fairness(sim)
     if config0.warmup_s > 0:
         sim.run(config0.warmup_s)
         sim.begin_measurement()
@@ -845,6 +875,7 @@ def _run_shard(configs: Sequence[ExperimentConfig], *, pad: bool) -> List[Experi
                 aqm_dropped=float(sim.aqm.total_dropped[c]),
                 engine="fluid_batched",
                 wallclock_s=wall_each,
+                fairness=probes[c].to_dict() if probes is not None else None,
             )
         )
     return results

@@ -92,6 +92,11 @@ class FluidSimulation:
         self.delivered_total = np.zeros(self.n)
         self.dropped_total = np.zeros(self.n)
 
+        # Passive per-step sampling seam (see set_sample_hook).
+        self._sample_hook = None
+        self._sample_every = 1
+        self._sample_count = 0
+
     # -- one step ----------------------------------------------------------------
 
     def _rates(self, rtt_eff: np.ndarray, started: np.ndarray) -> np.ndarray:
@@ -145,6 +150,25 @@ class FluidSimulation:
                 self.round_lost[i] = 0.0
                 self.round_started_at[i] = self.now
                 self.next_round[i] = self.now + float(rtt_after[i])
+
+        if self._sample_hook is not None:
+            self._sample_count += 1
+            if self._sample_count % self._sample_every == 0:
+                self._sample_hook(self)
+
+    def set_sample_hook(self, hook, every_steps: int) -> None:
+        """Install a read-only observer called every ``every_steps`` steps.
+
+        The hook receives the simulation *after* the step completes (time
+        already advanced, round updates applied).  It must only read
+        state — the fairness probe contract that keeps sampled and
+        unsampled integrations bit-identical.
+        """
+        if every_steps < 1:
+            raise ValueError(f"every_steps must be >= 1, got {every_steps}")
+        self._sample_hook = hook
+        self._sample_every = every_steps
+        self._sample_count = 0
 
     def run(self, duration_s: float) -> None:
         """Integrate until ``duration_s`` of model time has elapsed."""

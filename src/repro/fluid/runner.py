@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -97,6 +97,7 @@ def build_fluid_result(
     aqm_dropped: float,
     engine: str,
     wallclock_s: float,
+    fairness: Optional[Dict[str, Any]] = None,
 ) -> ExperimentResult:
     """Assemble the ExperimentResult record (shared by both fluid backends)."""
     measured_s = config.duration_s - config.warmup_s
@@ -147,6 +148,8 @@ def build_fluid_result(
 
     throughputs = [s.throughput_bps for s in senders]
     extra = {"flow_jain_index": jain_index([f.throughput_bps for f in flow_stats])}
+    if fairness is not None:
+        extra["fairness"] = fairness
     return ExperimentResult(
         config=config.to_dict(),
         senders=senders,
@@ -188,6 +191,11 @@ def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
         start_times_s=starts,
         arrival_rng=rngs.stream("arrivals"),
     )
+    probe = None
+    if config.fairness_interval_s:
+        from repro.obs.fairness import attach_fluid_fairness
+
+        probe = attach_fluid_fairness(sim, geom, config)
     if config.warmup_s > 0:
         sim.run(config.warmup_s)
         sim.begin_measurement()
@@ -205,4 +213,5 @@ def run_fluid_experiment(config: ExperimentConfig) -> ExperimentResult:
         aqm_dropped=aqm.total_dropped,
         engine="fluid",
         wallclock_s=time.perf_counter() - wall_start,
+        fairness=probe.to_dict() if probe is not None else None,
     )

@@ -22,7 +22,7 @@ Two width policies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 
@@ -54,6 +54,9 @@ class ShardKey:
     base_rtt_ns: int
     duration_s: float
     warmup_s: float
+    #: Fairness-sampling cadence: one shard-wide hook drives every row's
+    #: probe, so shard members must agree on it (None = not sampled).
+    fairness_interval_s: Optional[float] = None
 
 
 def shard_key(config: ExperimentConfig, *, pad: bool = False) -> ShardKey:
@@ -66,6 +69,7 @@ def shard_key(config: ExperimentConfig, *, pad: bool = False) -> ShardKey:
         base_rtt_ns=int(PAPER_RTT_NS * config.delay_multiplier),
         duration_s=float(config.duration_s),
         warmup_s=float(config.warmup_s),
+        fairness_interval_s=config.fairness_interval_s,
     )
 
 

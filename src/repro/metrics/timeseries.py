@@ -9,14 +9,21 @@ averages).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.units import NS_PER_SEC
 
 
 class ThroughputSampler:
-    """Samples named byte counters every ``interval_ns`` of simulated time."""
+    """Samples named byte counters every ``interval_ns`` of simulated time.
+
+    ``on_sample``, when set, is called after every completed sample (tick
+    and the final :meth:`stop` flush alike) with ``(now_ns, rates)``
+    where ``rates`` maps counter name to that interval's bits/second —
+    the hook :mod:`repro.obs.fairness` uses to derive Jain/φ series from
+    the same deltas the iperf-style series record.
+    """
 
     def __init__(self, sim: Simulator, interval_ns: int):
         if interval_ns <= 0:
@@ -28,6 +35,10 @@ class ThroughputSampler:
         self.series: Dict[str, List[float]] = {}
         self.timestamps_ns: List[int] = []
         self._running = False
+        self._handle = None
+        self._last_tick_ns = 0
+        #: Optional per-sample callback ``(now_ns, {name: bps})``.
+        self.on_sample: Optional[Callable[[int, Dict[str, float]], None]] = None
 
     def track(self, name: str, counter: Callable[[], int]) -> None:
         """Register a monotonically increasing byte counter."""
@@ -42,17 +53,47 @@ class ThroughputSampler:
         if self._running:
             raise RuntimeError("sampler already started")
         self._running = True
-        self.sim.schedule(self.interval_ns, self._tick)
+        self._last_tick_ns = self.sim.now
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
 
-    def _tick(self) -> None:
+    def _sample(self, span_ns: int) -> None:
+        """Record one interval of ``span_ns`` ending now."""
         self.timestamps_ns.append(self.sim.now)
+        rates: Dict[str, float] = {}
         for name, counter in self._counters.items():
             value = counter()
             delta = value - self._last[name]
             self._last[name] = value
             # bits per second over the interval
-            self.series[name].append(delta * 8 * NS_PER_SEC / self.interval_ns)
-        self.sim.schedule(self.interval_ns, self._tick)
+            rate = delta * 8 * NS_PER_SEC / span_ns
+            self.series[name].append(rate)
+            rates[name] = rate
+        self._last_tick_ns = self.sim.now
+        if self.on_sample is not None:
+            self.on_sample(self.sim.now, rates)
+
+    def _tick(self) -> None:
+        self._sample(self.interval_ns)
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling, flushing the final partial interval (idempotent).
+
+        Runs whose duration is not a multiple of the interval would
+        otherwise silently drop the trailing bytes from ``series``; the
+        flushed sample covers whatever span has elapsed since the last
+        tick, with its rate normalized to that *actual* span.  Runs that
+        end exactly on a tick flush nothing (the tick already sampled).
+        """
+        if not self._running:
+            return
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        span_ns = self.sim.now - self._last_tick_ns
+        if span_ns > 0:
+            self._sample(span_ns)
 
     def mean_bps(self, name: str, *, skip_intervals: int = 0) -> float:
         """Average rate for ``name``, optionally discarding warmup intervals."""

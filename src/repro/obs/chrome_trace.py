@@ -15,7 +15,11 @@ per-run log — into one Chrome Trace Format (JSON object variant) dict:
 - a run log's ``profile`` record is rendered as an ``engine`` lane:
   one slice per event kind, laid out end to end inside the run's window,
   so the per-kind self-time breakdown is visible right under the run's
-  phase spans.
+  phase spans;
+- a run log's ``fairness`` records become counter tracks
+  (``"ph": "C"``): Jain index, link utilization φ, and bottleneck queue
+  plotted over the run's wall window (simulated time mapped onto it), so
+  fairness dynamics render directly above the span timeline.
 
 Load the resulting file in https://ui.perfetto.dev (or
 ``chrome://tracing``) via "Open trace file".
@@ -93,13 +97,46 @@ def collect_spans(paths: Iterable[PathLike]) -> Tuple[List[Dict[str, Any]], List
     return spans, profiles
 
 
+def collect_fairness(paths: Iterable[PathLike]) -> List[Dict[str, Any]]:
+    """Read ``fairness`` records from the given run logs, grouped per file.
+
+    Each block carries the run label, the pid of the file's spans (so the
+    counters sit next to the run's lanes), the wall anchor of the run's
+    event-loop window when spans are present, and the sample records.
+    """
+    blocks: List[Dict[str, Any]] = []
+    for path in paths:
+        records = read_run_log(path)
+        samples = [r for r in records if r.get("record") == "fairness"]
+        if not samples:
+            continue
+        label = next(
+            (r.get("label") for r in records if r.get("record") == "manifest"),
+            None,
+        )
+        file_spans = [r for r in records if r.get("record") == "span"]
+        block: Dict[str, Any] = {
+            "_label": label,
+            "_pid": next((s.get("pid", 0) for s in file_spans), 0),
+            "samples": samples,
+        }
+        loop_spans = [
+            s for s in file_spans if s.get("name") in ("transfer", "warmup", "run")
+        ]
+        if loop_spans:
+            block["_t_anchor"] = min(s["t_start"] for s in loop_spans)
+        blocks.append(block)
+    return blocks
+
+
 def spans_to_events(
     spans: List[Dict[str, Any]],
     profiles: Optional[List[Dict[str, Any]]] = None,
+    fairness: Optional[List[Dict[str, Any]]] = None,
 ) -> List[Dict[str, Any]]:
-    """Convert span/profile records into Chrome trace events."""
+    """Convert span/profile/fairness records into Chrome trace events."""
     events: List[Dict[str, Any]] = []
-    if not spans and not profiles:
+    if not spans and not profiles and not fairness:
         return events
     t0 = min(s["t_start"] for s in spans) if spans else 0.0
 
@@ -179,6 +216,28 @@ def spans_to_events(
                 },
             })
             cursor += self_us
+
+    # Counter tracks: one per (metric, run).  Simulated seconds are mapped
+    # onto the run's wall window starting at its event-loop anchor — the
+    # same convention the engine lane uses — so the fairness trajectory
+    # lines up under the run's phase spans.
+    for block in fairness or ():
+        base_us = (block.get("_t_anchor", t0) - t0) * 1e6
+        label = block.get("_label") or "run"
+        for sample in block["samples"]:
+            ts = base_us + float(sample.get("t_sim_s", 0.0)) * 1e6
+            for metric in ("jain", "phi", "queue_pkts"):
+                value = sample.get(metric)
+                if not isinstance(value, (int, float)):
+                    continue
+                events.append({
+                    "name": f"{metric} {label}",
+                    "cat": "fairness",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": TRACE_PID,
+                    "args": {metric: value},
+                })
     return events
 
 
@@ -186,14 +245,16 @@ def build_chrome_trace(paths: Iterable[PathLike]) -> Dict[str, Any]:
     """Full Chrome Trace Format document for the given run-log files."""
     paths = list(paths)
     spans, profiles = collect_spans(paths)
+    fairness = collect_fairness(paths)
     return {
-        "traceEvents": spans_to_events(spans, profiles),
+        "traceEvents": spans_to_events(spans, profiles, fairness),
         "displayTimeUnit": "ms",
         "otherData": {
             "schema": "repro-runlog/1",
             "sources": [str(p) for p in paths],
             "spans": len(spans),
             "profiles": len(profiles),
+            "fairness_samples": sum(len(b["samples"]) for b in fairness),
         },
     }
 
@@ -217,11 +278,22 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
             errors.append(f"event {i}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "M", "i"):
+        if ph not in ("X", "M", "i", "C"):
             errors.append(f"event {i}: unsupported ph {ph!r}")
             continue
         if "pid" not in ev:
             errors.append(f"event {i}: missing pid")
+        if ph == "C":
+            if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+                errors.append(f"event {i}: ts must be a non-negative number")
+            if not isinstance(ev.get("name"), str):
+                errors.append(f"event {i}: name must be a string")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"event {i}: counter args must map names to numbers")
+            continue
         if ph == "M":
             if ev.get("name") not in ("process_name", "thread_name",
                                       "thread_sort_index"):

@@ -7,6 +7,8 @@
     repro obs trace    telemetry/ --out trace.json # Chrome/Perfetto timeline
     repro obs profile  telemetry/<label>.jsonl     # event-loop self-time table
     repro obs diff     a.jsonl b.jsonl             # phase/kind comparison
+    repro obs fairness summary results.jsonl       # per-cell fairness digest
+    repro obs fairness drift a.jsonl b.jsonl       # fairness regression gate
 """
 
 from __future__ import annotations
@@ -433,6 +435,40 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fairness_summary(args: argparse.Namespace) -> int:
+    """``repro obs fairness summary``: per-cell fairness digest of a store."""
+    from repro.obs.drift import render_fairness_summary, summarize_fairness
+
+    try:
+        rows = summarize_fairness(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"fairness summary: {exc}", file=sys.stderr)
+        return 1
+    print(render_fairness_summary(rows))
+    return 0
+
+
+def cmd_fairness_drift(args: argparse.Namespace) -> int:
+    """``repro obs fairness drift``: diff two result sets cell-by-cell.
+
+    Exit codes: 0 clean, 1 unreadable input, 2 drift detected — so CI can
+    gate on drift without conflating it with tooling failures.
+    """
+    from repro.obs.drift import DriftTolerance, detect_drift, render_drift_report
+
+    tolerance = DriftTolerance(
+        jain=args.jain_tol, phi=args.phi_tol,
+        rr_rel=args.rr_tol, rr_abs=args.rr_abs,
+    )
+    try:
+        report = detect_drift(args.a, args.b, tolerance=tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"fairness drift: {exc}", file=sys.stderr)
+        return 1
+    print(render_drift_report(report, verbose=args.verbose))
+    return 0 if report.clean else 2
+
+
 def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     """Register the ``obs`` subcommand tree on the top-level CLI parser."""
     p_obs = sub.add_parser("obs", help="inspect telemetry run logs and export metrics")
@@ -483,3 +519,34 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     p_diff.add_argument("a", help="baseline run log or telemetry directory")
     p_diff.add_argument("b", help="candidate run log or telemetry directory")
     p_diff.set_defaults(func=cmd_diff)
+
+    p_fair = obs_sub.add_parser(
+        "fairness", help="campaign-level fairness aggregation and drift gate"
+    )
+    fair_sub = p_fair.add_subparsers(dest="fairness_command", required=True)
+
+    p_fsum = fair_sub.add_parser(
+        "summary", help="per-cell Jain/phi/RR + dynamics digest of a result store"
+    )
+    p_fsum.add_argument(
+        "results", help="results .jsonl store, .json fixture, or directory of either"
+    )
+    p_fsum.set_defaults(func=cmd_fairness_summary)
+
+    p_fdrift = fair_sub.add_parser(
+        "drift",
+        help="diff per-cell fairness between two result sets (exit 2 on drift)",
+    )
+    p_fdrift.add_argument("a", help="baseline results store/fixture/directory")
+    p_fdrift.add_argument("b", help="candidate results store/fixture/directory")
+    p_fdrift.add_argument("--jain-tol", type=float, default=0.05,
+                          help="max |mean Jain| shift per cell (default 0.05)")
+    p_fdrift.add_argument("--phi-tol", type=float, default=0.05,
+                          help="max |mean phi| shift per cell (default 0.05)")
+    p_fdrift.add_argument("--rr-tol", type=float, default=0.25,
+                          help="max relative retransmit shift (default 0.25)")
+    p_fdrift.add_argument("--rr-abs", type=float, default=10.0,
+                          help="absolute retransmit shift floor (default 10)")
+    p_fdrift.add_argument("-v", "--verbose", action="store_true",
+                          help="also list cells present on only one side")
+    p_fdrift.set_defaults(func=cmd_fairness_drift)

@@ -25,6 +25,10 @@ first line is always the ``manifest``.  Record types (schema
   skew; see docs/TRACING.md).
 - ``bench`` — one benchmark workload's timing row (the bench harness
   writes run logs too, so ``repro obs summary`` can digest bench runs).
+- ``fairness`` — one fairness-dynamics sample (simulated-time stamp,
+  per-sender Jain index, per-flow Jain index, link utilization φ,
+  bottleneck queue, per-sender rates; see docs/OBSERVABILITY.md).
+  Emitted only for runs recorded with ``fairness_interval_s`` set.
 - ``campaign_progress`` / ``campaign_retry`` — campaign-level liveness
   and retry accounting (written to ``campaign.jsonl``, not per-run logs).
 
@@ -56,6 +60,7 @@ REQUIRED_FIELDS: Dict[str, tuple] = {
     "span": ("span_id", "name", "cat", "t_start", "dur_s"),
     "profile": ("kinds", "loop_wall_s", "events"),
     "bench": ("name", "wall_s", "events", "events_per_sec"),
+    "fairness": ("t_sim_s", "jain", "phi"),
 }
 
 #: Record types allowed in logs that carry no manifest/summary envelope
@@ -248,6 +253,18 @@ def validate_run_log(records: List[Dict[str, Any]]) -> List[str]:
                 for name, h in hists.items():
                     if not isinstance(h, dict) or not {"buckets", "counts", "sum", "count"} <= set(h):
                         errors.append(f"metrics record: histogram {name!r} malformed")
+        if r.get("record") == "fairness":
+            for key in ("t_sim_s", "jain", "phi"):
+                if not isinstance(r.get(key), (int, float)):
+                    errors.append(f"fairness record: {key!r} must be numeric")
+            jain = r.get("jain")
+            if isinstance(jain, (int, float)) and not 0.0 <= jain <= 1.0 + 1e-9:
+                errors.append(f"fairness record: jain {jain!r} outside [0, 1]")
+            phi = r.get("phi")
+            if isinstance(phi, (int, float)) and phi < 0:
+                errors.append(f"fairness record: phi {phi!r} is negative")
+            if "sender_bps" in r and not isinstance(r["sender_bps"], list):
+                errors.append("fairness record: sender_bps must be a list")
     return errors
 
 

@@ -196,6 +196,23 @@ class TelemetrySession:
         self.spans.close_open()  # a leaked span must not block the summary
         if self.profiler is not None:
             self._writer.write("profile", **self.profiler.snapshot())
+        fairness = result.extra.get("fairness")
+        if not isinstance(fairness, dict):
+            fairness = None
+        summary_extra: Dict[str, Any] = {}
+        if fairness is not None:
+            from repro.obs.fairness import (
+                fairness_records,
+                fairness_summary,
+                register_fairness_gauges,
+            )
+
+            # Gauges first, so the snapshot below already carries the
+            # final fairness values alongside everything else.
+            register_fairness_gauges(self.registry, fairness)
+            for rec in fairness_records(fairness):
+                self._writer.write("fairness", **rec)
+            summary_extra["fairness"] = fairness_summary(fairness)
         snapshot = self.registry.snapshot()
         self._writer.metrics(snapshot)
         self._writer.summary(
@@ -210,6 +227,7 @@ class TelemetrySession:
             bottleneck_drops=result.bottleneck_drops,
             trace_events=self.recorder.total_recorded,
             trace_dropped=self.recorder.dropped,
+            **summary_extra,
         )
         self._writer.close()
         if self.options.trace_dump:
@@ -225,6 +243,8 @@ class TelemetrySession:
         if self.profiler is not None:
             result.extra["obs"]["profile_coverage"] = self.profiler.coverage
             result.extra["obs"]["sim_wall_skew"] = self.profiler.skew
+        if fairness is not None:
+            result.extra["obs"]["fairness_samples"] = fairness.get("samples", 0)
 
     def record_failure(self, exc: BaseException) -> None:
         """Write an ``error`` summary + dump the flight-recorder window."""

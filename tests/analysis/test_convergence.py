@@ -7,6 +7,9 @@ from repro.analysis.convergence import (
     fairness_half_life_s,
     jain_series,
     sender_interval_series,
+    series_convergence_time_s,
+    series_oscillation_count,
+    series_sync_loss_times,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_packet_experiment
@@ -73,6 +76,78 @@ def test_validation_errors():
     bare.extra = {}
     with pytest.raises(ValueError):
         jain_series(bare)
+
+
+def test_sender_series_raises_on_ragged_lengths():
+    # flow1 has 3 intervals, flow2 only 2: summing would mis-attribute
+    # the tail to flow1's sender, so this must be a hard error.
+    r = _synthetic(([10, 20, 30], [30, 40]))
+    with pytest.raises(ValueError, match="lengths differ"):
+        sender_interval_series(r)
+
+
+def test_series_convergence_empty():
+    assert series_convergence_time_s([], []) is None
+
+
+def test_series_convergence_never():
+    times = [1.0, 2.0, 3.0, 4.0]
+    assert series_convergence_time_s(times, [0.5, 0.6, 0.7, 0.8]) is None
+
+
+def test_series_convergence_at_first_sample():
+    # Converged from the very first sample: the window starts at t=0.5.
+    times = [0.5, 1.0, 1.5, 2.0]
+    t = series_convergence_time_s(times, [0.95, 0.96, 0.97, 0.98])
+    assert t == pytest.approx(0.5)
+
+
+def test_series_convergence_single_interval_hold():
+    # hold_intervals=1: the first sample at threshold is the answer,
+    # including for a single-sample series.
+    assert series_convergence_time_s([2.5], [0.91], hold_intervals=1) == pytest.approx(2.5)
+    assert series_convergence_time_s([2.5], [0.89], hold_intervals=1) is None
+
+
+def test_series_convergence_interrupted_run_resets():
+    # A dip inside the window restarts the hold count.
+    times = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    series = [0.95, 0.95, 0.5, 0.95, 0.95, 0.95]
+    assert series_convergence_time_s(times, series) == pytest.approx(4.0)
+
+
+def test_series_convergence_validation():
+    with pytest.raises(ValueError):
+        series_convergence_time_s([1.0], [0.5], threshold=0.0)
+    with pytest.raises(ValueError):
+        series_convergence_time_s([1.0], [0.5], hold_intervals=0)
+    with pytest.raises(ValueError):
+        series_convergence_time_s([1.0, 2.0], [0.5])
+
+
+def test_series_oscillations():
+    assert series_oscillation_count([]) == 0
+    assert series_oscillation_count([0.95]) == 0
+    # Two falls out of the fair regime.
+    assert series_oscillation_count([0.95, 0.5, 0.95, 0.5, 0.6]) == 2
+    # Never reaches, or never leaves: no oscillation.
+    assert series_oscillation_count([0.5, 0.6, 0.7]) == 0
+    assert series_oscillation_count([0.95, 0.96, 0.97]) == 0
+    with pytest.raises(ValueError):
+        series_oscillation_count([0.5], threshold=1.5)
+
+
+def test_series_sync_loss_times():
+    times = [1.0, 2.0, 3.0, 4.0]
+    # 0.9 -> 0.4 is a 55% drop from above the floor: flagged at t=2.
+    assert series_sync_loss_times(times, [0.9, 0.4, 0.9, 0.8]) == [2.0]
+    # A crash from below the floor is startup noise, not synchronization.
+    assert series_sync_loss_times(times, [0.3, 0.1, 0.3, 0.25]) == []
+    assert series_sync_loss_times([], []) == []
+    with pytest.raises(ValueError):
+        series_sync_loss_times(times, [0.9, 0.4, 0.9, 0.8], drop_frac=1.0)
+    with pytest.raises(ValueError):
+        series_sync_loss_times([1.0], [0.9, 0.4])
 
 
 def test_real_run_intra_cca_converges_quickly():

@@ -86,3 +86,57 @@ def test_batched_result_is_tagged():
     result = run_fluid_single(config)
     assert result.engine == "fluid_batched"
     assert result.config["engine"] == "fluid_batched"
+
+
+#: Fairness-series fields that must agree bitwise between the engines
+#: (``engine`` differs by construction — it is the config's own tag).
+FAIRNESS_SERIES_KEYS = (
+    "t_s", "jain", "flow_jain", "phi", "queue_pkts", "sender_bps",
+    "samples", "interval_s", "convergence_time_s", "oscillations",
+    "sync_loss_t_s",
+)
+
+
+@pytest.mark.parametrize("cca", ("cubic", "bbrv1"))
+def test_fairness_series_bitwise_scalar_vs_batched(cca):
+    """The fairness probe's series are bit-for-bit equal across backends.
+
+    The batched hook samples row slices of the stacked delivery/backlog
+    arrays; the scalar hook samples the oracle's ``(n_flows,)`` arrays.
+    Bit-identity of the underlying state plus the shared pure-Python
+    probe math means every recorded float must match exactly — ``==`` on
+    the raw lists, no tolerance.
+    """
+    scalar_cfg = _config(cca, "fifo", engine="fluid", fairness_interval_s=1.0)
+    batched_cfg = _config(cca, "fifo", fairness_interval_s=1.0)
+    scalar = run_fluid_experiment(scalar_cfg).extra["fairness"]
+    single = run_fluid_single(batched_cfg).extra["fairness"]
+    assert scalar["samples"] > 0
+    for key in FAIRNESS_SERIES_KEYS:
+        assert scalar[key] == single[key], f"fairness[{key}] diverges"
+
+
+def test_fairness_series_survive_shared_shard():
+    """Probes attached to a multi-config shard equal their solo runs.
+
+    Batch-composition invariance must extend to the sampling hook: a
+    config's fairness series cannot depend on its shard-mates.
+    """
+    configs = [
+        _config(cca, "fifo", fairness_interval_s=1.0)
+        for cca in ("reno", "cubic", "htcp")
+    ]
+    batched = run_fluid_batch(configs)
+    for config, shard_result in zip(configs, batched):
+        solo = run_fluid_single(config)
+        assert (
+            shard_result.extra["fairness"] == solo.extra["fairness"]
+        ), f"shard fairness != solo for {config.cca_pair}"
+
+
+def test_unsampled_batched_results_unchanged_by_knob():
+    """fairness_interval_s=None is byte-compatible with the pre-knob world."""
+    config = _config("cubic", "fifo", duration_s=4.0, warmup_s=1.0)
+    result = run_fluid_single(config)
+    assert "fairness" not in result.extra
+    assert "fairness_interval_s" not in result.config

@@ -64,3 +64,51 @@ def test_double_start_rejected():
 def test_invalid_interval():
     with pytest.raises(ValueError):
         ThroughputSampler(Simulator(), 0)
+
+
+def test_stop_flushes_final_partial_interval():
+    sim = Simulator()
+    counter = {"bytes": 0}
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("flow", lambda: counter["bytes"])
+    sampler.start()
+    # 1000 bytes during second 1, then 500 bytes in the trailing 0.5 s.
+    sim.schedule(seconds(0.5), lambda: counter.__setitem__("bytes", 1000))
+    sim.schedule(seconds(1.25), lambda: counter.__setitem__("bytes", 1500))
+    sim.run(seconds(1.5))
+    sampler.stop()
+    # The flushed sample's rate is normalized to the 0.5 s it covers:
+    # 500 bytes * 8 / 0.5 s = 8000 bps, same rate as the full interval.
+    assert sampler.series["flow"] == [pytest.approx(8000.0), pytest.approx(8000.0)]
+    assert sampler.timestamps_ns == [seconds(1), seconds(1.5)]
+
+
+def test_stop_is_idempotent_and_skips_aligned_runs():
+    sim = Simulator()
+    counter = {"bytes": 0}
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("flow", lambda: counter["bytes"])
+    sampler.start()
+    sim.schedule(seconds(0.5), lambda: counter.__setitem__("bytes", 1000))
+    sim.run(seconds(2))
+    sampler.stop()
+    sampler.stop()  # second stop must be a no-op
+    # Run ended exactly on a tick: no extra zero-span sample appears.
+    assert sampler.series["flow"] == [pytest.approx(8000.0), pytest.approx(0.0)]
+    assert sampler.timestamps_ns == [seconds(1), seconds(2)]
+
+
+def test_on_sample_callback_sees_every_interval():
+    sim = Simulator()
+    counter = {"bytes": 0}
+    sampler = ThroughputSampler(sim, seconds(1))
+    sampler.track("flow", lambda: counter["bytes"])
+    seen = []
+    sampler.on_sample = lambda now_ns, rates: seen.append((now_ns, dict(rates)))
+    sampler.start()
+    sim.schedule(seconds(0.5), lambda: counter.__setitem__("bytes", 1000))
+    sim.run(seconds(1.5))
+    sampler.stop()  # flush fires the callback too
+    assert [t for t, _ in seen] == [seconds(1), seconds(1.5)]
+    assert seen[0][1]["flow"] == pytest.approx(8000.0)
+    assert seen[1][1]["flow"] == pytest.approx(0.0)
