@@ -168,6 +168,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
     store = ResultStore(args.out) if args.out else None
     telemetry = _telemetry_options(args)
+    cache = None
+    if args.cache:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache)
+    if args.queue:
+        return _sweep_via_queue(args, configs, store, cache)
     campaign_log = (
         Path(telemetry.dir) / "campaign.jsonl" if telemetry is not None else None
     )
@@ -189,6 +196,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             on_retry=tracker.retry,
             span_tracer=tracker.spans,
+            cache=cache,
         )
     finally:
         tracker.close()
@@ -199,6 +207,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if counts.get("retried"):
         tail += f", {counts['retried']} retried"
     print(f"completed {counts['ok']} runs{tail}")
+    if cache is not None:
+        _finish_cache(cache, results, merge=not args.no_cache_merge)
+    return 2 if counts["failed"] else 0
+
+
+def _finish_cache(cache, results, *, merge: bool) -> None:
+    """Report (and optionally compact) the sweep's cache interaction.
+
+    The ``cache: ... engine runs`` line is machine-checked by the CI
+    cache-smoke job: a warm-cache sweep must print ``0 engine runs``.
+    """
+    if merge:
+        cache.merge()
+    stats = cache.stats()
+    print(
+        f"cache: {results.cache_hits} hits, {results.engine_runs} engine runs, "
+        f"{stats['entries']} entries ({stats['dir']})"
+    )
+
+
+def _sweep_via_queue(args, configs, store, cache) -> int:
+    """Queue-mode sweep: create/join the work queue and drain as one worker."""
+    from repro.experiments.campaign import print_failure, print_progress
+    from repro.experiments.queue import WorkQueue, run_queue_worker
+
+    queue = WorkQueue.create(args.queue, configs)
+    results = run_queue_worker(
+        queue,
+        store=store,
+        cache=cache,
+        progress=None if args.quiet else print_progress,
+        on_failure=None if args.quiet else print_failure,
+    )
+    counts = results.summary()
+    remaining = queue.counts()
+    tail = f", {counts['failed']} FAILED" if counts["failed"] else ""
+    print(
+        f"completed {counts['ok']} runs{tail} "
+        f"(queue: {remaining['done']}/{remaining['tasks']} tasks done, "
+        f"{remaining['claimed']} claimed elsewhere)"
+    )
+    if cache is not None:
+        # Never auto-merge in queue mode: sibling workers may still be
+        # appending to their shards (see docs/SERVICE.md).
+        _finish_cache(cache, results, merge=False)
     return 2 if counts["failed"] else 0
 
 
@@ -390,6 +443,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="re-run failed configs up to N times with exponential backoff",
     )
+    p_sweep.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache root: configs any store has "
+        "computed skip the engine, fresh results are recorded "
+        "(see docs/SERVICE.md)",
+    )
+    p_sweep.add_argument(
+        "--no-cache-merge",
+        action="store_true",
+        help="leave cache shards unfolded at sweep end (use when several "
+        "sweeps share one cache concurrently)",
+    )
+    p_sweep.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="drain the sweep through a durable work queue: N processes "
+        "pointing at one queue dir pull disjoint tasks and share the "
+        "store safely (see docs/SERVICE.md)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="render tables/figures from stored results")
@@ -415,6 +490,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix = sub.add_parser("matrix", help="describe the experiment grid and presets")
     p_matrix.set_defaults(func=_cmd_matrix)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or compact a content-addressed result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser("stats", help="print cache layout stats as JSON")
+    p_cstats.add_argument("cache_dir", help="cache root directory")
+    p_cstats.set_defaults(func=_cmd_cache_stats)
+    p_cmerge = cache_sub.add_parser(
+        "merge", help="fold worker shards into the canonical store (dedup + verify)"
+    )
+    p_cmerge.add_argument("cache_dir", help="cache root directory")
+    p_cmerge.set_defaults(func=_cmd_cache_merge)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve fairness queries from the result cache over HTTP",
+        add_help=False,  # repro.service owns the full flag set
+    )
+    p_serve.add_argument("serve_args", nargs=argparse.REMAINDER)
+    p_serve.set_defaults(func=_cmd_serve)
+
     add_obs_parser(sub)
 
     p_bench = sub.add_parser(
@@ -433,6 +529,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args.bench_args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import main as serve_main
+
+    return serve_main(args.serve_args)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_merge(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    summary = cache.merge()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -443,6 +566,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.harness import main as bench_main
 
         return bench_main(argv[1:])
+    # Same REMAINDER workaround for ``serve`` (repro.service owns its flags).
+    if argv and argv[0] == "serve":
+        from repro.service import main as serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,8 +1,11 @@
-"""Experiment configuration, the 810-cell grid, runners and campaign driver."""
+"""Experiment configuration, the 810-cell grid, runners, campaign driver,
+and the sweep-service layers (content-addressed cache + work queue)."""
 
+from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.config import ExperimentConfig, FlowPlan, flow_plan
 from repro.experiments.matrix import full_matrix
 from repro.experiments.presets import PRESETS, get_preset
+from repro.experiments.queue import WorkQueue, run_queue_worker
 from repro.experiments.runner import run_experiment
 
 __all__ = [
@@ -13,4 +16,8 @@ __all__ = [
     "run_experiment",
     "PRESETS",
     "get_preset",
+    "ResultCache",
+    "config_key",
+    "WorkQueue",
+    "run_queue_worker",
 ]

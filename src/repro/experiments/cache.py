@@ -1,0 +1,295 @@
+"""Content-addressed result cache with sharded stores and merge/compact.
+
+The cache answers "has *any* store ever computed this configuration?" —
+the dominant speedup once the what-if matrix grows past what one sweep
+recomputes (ROADMAP item 2).  Results are keyed by a content address:
+
+    key = sha256(salt + "\\n" + canonical JSON of config.to_dict())
+
+``config.to_dict()`` already carries every outcome-determining field
+(engine included), so two configs hash equal iff their runs are
+bit-identical; the *salt* folds in the repro version, so a release that
+changes simulation outcomes starts a fresh namespace instead of serving
+stale results.  Each salt gets its own subdirectory:
+
+    <root>/<salt-slug>/
+        canonical.jsonl          # the merged, deduplicated store
+        shards/<worker>.jsonl    # per-worker append-only shards
+
+Both the canonical file and every shard are plain
+:class:`~repro.experiments.storage.ResultStore` files — any existing
+tool (``repro report``, ``repro export``, the drift detector) can read
+them directly.  N workers write disjoint shards (one per
+:class:`ResultCache` instance, named after the worker), so concurrent
+producers never contend on a file; :meth:`ResultCache.merge` folds the
+shards into the canonical store — deduplicating by key,
+last-write-wins — and verifies on every collision that the cached and
+recomputed results are **bit-identical** (modulo ``wallclock_s``, the
+only nondeterministic field).  A mismatch raises
+:class:`CacheConflictError` instead of silently papering over a
+nondeterministic engine.
+
+Results that carry telemetry side-channels (``extra["obs"]``) are never
+cached: they embed run-log paths that a recompute would not reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro._version import __version__
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.storage import ResultStore
+from repro.metrics.summary import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+class CacheConflictError(ValueError):
+    """Two results for one config key differ where they must be identical."""
+
+
+def default_salt() -> str:
+    """The default cache namespace: the repro release that computed results."""
+    return f"repro-{__version__}"
+
+
+def salt_slug(salt: str) -> str:
+    """Filesystem-safe directory name for a salt string."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", salt)
+    return slug or "default"
+
+
+def config_key(config: ExperimentConfig, salt: str = "") -> str:
+    """Content address of one configuration (full sha256 hex digest)."""
+    blob = json.dumps(config.to_dict(), sort_keys=True)
+    return hashlib.sha256(f"{salt}\n{blob}".encode("utf-8")).hexdigest()
+
+
+def canonical_result_dict(result_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic identity of a result: ``to_dict`` minus wall clock.
+
+    ``wallclock_s`` is the only field that legitimately differs between a
+    cached result and a fresh recompute of the same config; everything
+    else — flow stats, fairness series, event counts — must match
+    bit-for-bit.  Cache-equivalence checks and merge conflict detection
+    both compare this form.
+    """
+    d = dict(result_dict)
+    d.pop("wallclock_s", None)
+    return d
+
+
+def results_equivalent(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """True iff two result dicts are bit-identical modulo ``wallclock_s``."""
+    return json.dumps(canonical_result_dict(a), sort_keys=True) == json.dumps(
+        canonical_result_dict(b), sort_keys=True
+    )
+
+
+def _cacheable(result_dict: Dict[str, Any]) -> bool:
+    extra = result_dict.get("extra")
+    return not (isinstance(extra, dict) and "obs" in extra)
+
+
+class ResultCache:
+    """Content-addressed get/put over a sharded on-disk result layout.
+
+    One instance belongs to one *worker* (the shard it appends to); any
+    number of instances — across processes or hosts sharing the
+    filesystem — may read concurrently.  The in-memory index is built at
+    construction from the canonical store plus every shard, and can be
+    rebuilt with :meth:`refresh` to pick up other workers' appends.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        salt: Optional[str] = None,
+        worker: Optional[str] = None,
+    ):
+        self.root = Path(root)
+        self.salt = default_salt() if salt is None else salt
+        self.dir = self.root / salt_slug(self.salt)
+        self.shards_dir = self.dir / "shards"
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self.worker = worker if worker is not None else f"w{os.getpid()}"
+        self.canonical = ResultStore(self.dir / "canonical.jsonl")
+        self._shard: Optional[ResultStore] = None
+        #: key -> full result dict (as stored, wallclock included).
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.refresh()
+
+    # -- identity -----------------------------------------------------------------
+
+    def key_for(self, config: ExperimentConfig) -> str:
+        """This cache's content address for ``config`` (salt included)."""
+        return config_key(config, self.salt)
+
+    def _key_of_dict(self, config_dict: Dict[str, Any]) -> str:
+        return config_key(ExperimentConfig.from_dict(config_dict), self.salt)
+
+    # -- layout -------------------------------------------------------------------
+
+    @property
+    def shard_path(self) -> Path:
+        """This worker's append shard (created lazily on first put)."""
+        return self.shards_dir / f"{self.worker}.jsonl"
+
+    def shard_paths(self) -> List[Path]:
+        """Every shard file currently on disk, in sorted (merge) order."""
+        return sorted(self.shards_dir.glob("*.jsonl"))
+
+    # -- index --------------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Rebuild the index from canonical + shards; returns entry count.
+
+        Within the scan, later occurrences of a key overwrite earlier
+        ones (canonical first, then shards in sorted order) — the same
+        last-write-wins rule :meth:`merge` applies durably.
+        """
+        index: Dict[str, Dict[str, Any]] = {}
+        for store in [self.canonical] + [ResultStore(p) for p in self.shard_paths()]:
+            for _lineno, d in store.iter_dicts():
+                index[self._key_of_dict(d["config"])] = d
+        self._index = index
+        return len(index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, config: ExperimentConfig) -> bool:
+        return self.key_for(config) in self._index
+
+    # -- get / put / stats --------------------------------------------------------
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Cached result for ``config``, or None (counted as hit/miss)."""
+        d = self._index.get(self.key_for(config))
+        if d is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ExperimentResult.from_dict(d)
+
+    def put(self, result: ExperimentResult) -> bool:
+        """Record a computed result in this worker's shard.
+
+        Returns True if the result was appended, False if the key was
+        already present with an equivalent result (dedup) or the result
+        is not cacheable (telemetry side-channels).  A key collision with
+        a *different* result raises :class:`CacheConflictError`.
+        """
+        d = result.to_dict()
+        if not _cacheable(d):
+            return False
+        key = self._key_of_dict(d["config"])
+        have = self._index.get(key)
+        if have is not None:
+            if not results_equivalent(have, d):
+                raise CacheConflictError(self._conflict_message(key, have, d))
+            return False
+        if self._shard is None:
+            self._shard = ResultStore(self.shard_path)
+        self._shard.append_dict(d)
+        self._index[key] = d
+        self.puts += 1
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters + layout facts for CLI/metrics surfaces."""
+        return {
+            "salt": self.salt,
+            "dir": str(self.dir),
+            "entries": len(self._index),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "shards": len(self.shard_paths()),
+            "canonical_exists": self.canonical.path.exists(),
+        }
+
+    # -- merge / compact ----------------------------------------------------------
+
+    def merge(self) -> Dict[str, int]:
+        """Fold every shard into the canonical store and delete the shards.
+
+        Dedup is by config key, last-write-wins (canonical, then shards
+        in sorted filename order, then line order); every collision is
+        checked for bit-identity modulo ``wallclock_s`` and a mismatch
+        raises :class:`CacheConflictError`.  The canonical store is
+        rewritten atomically (temp file + rename), sorted by key so the
+        merged file is deterministic regardless of shard arrival order.
+
+        Call this from a single owner while shard writers are quiescent
+        (end of a sweep, a cron compaction); concurrent appenders to a
+        shard being folded would lose their tail.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        duplicates = 0
+        for _lineno, d in self.canonical.iter_dicts():
+            merged[self._key_of_dict(d["config"])] = d
+        shard_files = self.shard_paths()
+        for path in shard_files:
+            for _lineno, d in ResultStore(path).iter_dicts():
+                key = self._key_of_dict(d["config"])
+                have = merged.get(key)
+                if have is not None:
+                    if not results_equivalent(have, d):
+                        raise CacheConflictError(self._conflict_message(key, have, d))
+                    duplicates += 1
+                merged[key] = d  # last write wins
+        tmp = self.canonical.path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for key in sorted(merged):
+                fh.write(json.dumps(merged[key], sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.canonical.path)
+        for path in shard_files:
+            path.unlink()
+        if self._shard is not None:
+            self._shard.close()
+            self._shard = None
+        self._index = merged
+        return {
+            "entries": len(merged),
+            "shards_folded": len(shard_files),
+            "duplicates": duplicates,
+        }
+
+    def close(self) -> None:
+        """Release the shard write handle (idempotent)."""
+        if self._shard is not None:
+            self._shard.close()
+            self._shard = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _conflict_message(key: str, a: Dict[str, Any], b: Dict[str, Any]) -> str:
+        label = ExperimentConfig.from_dict(a["config"]).label()
+        fields = sorted(
+            k
+            for k in set(canonical_result_dict(a)) | set(canonical_result_dict(b))
+            if canonical_result_dict(a).get(k) != canonical_result_dict(b).get(k)
+        )
+        return (
+            f"cache conflict for {label} (key {key[:12]}): two results for "
+            f"one config differ in {fields} — cached and recomputed results "
+            "must be bit-identical (modulo wallclock_s)"
+        )

@@ -115,6 +115,13 @@ class CampaignResult(List[ExperimentResult]):
         self.failures: List[FailedRun] = []
         #: Individual retry attempts performed (graceful-degradation accounting).
         self.retried = 0
+        #: Results answered from the content-addressed cache (no engine run).
+        self.cache_hits = 0
+        #: Results taken from the resume store (no engine run).
+        self.resumed = 0
+        #: Configs actually handed to an engine this invocation (the number
+        #: the CI cache-smoke job requires to be zero on a warm cache).
+        self.engine_runs = 0
 
     def summary(self) -> Dict[str, int]:
         """Counts for campaign-end reporting: ok / failed / retried / total."""
@@ -292,11 +299,20 @@ def run_campaign(
     on_retry: Optional[Callable[[str, int, float, FailedRun], None]] = None,
     worker_fn: Optional[Callable[[tuple], dict]] = None,
     span_tracer: Optional[SpanTracer] = None,
+    cache=None,
 ) -> CampaignResult:
     """Run every config; returns results in completion order.
 
     With ``store`` and ``resume``, configs whose label already exists in
     the store are skipped and their stored results returned instead.
+
+    ``cache`` (a :class:`~repro.experiments.cache.ResultCache`) is the
+    cross-sweep layer above resume: configs any store has ever computed
+    are answered from the content-addressed cache without touching an
+    engine, and every freshly computed result is put back.  Cache hits
+    still flow through ``store``/``progress`` like computed results.
+    Telemetry runs bypass the cache entirely (their results embed run-log
+    side channels that a recompute would not reproduce).
     ``progress``/``on_failure`` fire per completed config with a shared
     ``finished`` count covering both outcomes.  ``telemetry`` is handed to
     every worker, giving each run its own JSONL run log.
@@ -334,8 +350,25 @@ def run_campaign(
                 and ExperimentConfig.from_dict(r.config).label() in have
             )
             todo = [c for c in todo if c.label() not in have]
+            done.resumed = len(done)
 
-    total = len(todo)
+    # Content-addressed cache layer: anything any store has seen skips
+    # the engine.  Hits are replayed through the normal record path below
+    # so store/progress/span accounting treat them like completions.
+    cached_results: List[ExperimentResult] = []
+    if cache is not None and telemetry is None:
+        remaining: List[ExperimentConfig] = []
+        for cfg in todo:
+            hit = cache.get(cfg)
+            if hit is not None:
+                cached_results.append(hit)
+            else:
+                remaining.append(cfg)
+        todo = remaining
+        done.cache_hits = len(cached_results)
+
+    total = len(todo) + len(cached_results)
+    done.engine_runs = len(todo)
     finished = 0
     spans = span_tracer if span_tracer is not None else NULL_SPAN_TRACER
 
@@ -345,6 +378,8 @@ def run_campaign(
         if store is not None:
             with spans.span("store", label=ExperimentConfig.from_dict(result.config).label()):
                 store.append(result)
+        if cache is not None and telemetry is None:
+            cache.put(result)  # dedups cached replays, records fresh runs
         done.append(result)
         if progress is not None:
             progress(finished, total, result)
@@ -366,9 +401,11 @@ def run_campaign(
         "campaign",
         CAT_CAMPAIGN,
         labels={"configs": total, "jobs": jobs, "mode": mode,
-                "resumed": len(done)},
+                "resumed": done.resumed, "cache_hits": len(cached_results)},
     )
     try:
+        for cached in cached_results:
+            _record(cached)
         if hardened:
             _run_hardened(
                 todo,

@@ -8,18 +8,41 @@ for the store's lifetime: each result is a single buffered write of the
 complete line, flushed immediately.  That keeps appends atomic at the
 line level even when several campaign processes share one results file —
 O_APPEND positions every flushed write at the current end of file.
+
+Torn writes
+-----------
+
+A process killed mid-append (SIGKILL, OOM, power loss) can leave a
+*partial* final line.  That must not brick resume, so the store handles
+it on both sides:
+
+- **Read side**: a line that fails to parse as JSON is skipped with a
+  :class:`TornWriteWarning` *iff* nothing but blank lines follows it —
+  i.e. it is the torn tail of the file.  A malformed line anywhere else
+  (or a well-formed JSON line that is not a result record) is real
+  corruption and still raises ``ValueError``.
+- **Write side**: opening the append handle first repairs a torn tail —
+  the partial fragment is moved to a ``<store>.torn.jsonl`` sidecar (for
+  forensics) and truncated from the store, so the next append cannot
+  glue a fresh record onto the fragment and turn a recoverable torn tail
+  into unrecoverable mid-file corruption.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Set, Union
+from typing import IO, Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.summary import ExperimentResult
 
 PathLike = Union[str, Path]
+
+
+class TornWriteWarning(UserWarning):
+    """A partial trailing line (crash mid-append) was skipped or repaired."""
 
 
 class ResultStore:
@@ -32,11 +55,50 @@ class ResultStore:
 
     def append(self, result: ExperimentResult) -> None:
         """Append one result as a JSON line (flushed immediately)."""
+        self.append_dict(result.to_dict())
+
+    def append_dict(self, d: Dict[str, Any]) -> None:
+        """Append one pre-serialized result dict (same line format)."""
         fh = self._fh
         if fh is None:
+            self._repair_torn_tail()
             fh = self._fh = self.path.open("a", encoding="utf-8")
-        fh.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+        fh.write(json.dumps(d, sort_keys=True) + "\n")
         fh.flush()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial (newline-less) final line before appending.
+
+        The fragment is preserved in ``<store>.torn.jsonl``.  Without this,
+        the next O_APPEND write would concatenate onto the fragment and
+        produce a corrupt line *mid-file* — unrecoverable by the read-side
+        torn-tail skip.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with self.path.open("r+b") as fh:
+            fh.seek(size - 1)
+            if fh.read(1) == b"\n":
+                return
+            # Walk back to the last newline; everything after it is the
+            # torn fragment.
+            data = self.path.read_bytes()
+            cut = data.rfind(b"\n") + 1  # 0 when the whole file is one fragment
+            fragment = data[cut:]
+            sidecar = self.path.with_suffix(".torn.jsonl")
+            with sidecar.open("ab") as side:
+                side.write(fragment + b"\n")
+            fh.truncate(cut)
+        warnings.warn(
+            f"{self.path}: repaired torn trailing line before append "
+            f"({len(fragment)} bytes moved to {sidecar.name})",
+            TornWriteWarning,
+            stacklevel=3,
+        )
 
     def close(self) -> None:
         """Release the write handle (idempotent; reopened on next append)."""
@@ -57,18 +119,49 @@ class ResultStore:
         except Exception:
             pass
 
-    def __iter__(self) -> Iterator[ExperimentResult]:
+    def iter_dicts(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Yield ``(lineno, result_dict)`` pairs with torn-tail tolerance.
+
+        A JSON-undecodable line followed only by blank lines is the torn
+        tail of a crashed append: it is skipped with a
+        :class:`TornWriteWarning`.  An undecodable line followed by more
+        content is corruption and raises ``ValueError``.
+        """
         if not self.path.exists():
             return
+        torn: Optional[Tuple[int, str]] = None
         with self.path.open("r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, 1):
                 line = line.strip()
                 if not line:
                     continue
+                if torn is not None:
+                    bad_lineno, bad_err = torn
+                    raise ValueError(
+                        f"{self.path}:{bad_lineno}: corrupt result line "
+                        f"({bad_err}) followed by more content — not a torn "
+                        "trailing write"
+                    )
                 try:
-                    yield ExperimentResult.from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError) as exc:
-                    raise ValueError(f"{self.path}:{lineno}: corrupt result line ({exc})") from None
+                    yield lineno, json.loads(line)
+                except json.JSONDecodeError as exc:
+                    torn = (lineno, str(exc))
+        if torn is not None:
+            warnings.warn(
+                f"{self.path}:{torn[0]}: skipping partial trailing line "
+                f"(torn write from a crashed append): {torn[1]}",
+                TornWriteWarning,
+                stacklevel=2,
+            )
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        for lineno, d in self.iter_dicts():
+            try:
+                yield ExperimentResult.from_dict(d)
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt result line ({exc!r})"
+                ) from None
 
     def load(self) -> List[ExperimentResult]:
         """Read every stored result into memory."""

@@ -1,0 +1,259 @@
+"""Unit + property tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import (
+    CacheConflictError,
+    ResultCache,
+    canonical_result_dict,
+    config_key,
+    default_salt,
+    results_equivalent,
+    salt_slug,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.storage import ResultStore
+from repro.metrics.summary import ExperimentResult, SenderStats
+from repro.units import mbps
+
+
+def _config(seed=1, engine="fluid", **kw):
+    return ExperimentConfig(
+        cca_pair=("cubic", "cubic"),
+        bottleneck_bw_bps=mbps(100),
+        duration_s=5.0,
+        engine=engine,
+        seed=seed,
+        **kw,
+    )
+
+
+def _result(seed=1, *, jain=1.0, wallclock=0.5, engine="fluid"):
+    cfg = _config(seed, engine=engine)
+    return ExperimentResult(
+        config=cfg.to_dict(),
+        senders=[
+            SenderStats("client1", "cubic", 50e6, 5, 1),
+            SenderStats("client2", "cubic", 50e6, 3, 1),
+        ],
+        flows=[],
+        jain_index=jain,
+        link_utilization=1.0,
+        total_retransmits=8,
+        total_throughput_bps=100e6,
+        bottleneck_drops=8,
+        duration_s=5.0,
+        engine=engine,
+        wallclock_s=wallclock,
+    )
+
+
+# -- keys and identity --------------------------------------------------------------
+
+
+def test_config_key_is_stable_and_engine_sensitive():
+    k1 = config_key(_config(1), "salt")
+    assert k1 == config_key(_config(1), "salt")
+    assert k1 != config_key(_config(2), "salt")
+    assert k1 != config_key(_config(1, engine="packet"), "salt")
+    assert k1 != config_key(_config(1), "other-salt")
+    assert len(k1) == 64 and int(k1, 16) >= 0
+
+
+def test_default_salt_carries_version():
+    from repro._version import __version__
+
+    assert __version__ in default_salt()
+
+
+def test_salt_slug_is_filesystem_safe():
+    assert "/" not in salt_slug("a/b c:d")
+    assert salt_slug("repro-1.0.0") == "repro-1.0.0"
+    assert salt_slug("") == "default"
+
+
+def test_canonical_form_strips_only_wallclock():
+    d = _result(wallclock=1.23).to_dict()
+    canon = canonical_result_dict(d)
+    assert "wallclock_s" not in canon
+    assert d["wallclock_s"] == 1.23  # input untouched
+    assert canon["jain_index"] == d["jain_index"]
+    assert results_equivalent(_result(wallclock=0.1).to_dict(), _result(wallclock=9.9).to_dict())
+    assert not results_equivalent(_result(jain=1.0).to_dict(), _result(jain=0.5).to_dict())
+
+
+# -- get / put / stats --------------------------------------------------------------
+
+
+def test_put_then_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    assert cache.get(_config(1)) is None  # miss
+    assert cache.put(_result(1)) is True
+    hit = cache.get(_config(1))
+    assert hit is not None
+    assert hit.to_dict() == _result(1).to_dict()
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["puts"] == 1
+    assert cache.stats()["entries"] == 1
+
+
+def test_shard_layout_is_salt_namespaced(tmp_path):
+    cache = ResultCache(tmp_path, salt="s1", worker="w1")
+    cache.put(_result(1))
+    assert (tmp_path / salt_slug("s1") / "shards" / "w1.jsonl").exists()
+    # A different salt sees a cold cache over the same root.
+    other = ResultCache(tmp_path, salt="s2", worker="w1")
+    assert other.get(_config(1)) is None
+
+
+def test_shard_files_are_plain_result_stores(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    cache.put(_result(1))
+    cache.close()
+    rows = ResultStore(cache.shard_path).load()
+    assert len(rows) == 1 and rows[0].config["seed"] == 1
+
+
+def test_duplicate_put_dedups(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    assert cache.put(_result(1)) is True
+    assert cache.put(_result(1, wallclock=9.0)) is False  # equivalent: skipped
+    cache.close()
+    assert len(ResultStore(cache.shard_path).load()) == 1
+
+
+def test_conflicting_put_raises(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    cache.put(_result(1, jain=1.0))
+    with pytest.raises(CacheConflictError, match="jain_index"):
+        cache.put(_result(1, jain=0.5))
+
+
+def test_telemetry_results_are_not_cacheable(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    r = _result(1)
+    r.extra = {"obs": {"run_log": "/tmp/x.jsonl"}}
+    assert cache.put(r) is False
+    assert cache.get(_config(1)) is None
+
+
+def test_cross_instance_visibility_via_refresh(tmp_path):
+    w1 = ResultCache(tmp_path, worker="w1")
+    w2 = ResultCache(tmp_path, worker="w2")
+    w1.put(_result(1))
+    assert w2.get(_config(1)) is None  # index built before the put
+    w2.refresh()
+    assert w2.get(_config(1)) is not None
+
+
+# -- merge / compact ----------------------------------------------------------------
+
+
+def test_merge_folds_shards_into_canonical(tmp_path):
+    for w, seeds in (("w1", [1, 2]), ("w2", [3])):
+        cache = ResultCache(tmp_path, worker=w)
+        for s in seeds:
+            cache.put(_result(s))
+        cache.close()
+    # A racing worker that never refreshed writes seed 2 again, raw.
+    w3 = ResultCache(tmp_path, worker="w3")
+    ResultStore(w3.shard_path).append(_result(2))
+    merger = ResultCache(tmp_path, worker="merger")
+    summary = merger.merge()
+    assert summary == {"entries": 3, "shards_folded": 3, "duplicates": 1}
+    assert merger.shard_paths() == []  # shards deleted
+    rows = ResultStore(merger.canonical.path).load()
+    assert sorted(r.config["seed"] for r in rows) == [1, 2, 3]
+    # Canonical is sorted by key → deterministic bytes.
+    lines = merger.canonical.path.read_text().splitlines()
+    keys = [config_key(ExperimentConfig.from_dict(json.loads(l)["config"]), merger.salt)
+            for l in lines]
+    assert keys == sorted(keys)
+
+
+def test_merge_is_idempotent_and_last_write_wins(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    cache.put(_result(1, wallclock=0.1))
+    cache.close()
+    merger = ResultCache(tmp_path)
+    merger.merge()
+    first = merger.canonical.path.read_bytes()
+    # Re-merging with no shards is a no-op byte-wise.
+    merger.merge()
+    assert merger.canonical.path.read_bytes() == first
+    # An equivalent later write (different wallclock) replaces the entry.
+    late = ResultCache(tmp_path, worker="w9")
+    late.refresh()
+    assert late.put(_result(1, wallclock=7.0)) is False  # deduped against index
+    # Force a raw duplicate row as a crashed worker would leave it:
+    ResultStore(late.shard_path).append(_result(1, wallclock=7.0))
+    merged = ResultCache(tmp_path).merge()
+    assert merged["duplicates"] == 1
+    rows = ResultStore(merger.canonical.path).load()
+    assert rows[0].wallclock_s == 7.0  # last write won
+
+
+def test_merge_detects_conflicts(tmp_path):
+    a = ResultCache(tmp_path, worker="w1")
+    a.put(_result(1, jain=1.0))
+    a.close()
+    # A second worker that never saw w1's shard computes a different result.
+    b = ResultCache(tmp_path, worker="w2")
+    ResultStore(b.shard_path).append(_result(1, jain=0.25))
+    with pytest.raises(CacheConflictError, match="bit-identical"):
+        ResultCache(tmp_path).merge()
+
+
+def test_merge_preserves_canonical_entries(tmp_path):
+    cache = ResultCache(tmp_path, worker="w1")
+    cache.put(_result(1))
+    cache.close()
+    ResultCache(tmp_path).merge()
+    cache2 = ResultCache(tmp_path, worker="w2")
+    cache2.put(_result(2))
+    cache2.close()
+    summary = ResultCache(tmp_path).merge()
+    assert summary["entries"] == 2
+
+
+# -- the sharding property ----------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=12),
+    assignment=st.lists(st.integers(min_value=0, max_value=3), min_size=12, max_size=12),
+)
+def test_merge_of_random_sharding_equals_unsharded_store(tmp_path_factory, seeds, assignment):
+    """However results are scattered over worker shards — duplicates
+    included — merge/compact produces exactly the store a single
+    unsharded worker would have written."""
+    tmp = tmp_path_factory.mktemp("cache")
+    unique = sorted(set(seeds))
+
+    # Reference: one worker, no sharding, one put per distinct config.
+    ref = ResultCache(tmp / "ref", worker="solo")
+    for s in unique:
+        ref.put(_result(s))
+    ref.close()
+    ResultCache(tmp / "ref").merge()
+    reference = (tmp / "ref" / salt_slug(default_salt()) / "canonical.jsonl").read_bytes()
+
+    # Candidate: scatter the same results (with repeats) over 4 shards.
+    shards = {}
+    for s, w in zip(seeds, assignment):
+        shards.setdefault(f"w{w}", []).append(s)
+    root = tmp / "sharded"
+    for worker, worker_seeds in shards.items():
+        cache = ResultCache(root, worker=worker)
+        for s in worker_seeds:
+            ResultStore(cache.shard_path).append(_result(s))
+        cache.close()
+    ResultCache(root).merge()
+    candidate = (root / salt_slug(default_salt()) / "canonical.jsonl").read_bytes()
+    assert candidate == reference

@@ -1,0 +1,93 @@
+"""Cache-equivalence harness: a cache hit must be byte-identical to a
+fresh recompute, for every engine, including the fairness time series.
+
+This is the contract that makes the sweep service trustworthy — serving
+from the cache is indistinguishable (modulo ``wallclock_s``) from
+re-running the experiment.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, canonical_result_dict
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.units import mbps
+
+ENGINE_CONFIGS = {
+    "packet": dict(
+        cca_pair=("cubic", "reno"),
+        bottleneck_bw_bps=mbps(10),
+        duration_s=3.0,
+        engine="packet",
+        seed=7,
+        fairness_interval_s=1.0,
+    ),
+    "fluid": dict(
+        cca_pair=("cubic", "cubic"),
+        bottleneck_bw_bps=mbps(200),
+        duration_s=8.0,
+        engine="fluid",
+        seed=7,
+        fairness_interval_s=1.0,
+    ),
+    "fluid_batched": dict(
+        cca_pair=("bbrv1", "cubic"),
+        bottleneck_bw_bps=mbps(200),
+        duration_s=8.0,
+        engine="fluid_batched",
+        seed=7,
+        fairness_interval_s=1.0,
+    ),
+}
+
+
+def _canon_json(result) -> str:
+    return json.dumps(canonical_result_dict(result.to_dict()), sort_keys=True)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_CONFIGS))
+def test_cache_hit_is_byte_identical_to_recompute(engine, tmp_path):
+    cfg = ExperimentConfig(**ENGINE_CONFIGS[engine])
+    first = run_experiment(cfg)
+    assert first.extra and "fairness" in first.extra, "config must exercise fairness series"
+
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    assert cache.put(first) is True
+
+    # Fresh instance: hit must come from disk, not the in-process object.
+    reader = ResultCache(tmp_path / "cache", worker="w2")
+    hit = reader.get(cfg)
+    assert hit is not None
+
+    recomputed = run_experiment(cfg)
+    assert _canon_json(hit) == _canon_json(recomputed)
+    # The fairness series itself is part of the identity.
+    assert hit.extra["fairness"] == recomputed.extra["fairness"]
+    assert hit.extra["fairness"]["samples"], "series must be non-empty"
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_CONFIGS))
+def test_cache_survives_merge_byte_identical(engine, tmp_path):
+    """The hit is equally faithful after shards fold into canonical."""
+    cfg = ExperimentConfig(**ENGINE_CONFIGS[engine])
+    result = run_experiment(cfg)
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    cache.put(result)
+    cache.close()
+    cache.merge()
+
+    hit = ResultCache(tmp_path / "cache").get(cfg)
+    assert hit is not None
+    assert _canon_json(hit) == _canon_json(result)
+
+
+def test_cache_get_misses_on_config_drift(tmp_path):
+    """Any config change — even just the seed — is a different cache key."""
+    base = ExperimentConfig(**ENGINE_CONFIGS["fluid"])
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    cache.put(run_experiment(base))
+    drifted = ExperimentConfig(**{**ENGINE_CONFIGS["fluid"], "seed": 8})
+    assert cache.get(drifted) is None
+    assert cache.get(base) is not None

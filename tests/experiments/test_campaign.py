@@ -137,6 +137,77 @@ def test_failed_run_roundtrip():
     assert FailedRun.from_dict(row.to_dict()) == row
 
 
+def test_campaign_with_cache_skips_warm_configs(tmp_path, monkeypatch):
+    from repro.experiments.cache import ResultCache
+    import repro.experiments.campaign as campaign_mod
+
+    store1 = ResultStore(tmp_path / "a.jsonl")
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    configs = _configs(3)
+    first = run_campaign(configs, store=store1, jobs=1, cache=cache)
+    assert first.cache_hits == 0 and first.engine_runs == 3
+
+    calls = []
+    real_run = campaign_mod.run_experiment
+
+    def counting_run(cfg, telemetry=None):
+        calls.append(cfg.label())
+        return real_run(cfg, telemetry)
+
+    monkeypatch.setattr(campaign_mod, "run_experiment", counting_run)
+    # Fresh store: resume can't mask the cache; every answer must come
+    # from the cache with zero engine invocations.
+    store2 = ResultStore(tmp_path / "b.jsonl")
+    second = run_campaign(configs, store=store2, jobs=1, cache=cache)
+    assert calls == []
+    assert second.cache_hits == 3 and second.engine_runs == 0
+    assert len(second) == 3
+    # Cache hits still flow into the store, like real runs.
+    assert len(store2.load()) == 3
+    # summary() stays exactly as the pre-cache world knew it.
+    assert second.summary() == {"ok": 3, "failed": 0, "retried": 0, "total": 3}
+
+
+def test_campaign_partial_cache(tmp_path, monkeypatch):
+    from repro.experiments.cache import ResultCache
+    import repro.experiments.campaign as campaign_mod
+
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    configs = _configs(3)
+    run_campaign(configs[:2], jobs=1, cache=cache)  # warm 2 of 3
+
+    calls = []
+    real_run = campaign_mod.run_experiment
+    monkeypatch.setattr(
+        campaign_mod,
+        "run_experiment",
+        lambda cfg, telemetry=None: (calls.append(cfg.seed), real_run(cfg, telemetry))[1],
+    )
+    progress = []
+    results = run_campaign(
+        configs, jobs=1, cache=cache,
+        progress=lambda done, total, r: progress.append((done, total)),
+    )
+    assert calls == [102]  # only the cold config ran
+    assert results.cache_hits == 2 and results.engine_runs == 1
+    # Progress counts hits and runs against the same total.
+    assert progress == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_campaign_cache_disabled_under_telemetry(tmp_path):
+    from repro.experiments.cache import ResultCache
+    from repro.obs.session import TelemetryOptions
+
+    cache = ResultCache(tmp_path / "cache", worker="w1")
+    configs = _configs(1)
+    run_campaign(configs, jobs=1, cache=cache)
+    # Telemetry runs bypass the cache wholesale: results carry run-log
+    # pointers that are not content-addressed.
+    telemetry = TelemetryOptions(dir=str(tmp_path / "obs"))
+    results = run_campaign(configs, jobs=1, cache=cache, telemetry=telemetry)
+    assert results.cache_hits == 0 and results.engine_runs == 1
+
+
 def test_campaign_progress_tracker(tmp_path, capsys):
     from repro.obs.runlog import read_run_log
 

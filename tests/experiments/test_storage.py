@@ -1,9 +1,11 @@
 """Unit tests for the JSONL result store."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.storage import ResultStore
+from repro.experiments.storage import ResultStore, TornWriteWarning
 from repro.metrics.summary import ExperimentResult, SenderStats
 from repro.units import mbps
 
@@ -94,6 +96,106 @@ def test_store_context_manager_closes(tmp_path):
         assert store._fh is not None
     assert store._fh is None
     assert len(store.load()) == 1
+
+
+def _tear_last_line(path, keep_bytes=37):
+    """Simulate a crash mid-append: truncate the final line partway."""
+    data = path.read_bytes()
+    assert data.endswith(b"\n")
+    cut = data.rstrip(b"\n").rfind(b"\n") + 1  # start of the last line
+    assert len(data) - cut > keep_bytes, "line too short to tear"
+    path.write_bytes(data[: cut + keep_bytes])
+
+
+def test_torn_trailing_line_skipped_with_warning(tmp_path):
+    """A partial final line (SIGKILL mid-append) must not brick resume."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.append(_result(2))
+    store.close()
+    _tear_last_line(store.path)
+    with pytest.warns(TornWriteWarning, match="torn write"):
+        loaded = ResultStore(store.path).load()
+    assert [r.config["seed"] for r in loaded] == [1]
+    with pytest.warns(TornWriteWarning):
+        labels = ResultStore(store.path).completed_labels()
+    survivor = ExperimentConfig(
+        cca_pair=("cubic", "cubic"), bottleneck_bw_bps=mbps(100), seed=1
+    )
+    assert labels == {survivor.label()}
+
+
+def test_torn_line_followed_by_blanks_still_skipped(tmp_path):
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.append(_result(2))
+    store.close()
+    _tear_last_line(store.path)
+    with store.path.open("a") as fh:
+        fh.write("\n\n")
+    with pytest.warns(TornWriteWarning):
+        assert len(ResultStore(store.path).load()) == 1
+
+
+def test_corruption_mid_file_still_raises(tmp_path):
+    """Only the *trailing* line gets the torn-write pardon."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.append(_result(2))
+    store.close()
+    data = store.path.read_bytes().splitlines(keepends=True)
+    data[0] = data[0][:40] + b"\n"  # truncate the FIRST line instead
+    store.path.write_bytes(b"".join(data))
+    with pytest.raises(ValueError, match="not a torn trailing write"):
+        ResultStore(store.path).load()
+
+
+def test_append_after_torn_tail_repairs_file(tmp_path):
+    """Appending to a torn store must not glue a new record onto the
+    fragment (which would turn a recoverable tail into mid-file
+    corruption): the fragment is truncated into a .torn.jsonl sidecar."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.append(_result(2))
+    store.close()
+    _tear_last_line(store.path)
+    fresh = ResultStore(store.path)
+    with pytest.warns(TornWriteWarning, match="repaired"):
+        fresh.append(_result(3))
+    fresh.close()
+    # No warning on read now: the file is whole again.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        loaded = ResultStore(store.path).load()
+    assert [r.config["seed"] for r in loaded] == [1, 3]
+    sidecar = store.path.with_suffix(".torn.jsonl")
+    assert sidecar.exists() and sidecar.read_bytes().strip()
+
+
+def test_whole_file_is_one_fragment(tmp_path):
+    """A store torn inside its very first line repairs to empty."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.close()
+    data = store.path.read_bytes()
+    store.path.write_bytes(data[:25])  # no newline anywhere
+    fresh = ResultStore(store.path)
+    with pytest.warns(TornWriteWarning):
+        fresh.append(_result(2))
+    fresh.close()
+    assert [r.config["seed"] for r in ResultStore(store.path).load()] == [2]
+
+
+def test_schema_violation_raises_even_as_final_line(tmp_path):
+    """Valid JSON that is not a result record is corruption, not a torn
+    write — it must raise wherever it sits."""
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append(_result(1))
+    store.close()
+    with store.path.open("a") as fh:
+        fh.write('{"not": "a result"}\n')
+    with pytest.raises(ValueError, match="corrupt result line"):
+        ResultStore(store.path).load()
 
 
 def _append_worker(path, seed_base, count):

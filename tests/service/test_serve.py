@@ -1,0 +1,251 @@
+"""End-to-end smoke tests for ``repro serve``.
+
+A real asyncio server on a loopback port, talked to over raw HTTP/1.1:
+cold query schedules the engine, re-query is a cache hit with zero
+recompute, malformed configs come back as clean 400s, and the cache
+counters show up in the Prometheus exposition.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+import repro.service as service_mod
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.summary import ExperimentResult, SenderStats
+from repro.service import SweepService
+from repro.units import mbps
+
+CONFIG = {
+    "cca_pair": ["cubic", "cubic"],
+    "bottleneck_bw_bps": mbps(100),
+    "duration_s": 5.0,
+    "engine": "fluid",
+    "seed": 3,
+    "fairness_interval_s": 1.0,
+}
+
+
+def _fake_result(cfg):
+    return ExperimentResult(
+        config=cfg.to_dict(),
+        senders=[SenderStats("client1", "cubic", 50e6, 0, 1)],
+        flows=[],
+        jain_index=0.97,
+        link_utilization=1.0,
+        total_retransmits=0,
+        total_throughput_bps=100e6,
+        bottleneck_drops=0,
+        duration_s=cfg.duration_s,
+        engine=cfg.engine,
+        wallclock_s=0.01,
+        extra={"fairness": {"samples": [{"t_s": 1.0, "jain": 0.97}],
+                            "convergence_time_s": 1.0}},
+    )
+
+
+async def _request(port, method, path, body=None):
+    """One raw HTTP/1.1 exchange; returns (status, parsed-or-text body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\nContent-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    status = int(head_part.split(b" ")[1])
+    text = body_part.decode()
+    try:
+        return status, json.loads(text)
+    except json.JSONDecodeError:
+        return status, text
+
+
+def _serve(tmp_path, monkeypatch, coro_fn, *, engine_calls=None, **service_kw):
+    """Run ``coro_fn(port, service)`` against a live service instance."""
+    if engine_calls is not None:
+        def counted_run(cfg):
+            engine_calls.append(cfg.label())
+            return _fake_result(cfg)
+        monkeypatch.setattr(service_mod, "run_experiment", counted_run)
+
+    async def driver():
+        cache = ResultCache(tmp_path / "cache", worker="serve-test")
+        service = SweepService(cache, **service_kw)
+        server = await service.start(port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await coro_fn(port, service)
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+
+    return asyncio.run(driver())
+
+
+def test_cold_then_warm_query(tmp_path, monkeypatch):
+    calls = []
+
+    async def scenario(port, service):
+        cold_status, cold = await _request(port, "POST", "/query", CONFIG)
+        warm_status, warm = await _request(port, "POST", "/query", CONFIG)
+        return cold_status, cold, warm_status, warm
+
+    cold_status, cold, warm_status, warm = _serve(
+        tmp_path, monkeypatch, scenario, engine_calls=calls
+    )
+    assert cold_status == 200 and warm_status == 200
+    assert cold["cached"] is False and warm["cached"] is True
+    assert len(calls) == 1  # the re-query never touched the engine
+    assert cold["jain_index"] == warm["jain_index"] == 0.97
+    assert warm["convergence_time_s"] == 1.0
+    assert warm["fairness"]["samples"]
+    assert cold["key"] == warm["key"] and len(cold["key"]) == 64
+
+
+def test_full_flag_inlines_result(tmp_path, monkeypatch):
+    async def scenario(port, service):
+        _, brief = await _request(port, "POST", "/query", CONFIG)
+        _, full = await _request(port, "POST", "/query", {**CONFIG, "full": True})
+        return brief, full
+
+    brief, full = _serve(tmp_path, monkeypatch, scenario, engine_calls=[])
+    assert "result" not in brief
+    assert full["result"]["config"]["seed"] == 3
+
+
+def test_malformed_configs_get_clean_400s(tmp_path, monkeypatch):
+    calls = []
+
+    async def scenario(port, service):
+        responses = {}
+        responses["bad_cca"] = await _request(
+            port, "POST", "/query", {**CONFIG, "cca_pair": ["cubic", "not-a-cca"]}
+        )
+        responses["missing"] = await _request(port, "POST", "/query", {"full": True})
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"POST /query HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        responses["not_json"] = (int(head.split(b" ")[1]), json.loads(body))
+        return responses
+
+    r = _serve(tmp_path, monkeypatch, scenario, engine_calls=calls)
+    assert calls == []  # nothing malformed ever reaches the engine
+    status, body = r["bad_cca"]
+    assert status == 400 and "invalid experiment config" in body["error"]
+    status, body = r["missing"]
+    assert status == 400 and "cca_pair" in body["error"]
+    status, body = r["not_json"]
+    assert status == 400 and "not valid JSON" in body["error"]
+
+
+def test_unknown_route_is_404(tmp_path, monkeypatch):
+    async def scenario(port, service):
+        return await _request(port, "GET", "/nope")
+
+    status, body = _serve(tmp_path, monkeypatch, scenario)
+    assert status == 404 and "no route" in body["error"]
+
+
+def test_healthz_and_stats(tmp_path, monkeypatch):
+    async def scenario(port, service):
+        _, health0 = await _request(port, "GET", "/healthz")
+        await _request(port, "POST", "/query", CONFIG)
+        _, health1 = await _request(port, "GET", "/healthz")
+        _, stats = await _request(port, "GET", "/stats")
+        return health0, health1, stats
+
+    health0, health1, stats = _serve(tmp_path, monkeypatch, scenario, engine_calls=[])
+    assert health0 == {"ok": True, "entries": 0, "salt": health0["salt"]}
+    assert health1["entries"] == 1
+    assert stats["scheduled_runs"] == 1
+    assert stats["misses"] == 1 and stats["puts"] == 1
+    assert stats["requests"] >= 3
+
+
+def test_metrics_exposes_cache_counters(tmp_path, monkeypatch):
+    async def scenario(port, service):
+        await _request(port, "POST", "/query", CONFIG)  # miss + engine run
+        await _request(port, "POST", "/query", CONFIG)  # hit
+        await _request(port, "POST", "/query", {"full": True})  # 400
+        _, text = await _request(port, "GET", "/metrics")
+        return text
+
+    text = _serve(tmp_path, monkeypatch, scenario, engine_calls=[])
+    assert "repro_service_cache_hits_total 1" in text
+    assert "repro_service_cache_misses_total 1" in text
+    assert "repro_service_engine_runs_total 1" in text
+    assert "repro_service_errors_total 1" in text
+    assert "repro_service_cache_entries 1" in text
+    assert "repro_service_request_latency_seconds_bucket" in text
+
+
+def test_single_flight_dedups_concurrent_queries(tmp_path, monkeypatch):
+    calls = []
+
+    async def scenario(port, service):
+        return await asyncio.gather(
+            *[_request(port, "POST", "/query", CONFIG) for _ in range(4)]
+        )
+
+    responses = _serve(tmp_path, monkeypatch, scenario, engine_calls=calls, jobs=4)
+    assert len(calls) == 1  # four concurrent identical asks, one engine run
+    assert all(status == 200 for status, _ in responses)
+    assert sum(1 for _, body in responses if body["cached"] is False) >= 1
+
+
+def test_scheduled_runs_log_campaign_progress(tmp_path, monkeypatch):
+    async def scenario(port, service):
+        await _request(port, "POST", "/query", CONFIG)
+        await _request(port, "POST", "/query", CONFIG)  # hit: no new record
+        return None
+
+    _serve(
+        tmp_path,
+        monkeypatch,
+        scenario,
+        engine_calls=[],
+        telemetry_dir=str(tmp_path / "telemetry"),
+    )
+    lines = (tmp_path / "telemetry" / "campaign.jsonl").read_text().splitlines()
+    records = [json.loads(l) for l in lines]
+    progress = [r for r in records if r.get("record") == "campaign_progress"]
+    assert len(progress) == 1  # one engine run → one record, the hit adds none
+
+
+def test_service_persists_into_shared_cache(tmp_path, monkeypatch):
+    """A result computed by the service is visible to later sweeps."""
+    async def scenario(port, service):
+        await _request(port, "POST", "/query", CONFIG)
+        return None
+
+    _serve(tmp_path, monkeypatch, scenario, engine_calls=[])
+    cfg = ExperimentConfig.from_dict(dict(CONFIG))
+    hit = ResultCache(tmp_path / "cache").get(cfg)
+    assert hit is not None and hit.jain_index == 0.97
+
+
+def test_real_engine_end_to_end(tmp_path):
+    """No monkeypatching: a genuine fluid run through the full HTTP path."""
+    async def scenario(port, service):
+        _, cold = await _request(port, "POST", "/query", CONFIG)
+        _, warm = await _request(port, "POST", "/query", CONFIG)
+        return cold, warm
+
+    cold, warm = _serve(tmp_path, pytest.MonkeyPatch(), scenario)
+    assert cold["cached"] is False and warm["cached"] is True
+    assert cold["engine"] == "fluid"
+    assert warm["fairness"]["samples"], "fairness series served from cache"
+    assert cold["jain_index"] == warm["jain_index"]

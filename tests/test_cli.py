@@ -143,3 +143,76 @@ def test_parser_rejects_unknown_choices():
         parser.parse_args(["run", "--aqm", "wred"])
     with pytest.raises(SystemExit):
         parser.parse_args(["sweep", "--preset", "everything"])
+
+
+def test_sweep_with_cache_warm_second_pass(tmp_path, capsys):
+    """The cache: line is the CI cache-smoke contract — a second sweep
+    against the same cache (fresh store, so resume can't mask it) must
+    report zero engine runs."""
+    cache_dir = str(tmp_path / "cache")
+    rc = main(["sweep", "--preset", "smoke", "--out", str(tmp_path / "a.jsonl"),
+               "--quiet", "--cache", cache_dir])
+    assert rc == 0
+    first = capsys.readouterr().out
+    assert "cache: 0 hits, 2 engine runs, 2 entries" in first
+
+    rc = main(["sweep", "--preset", "smoke", "--out", str(tmp_path / "b.jsonl"),
+               "--quiet", "--cache", cache_dir])
+    assert rc == 0
+    second = capsys.readouterr().out
+    assert "cache: 2 hits, 0 engine runs, 2 entries" in second
+    # The warm pass still produced a full result store.
+    from repro.experiments.storage import ResultStore
+
+    assert len(ResultStore(tmp_path / "b.jsonl").load()) == 2
+
+
+def test_cache_stats_and_merge_commands(tmp_path, capsys):
+    import json
+
+    cache_dir = str(tmp_path / "cache")
+    main(["sweep", "--preset", "smoke", "--out", str(tmp_path / "a.jsonl"),
+          "--quiet", "--cache", cache_dir, "--no-cache-merge"])
+    capsys.readouterr()
+
+    assert main(["cache", "stats", cache_dir]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 2
+    assert stats["shards"] == 1  # --no-cache-merge left the shard in place
+
+    assert main(["cache", "merge", cache_dir]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary == {"entries": 2, "shards_folded": 1, "duplicates": 0}
+
+    assert main(["cache", "stats", cache_dir]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["shards"] == 0 and stats["canonical_exists"] is True
+
+
+def test_sweep_queue_mode(tmp_path, capsys):
+    queue_dir = str(tmp_path / "queue")
+    cache_dir = str(tmp_path / "cache")
+    rc = main(["sweep", "--preset", "smoke", "--out", str(tmp_path / "r.jsonl"),
+               "--quiet", "--queue", queue_dir, "--cache", cache_dir])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "completed 2 runs" in out
+    assert "2/2 tasks done" in out
+    from repro.experiments.queue import WorkQueue
+
+    assert WorkQueue.open(queue_dir).drained
+    # Rejoining the drained queue is a no-op sweep answered by the cache.
+    rc = main(["sweep", "--preset", "smoke", "--out", str(tmp_path / "r.jsonl"),
+               "--quiet", "--queue", queue_dir, "--cache", cache_dir])
+    assert rc == 0
+    assert "completed 0 runs" in capsys.readouterr().out
+
+
+def test_serve_help_via_predispatch(capsys):
+    """``repro serve --help`` must reach repro.service despite REMAINDER
+    (python/cpython#61252 pre-dispatch, same as bench)."""
+    with pytest.raises(SystemExit) as exc:
+        main(["serve", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "--cache" in out and "fairness" in out
