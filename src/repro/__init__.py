@@ -6,18 +6,19 @@ AQM disciplines) plus a fast fluid-model engine, an iperf3-style traffic
 generator, and the full experiment/analysis pipeline regenerating every
 table and figure of the paper.
 
-Quickstart::
+Quickstart (the stable API — :mod:`repro.api`, docs/SCENARIO.md)::
 
-    from repro import run_experiment, ExperimentConfig
+    from repro import Scenario, run
 
-    result = run_experiment(ExperimentConfig(
-        cca_pair=("bbrv1", "cubic"), aqm="fifo",
-        buffer_bdp=2.0, bottleneck_bw_bps=20e6, seed=1,
-    ))
+    result = run(Scenario(), engine="fluid")
     print(result.jain_index, result.link_utilization)
+
+The legacy entry points (:class:`ExperimentConfig` + ``run_experiment``)
+remain supported; the scenario IR lowers to them byte-identically.
 """
 
 from repro._version import __version__
+from repro.api import Scenario, load_store, run, sweep, validate
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.metrics.fairness import jain_index
@@ -25,6 +26,11 @@ from repro.metrics.summary import ExperimentResult
 
 __all__ = [
     "__version__",
+    "Scenario",
+    "run",
+    "sweep",
+    "validate",
+    "load_store",
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",

@@ -1,14 +1,22 @@
 """Command-line interface.
 
-    repro run    --cca1 bbrv1 --cca2 cubic --aqm fifo --buffer 2 --bw 100M
-    repro sweep  --preset scaled-des --out results.jsonl --jobs 4
-    repro report --results results.jsonl --what table3
+    repro run      --cca1 bbrv1 --cca2 cubic --aqm fifo --buffer 2 --bw 100M
+    repro run      --scenario cell.json --engine fluid
+    repro sweep    --preset scaled-des --out results.jsonl --jobs 4
+    repro validate --scenario cell.json --engines packet,fluid
+    repro scenario show cell.json
+    repro report   --results results.jsonl --what table3
     repro matrix
+
+Every experiment-shaped command parses its flags *into* a scenario IR
+instance (repro.scenario; docs/SCENARIO.md) and compiles that for the
+chosen engine — flags and ``--scenario`` documents share one code path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -39,6 +47,17 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.storage import ResultStore
 from repro.obs.cli import add_obs_parser
 from repro.obs.session import DEFAULT_TELEMETRY_DIR, TelemetryOptions
+from repro.scenario import (
+    AqmSpec,
+    FlowSpec,
+    SamplingSpec,
+    Scenario,
+    ScenarioError,
+    TopologySpec,
+    compile_scenario,
+    render_validation_report,
+    validate_scenario,
+)
 from repro.units import format_rate
 
 
@@ -91,21 +110,73 @@ def _parse_faults(args: argparse.Namespace) -> list:
     return specs
 
 
+def _load_scenario_file(path: str) -> Scenario:
+    """Read and validate a scenario IR document (JSON)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read scenario {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"repro: {path}: not valid JSON ({exc})")
+    try:
+        return Scenario.from_dict(doc)
+    except ScenarioError as exc:
+        raise SystemExit(f"repro: {path}: invalid scenario: {exc}")
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """The one flags-to-IR path (run / validate / scenario show).
+
+    With ``--scenario`` the document is authoritative and only the
+    overlay flags (``--fairness``, ``--fault``) modify it; otherwise the
+    cell flags assemble a scenario from scratch.
+    """
+    import dataclasses
+
+    faults = _parse_faults(args)
+    if getattr(args, "scenario", None):
+        scenario = _load_scenario_file(args.scenario)
+        if getattr(args, "fairness", None) is not None:
+            scenario = dataclasses.replace(
+                scenario,
+                sampling=dataclasses.replace(
+                    scenario.sampling, fairness_interval_s=args.fairness
+                ),
+            )
+        if faults:
+            scenario = dataclasses.replace(
+                scenario, faults=tuple(scenario.faults) + tuple(faults)
+            )
+        return scenario
+    try:
+        return Scenario(
+            topology=TopologySpec(
+                bottleneck_bw_bps=args.bw,
+                buffer_bdp=args.buffer,
+                mss_bytes=args.mss,
+                scale=args.scale,
+            ),
+            flows=(
+                FlowSpec(cca=args.cca1, node=0, count=args.flows),
+                FlowSpec(cca=args.cca2, node=1, count=args.flows),
+            ),
+            aqm=AqmSpec(name=args.aqm),
+            faults=tuple(faults),
+            duration_s=args.duration,
+            seed=args.seed,
+            sampling=SamplingSpec(fairness_interval_s=getattr(args, "fairness", None)),
+        )
+    except ScenarioError as exc:
+        raise SystemExit(f"repro: invalid scenario flags: {exc}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    cfg = ExperimentConfig(
-        cca_pair=(args.cca1, args.cca2),
-        aqm=args.aqm,
-        buffer_bdp=args.buffer,
-        bottleneck_bw_bps=args.bw,
-        duration_s=args.duration,
-        mss_bytes=args.mss,
-        seed=args.seed,
-        engine=args.engine.replace("-", "_"),
-        scale=args.scale,
-        flows_per_node=args.flows,
-        faults=_parse_faults(args),
-        fairness_interval_s=args.fairness,
-    )
+    scenario = _scenario_from_args(args)
+    try:
+        cfg = compile_scenario(scenario, args.engine.replace("-", "_"))
+    except ScenarioError as exc:
+        raise SystemExit(f"repro: {exc}")
     telemetry = _telemetry_options(args)
     result = run_experiment(cfg, telemetry)
     print(f"config      : {cfg.label()}")
@@ -143,29 +214,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    configs = get_preset(args.preset)
-    if args.limit:
-        configs = configs[: args.limit]
-    if args.engine:
-        import dataclasses
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro: bad --seeds {text!r}: expected a comma list of integers")
 
-        engine = args.engine.replace("-", "_")
-        configs = [dataclasses.replace(cfg, engine=engine) for cfg in configs]
+
+def _sweep_scenario_configs(args: argparse.Namespace) -> List[ExperimentConfig]:
+    """Compile a ``--scenario`` document (x ``--seeds``) for the sweep."""
+    import dataclasses
+
+    scenario = _load_scenario_file(args.scenario)
+    engine = (args.engine or "packet").replace("-", "_")
+    seeds = _parse_seeds(args.seeds) if args.seeds else [scenario.seed]
+    try:
+        return [
+            compile_scenario(dataclasses.replace(scenario, seed=seed), engine)
+            for seed in seeds
+        ]
+    except ScenarioError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.config import legacy_construction
+
+    if args.scenario:
+        configs = _sweep_scenario_configs(args)
+        if args.limit:
+            configs = configs[: args.limit]
+    else:
+        configs = get_preset(args.preset)
+        if args.limit:
+            configs = configs[: args.limit]
+        if args.engine:
+            import dataclasses
+
+            engine = args.engine.replace("-", "_")
+            with legacy_construction():
+                configs = [dataclasses.replace(cfg, engine=engine) for cfg in configs]
     if args.fault_profile:
         import dataclasses
 
         from repro.faults.profiles import get_profile
 
         profile = get_profile(args.fault_profile)
-        configs = [dataclasses.replace(cfg, faults=list(profile)) for cfg in configs]
+        with legacy_construction():
+            configs = [dataclasses.replace(cfg, faults=list(profile)) for cfg in configs]
     if args.fairness is not None:
         import dataclasses
 
-        configs = [
-            dataclasses.replace(cfg, fairness_interval_s=args.fairness)
-            for cfg in configs
-        ]
+        with legacy_construction():
+            configs = [
+                dataclasses.replace(cfg, fairness_interval_s=args.fairness)
+                for cfg in configs
+            ]
     store = ResultStore(args.out) if args.out else None
     telemetry = _telemetry_options(args)
     cache = None
@@ -326,6 +430,34 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    engines = tuple(
+        part.strip().replace("-", "_")
+        for part in args.engines.split(",")
+        if part.strip()
+    )
+    try:
+        report = validate_scenario(scenario, engines)
+    except ScenarioError as exc:
+        raise SystemExit(f"repro: {exc}")
+    print(render_validation_report(report, verbose=args.verbose))
+    return 0 if report.clean else 2
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    scenario = _load_scenario_file(args.scenario_file)
+    engine = args.engine.replace("-", "_")
+    print(scenario.canonical_json(indent=2))
+    try:
+        print(f"label     : {scenario.label(engine=engine)}")
+        print(f"cache key : {scenario.cache_key(engine=engine, salt=args.salt)} "
+              f"(engine={engine})")
+    except ScenarioError as exc:
+        print(f"cache key : n/a ({exc})")
+    return 0
+
+
 def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
     """Span/profiler/fairness flags shared by ``run`` and ``sweep``
     (docs/TRACING.md, docs/OBSERVABILITY.md)."""
@@ -361,6 +493,27 @@ def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cell_flags(parser: argparse.ArgumentParser) -> None:
+    """One experiment cell, as flags or an IR document (run / validate)."""
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="scenario IR document (JSON; see docs/SCENARIO.md) — "
+        "supersedes the cell flags below",
+    )
+    parser.add_argument("--cca1", default="bbrv1")
+    parser.add_argument("--cca2", default="cubic")
+    parser.add_argument("--aqm", default="fifo", choices=["fifo", "red", "fq_codel", "codel", "pie"])
+    parser.add_argument("--buffer", type=float, default=2.0, help="queue length in BDP multiples")
+    parser.add_argument("--bw", type=parse_rate, default=100e6, help="bottleneck rate, e.g. 100M, 25G")
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--mss", type=int, default=8900)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=1.0, help="divide all link rates by this")
+    parser.add_argument("--flows", type=int, default=None, help="flows per sender node (default: Table 2)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -371,19 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run a single experiment cell")
-    p_run.add_argument("--cca1", default="bbrv1")
-    p_run.add_argument("--cca2", default="cubic")
-    p_run.add_argument("--aqm", default="fifo", choices=["fifo", "red", "fq_codel", "codel", "pie"])
-    p_run.add_argument("--buffer", type=float, default=2.0, help="queue length in BDP multiples")
-    p_run.add_argument("--bw", type=parse_rate, default=100e6, help="bottleneck rate, e.g. 100M, 25G")
-    p_run.add_argument("--duration", type=float, default=30.0)
-    p_run.add_argument("--mss", type=int, default=8900)
-    p_run.add_argument("--seed", type=int, default=1)
+    _add_cell_flags(p_run)
     p_run.add_argument(
         "--engine", default="packet", choices=["packet", "fluid", "fluid-batched"]
     )
-    p_run.add_argument("--scale", type=float, default=1.0, help="divide all link rates by this")
-    p_run.add_argument("--flows", type=int, default=None, help="flows per sender node (default: Table 2)")
     p_run.add_argument("--telemetry", action="store_true", help="write a JSONL run log + manifest")
     p_run.add_argument("--telemetry-dir", default=DEFAULT_TELEMETRY_DIR, help="run log directory")
     p_run.add_argument(
@@ -405,6 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run a preset campaign")
     p_sweep.add_argument("--preset", default="paper-fluid", choices=sorted(PRESETS))
+    p_sweep.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="sweep one scenario IR document instead of a preset "
+        "(replicate with --seeds; engine from --engine)",
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        default=None,
+        metavar="LIST",
+        help="comma list of seeds replicating the --scenario (e.g. 1,2,3)",
+    )
     p_sweep.add_argument(
         "--engine",
         default=None,
@@ -489,6 +646,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="describe the experiment grid and presets")
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="run one scenario on several engines and diff them under the "
+        "declared tolerance policy (docs/SCENARIO.md)",
+    )
+    _add_cell_flags(p_validate)
+    p_validate.add_argument(
+        "--engines",
+        default="packet,fluid",
+        metavar="LIST",
+        help="comma list of engines to cross-validate "
+        "(packet, fluid, fluid-batched; default: packet,fluid)",
+    )
+    p_validate.add_argument(
+        "--verbose", action="store_true", help="also print the tolerance bands"
+    )
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_scenario = sub.add_parser("scenario", help="inspect scenario IR documents")
+    scenario_sub = p_scenario.add_subparsers(dest="scenario_command", required=True)
+    p_show = scenario_sub.add_parser(
+        "show", help="pretty-print a scenario's canonical form and cache key"
+    )
+    p_show.add_argument("scenario_file", help="scenario IR document (JSON)")
+    p_show.add_argument(
+        "--engine",
+        default="packet",
+        choices=["packet", "fluid", "fluid-batched"],
+        help="engine the cache key is computed for (keys are per-engine)",
+    )
+    p_show.add_argument(
+        "--salt", default=None, help="cache salt (default: repro-<version>)"
+    )
+    p_show.set_defaults(func=_cmd_scenario_show)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or compact a content-addressed result cache"

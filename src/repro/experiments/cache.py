@@ -66,8 +66,13 @@ def salt_slug(salt: str) -> str:
 
 
 def config_key(config: ExperimentConfig, salt: str = "") -> str:
-    """Content address of one configuration (full sha256 hex digest)."""
-    blob = json.dumps(config.to_dict(), sort_keys=True)
+    """Content address of one configuration (full sha256 hex digest).
+
+    Keyed on :meth:`ExperimentConfig.canonical_dict` — the same canonical
+    form the scenario IR lowers to — so equivalent legacy and IR
+    submissions collide on one cache entry.
+    """
+    blob = json.dumps(config.canonical_dict(), sort_keys=True)
     return hashlib.sha256(f"{salt}\n{blob}".encode("utf-8")).hexdigest()
 
 

@@ -14,8 +14,11 @@ paper studies is preserved).
 
 from __future__ import annotations
 
+import contextlib
+import threading
+import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cca.registry import canonical_cca_name
 from repro.units import gbps, mbps
@@ -74,6 +77,43 @@ def flow_plan(bottleneck_bw_bps: float) -> FlowPlan:
         return exact
     nearest = min(PAPER_FLOW_PLANS, key=lambda bw: abs(bw - bottleneck_bw_bps) / bw)
     return PAPER_FLOW_PLANS[nearest]
+
+
+#: Knobs whose *direct* construction is deprecated in favor of the typed
+#: scenario IR sub-specs (repro.scenario; see docs/SCENARIO.md).  Maps
+#: field name -> (is-set predicate, IR equivalent named in the warning).
+_IR_SUPERSEDED_KNOBS: Tuple[Tuple[str, Callable[[Any], bool], str], ...] = (
+    ("sample_interval_s", lambda v: v is not None, "Scenario.sampling.throughput_interval_s"),
+    ("queue_monitor_interval_s", lambda v: v is not None, "Scenario.sampling.queue_interval_s"),
+    ("fairness_interval_s", lambda v: v is not None, "Scenario.sampling.fairness_interval_s"),
+    ("faults", lambda v: bool(v), "Scenario.faults"),
+)
+
+#: Fields omitted from the canonical dict when at their legacy-default
+#: values, keeping config hashes, cache keys, stored results, and golden
+#: fixtures byte-identical to the era before each field existed.
+_CANONICAL_OMIT: Tuple[Tuple[str, Callable[[Any], bool]], ...] = (
+    ("faults", lambda v: not v),
+    ("fairness_interval_s", lambda v: v is None),
+)
+
+_legacy_depth = threading.local()
+
+
+@contextlib.contextmanager
+def legacy_construction() -> Iterator[None]:
+    """Suppress IR-supersession warnings for one construction site.
+
+    Internal paths that *re-materialize* configs — ``from_dict`` on stored
+    results, the scenario compilers, campaign workers — are not the
+    deprecated pattern; they wrap construction in this context so only
+    user code building engine-specific knobs directly gets warned.
+    """
+    _legacy_depth.value = getattr(_legacy_depth, "value", 0) + 1
+    try:
+        yield
+    finally:
+        _legacy_depth.value -= 1
 
 
 @dataclass
@@ -135,6 +175,16 @@ class ExperimentConfig:
             # Validate every spec up front and pin the stable full-dict
             # form (what label() hashes and workers unpickle).
             self.faults = normalize_faults(self.faults)
+        if not getattr(_legacy_depth, "value", 0):
+            for knob, is_set, ir_equivalent in _IR_SUPERSEDED_KNOBS:
+                if is_set(getattr(self, knob)):
+                    warnings.warn(
+                        f"ExperimentConfig.{knob} as a direct constructor "
+                        f"argument is deprecated; declare it on the scenario "
+                        f"IR instead ({ir_equivalent} — see docs/SCENARIO.md)",
+                        DeprecationWarning,
+                        stacklevel=3,
+                    )
 
     @property
     def is_intra_cca(self) -> bool:
@@ -166,20 +216,27 @@ class ExperimentConfig:
             label += f"_faults{digest:08x}"
         return label
 
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dict (tuples become lists); inverse of from_dict."""
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The one canonical JSON-ready form of this configuration.
+
+        Every identity consumer — the content-addressed cache key, stored
+        results, golden fixtures, and the scenario IR façade — derives
+        from this dict.  Tuples become lists, and fields still at their
+        legacy-default values (see ``_CANONICAL_OMIT``) are dropped so the
+        serialized form stays byte-identical across releases that added
+        those fields.
+        """
         d = asdict(self)
         d["cca_pair"] = list(self.cca_pair)
         d["client_delay_multipliers"] = list(self.client_delay_multipliers)
-        if not self.faults:
-            # Keep fault-free config dicts (and thus stored results,
-            # config hashes, and golden fixtures) byte-identical to the
-            # pre-faults era.
-            d.pop("faults", None)
-        if self.fairness_interval_s is None:
-            # Same compatibility contract for fairness-unsampled configs.
-            d.pop("fairness_interval_s", None)
+        for key, at_default in _CANONICAL_OMIT:
+            if key in d and at_default(d[key]):
+                d.pop(key)
         return d
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (tuples become lists); inverse of from_dict."""
+        return self.canonical_dict()
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "ExperimentConfig":
@@ -187,4 +244,5 @@ class ExperimentConfig:
         d["cca_pair"] = tuple(d["cca_pair"])
         if "client_delay_multipliers" in d:
             d["client_delay_multipliers"] = tuple(d["client_delay_multipliers"])
-        return cls(**d)
+        with legacy_construction():
+            return cls(**d)

@@ -101,10 +101,12 @@ def _chaos_smoke() -> List[ExperimentConfig]:
     the CI ``chaos-smoke`` job to exercise the fault path end to end."""
     import dataclasses
 
+    from repro.experiments.config import legacy_construction
     from repro.faults.profiles import get_profile
 
     profile = get_profile("chaos-smoke")
-    return [dataclasses.replace(cfg, faults=list(profile)) for cfg in _smoke()]
+    with legacy_construction():
+        return [dataclasses.replace(cfg, faults=list(profile)) for cfg in _smoke()]
 
 
 PRESETS: Dict[str, Preset] = {

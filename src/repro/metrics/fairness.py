@@ -8,6 +8,7 @@ n-ary case.
 
 from __future__ import annotations
 
+import sys
 from typing import Sequence
 
 
@@ -24,4 +25,13 @@ def jain_index(throughputs: Sequence[float]) -> float:
     if total == 0.0 or sum_sq == 0.0:
         # All zero (or subnormal enough to underflow): degenerate but equal.
         return 1.0
+    if sum_sq < sys.float_info.min:
+        # The squares underflowed into subnormals and lost precision (the
+        # ratio can then exceed 1).  Rescale by the max — scale-invariant,
+        # and unreachable for any realistic throughput, so the normal path
+        # stays bit-identical.
+        peak = max(throughputs)
+        scaled = [s / peak for s in throughputs]
+        total = float(sum(scaled))
+        sum_sq = float(sum(s * s for s in scaled))
     return total * total / (n * sum_sq)

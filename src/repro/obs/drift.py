@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
 
 PathLike = Union[str, Path]
 
@@ -132,17 +132,20 @@ def result_rows(path: PathLike) -> Iterator[Dict[str, Any]]:
         yield doc
 
 
-def cell_distributions(path: PathLike) -> Dict[str, Dict[str, List[float]]]:
-    """Pool a result set into per-cell metric samples.
+def distributions_from_rows(
+    rows: Iterable[Dict[str, Any]], *, source: str = "rows"
+) -> Dict[str, Dict[str, List[float]]]:
+    """Pool result rows (dicts) into per-cell metric samples.
 
-    Returns ``{cell_key: {"jain": [...], "phi": [...], "rr": [...]}}``
-    with one sample per result row (repetitions pool together).
+    The in-memory seam under :func:`cell_distributions`: the cross-engine
+    validation harness (:mod:`repro.scenario.validate`) feeds it results
+    that never touched disk.  ``source`` only labels error messages.
     """
     cells: Dict[str, Dict[str, List[float]]] = {}
-    for row in result_rows(path):
+    for row in rows:
         config = row.get("config")
         if not isinstance(config, dict):
-            raise ValueError(f"result row without a config dict in {path}")
+            raise ValueError(f"result row without a config dict in {source}")
         dist = cells.setdefault(
             cell_key(config), {m: [] for m in DRIFT_METRICS}
         )
@@ -150,28 +153,35 @@ def cell_distributions(path: PathLike) -> Dict[str, Dict[str, List[float]]]:
         dist["phi"].append(float(row["link_utilization"]))
         dist["rr"].append(float(row["total_retransmits"]))
     if not cells:
-        raise ValueError(f"no result rows found in {path}")
+        raise ValueError(f"no result rows found in {source}")
     return cells
+
+
+def cell_distributions(path: PathLike) -> Dict[str, Dict[str, List[float]]]:
+    """Pool a result set into per-cell metric samples.
+
+    Returns ``{cell_key: {"jain": [...], "phi": [...], "rr": [...]}}``
+    with one sample per result row (repetitions pool together).
+    """
+    return distributions_from_rows(result_rows(path), source=str(path))
 
 
 def _mean(values: List[float]) -> float:
     return sum(values) / len(values)
 
 
-def detect_drift(
-    path_a: PathLike,
-    path_b: PathLike,
+def detect_drift_cells(
+    cells_a: Dict[str, Dict[str, List[float]]],
+    cells_b: Dict[str, Dict[str, List[float]]],
     *,
     tolerance: DriftTolerance = DriftTolerance(),
 ) -> DriftReport:
-    """Diff two result sets and report every cell drifted beyond tolerance.
+    """Diff two pooled distributions (see :func:`distributions_from_rows`).
 
-    Cells present in only one set are listed as missing (a coverage
-    warning, not drift).  Comparing a set against itself always yields a
-    clean report with zero drifted cells.
+    The comparison core under :func:`detect_drift`, exposed so in-memory
+    result sets — e.g. per-engine runs of one scenario — can be diffed
+    without a store on disk.
     """
-    cells_a = cell_distributions(path_a)
-    cells_b = cell_distributions(path_b)
     report = DriftReport()
     report.missing_in_b = sorted(set(cells_a) - set(cells_b))
     report.missing_in_a = sorted(set(cells_b) - set(cells_a))
@@ -202,6 +212,23 @@ def detect_drift(
                     )
                 )
     return report
+
+
+def detect_drift(
+    path_a: PathLike,
+    path_b: PathLike,
+    *,
+    tolerance: DriftTolerance = DriftTolerance(),
+) -> DriftReport:
+    """Diff two result sets and report every cell drifted beyond tolerance.
+
+    Cells present in only one set are listed as missing (a coverage
+    warning, not drift).  Comparing a set against itself always yields a
+    clean report with zero drifted cells.
+    """
+    return detect_drift_cells(
+        cell_distributions(path_a), cell_distributions(path_b), tolerance=tolerance
+    )
 
 
 def _cell_label(key: str) -> str:

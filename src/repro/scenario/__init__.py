@@ -1,0 +1,59 @@
+"""The declarative scenario IR and its per-backend compilers.
+
+One scenario language (:class:`Scenario` and its typed sub-specs),
+compiled to every engine (:mod:`repro.scenario.compile`), with a
+cross-engine validation harness (:mod:`repro.scenario.validate`).
+See docs/SCENARIO.md.
+"""
+
+from repro.scenario.compile import (
+    COMPILERS,
+    ENGINES,
+    compile_fluid,
+    compile_fluid_batched,
+    compile_packet,
+    compile_scenario,
+    run_scenario,
+)
+from repro.scenario.ir import (
+    SCENARIO_VERSION,
+    AqmSpec,
+    FlowSpec,
+    SamplingSpec,
+    Scenario,
+    ScenarioError,
+    TopologySpec,
+)
+from repro.scenario.validate import (
+    CROSS_MODEL,
+    EXACT,
+    EnginePairReport,
+    ValidationReport,
+    render_validation_report,
+    tolerance_for,
+    validate_scenario,
+)
+
+__all__ = [
+    "SCENARIO_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "TopologySpec",
+    "FlowSpec",
+    "AqmSpec",
+    "SamplingSpec",
+    "ENGINES",
+    "COMPILERS",
+    "compile_packet",
+    "compile_fluid",
+    "compile_fluid_batched",
+    "compile_scenario",
+    "run_scenario",
+    "EXACT",
+    "CROSS_MODEL",
+    "tolerance_for",
+    "validate_scenario",
+    "ValidationReport",
+    "EnginePairReport",
+    "render_validation_report",
+]

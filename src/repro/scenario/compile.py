@@ -1,0 +1,75 @@
+"""Per-backend compilers: lower one :class:`Scenario` to each engine.
+
+The IR describes *what* to simulate; a compiler lowers it to the config
+the chosen backend executes.  All three engines currently share the
+legacy :class:`~repro.experiments.config.ExperimentConfig` as their
+native input, so each compiler is a thin lowering through
+:meth:`Scenario.to_experiment_config` — but the per-engine entry points
+are the contract: a future backend with its own native config plugs in
+here without touching the IR, and engine-specific capability checks
+(e.g. faults are packet-only) surface as :class:`ScenarioError` at
+compile time, not mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.summary import ExperimentResult
+from repro.scenario.ir import Scenario, ScenarioError
+
+#: Every backend a scenario can compile to, in canonical order.
+ENGINES: Tuple[str, ...] = ("packet", "fluid", "fluid_batched")
+
+
+def compile_packet(scenario: Scenario) -> ExperimentConfig:
+    """Lower to the packet-level DES backend."""
+    return scenario.to_experiment_config(engine="packet")
+
+
+def compile_fluid(scenario: Scenario) -> ExperimentConfig:
+    """Lower to the scalar fluid-ODE backend."""
+    return scenario.to_experiment_config(engine="fluid")
+
+
+def compile_fluid_batched(scenario: Scenario) -> ExperimentConfig:
+    """Lower to the vectorized (numpy) fluid backend."""
+    return scenario.to_experiment_config(engine="fluid_batched")
+
+
+#: Engine name -> compiler.
+COMPILERS: Dict[str, Callable[[Scenario], ExperimentConfig]] = {
+    "packet": compile_packet,
+    "fluid": compile_fluid,
+    "fluid_batched": compile_fluid_batched,
+}
+
+
+def compile_scenario(scenario: Scenario, engine: str = "packet") -> ExperimentConfig:
+    """Lower ``scenario`` for ``engine``; :class:`ScenarioError` on an
+    unknown engine or a scenario the backend cannot express."""
+    try:
+        compiler = COMPILERS[engine]
+    except KeyError:
+        raise ScenarioError(
+            f"engine: unknown backend {engine!r}; choose from {list(ENGINES)}"
+        ) from None
+    return compiler(scenario)
+
+
+def run_scenario(
+    scenario: Scenario,
+    engine: str = "packet",
+    telemetry: Optional[Any] = None,
+) -> ExperimentResult:
+    """Compile and execute one scenario on one backend.
+
+    The single-experiment entry point of the IR world: everything a
+    ``repro run`` does, minus flag parsing.  ``telemetry`` is forwarded
+    to the engine dispatcher (see :func:`repro.experiments.runner.run_experiment`).
+    """
+    from repro.experiments.runner import run_experiment
+
+    config = compile_scenario(scenario, engine)
+    return run_experiment(config, telemetry=telemetry)

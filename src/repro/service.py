@@ -9,12 +9,15 @@ schedules the run when the config has never been computed:
     GET  /stats     cache + service counters as JSON
     GET  /metrics   Prometheus text exposition (cache hit/miss/engine-run
                     counters, in-flight gauge, latency histogram)
-    POST /query     body = an ``ExperimentConfig`` dict; responds with the
+    POST /query     body = an ``ExperimentConfig`` dict, or a scenario IR
+                    document (docs/SCENARIO.md) under ``"scenario"`` with
+                    an optional sibling ``"engine"``; responds with the
                     fairness headline (Jain / φ / RR, plus convergence and
                     the full dynamics series from ``extra["fairness"]``
                     when the config samples them) and ``"cached"`` telling
                     whether an engine ran.  ``{"full": true}`` inlines the
-                    complete result dict.
+                    complete result dict.  Both dialects compile to one
+                    canonical config, so they share cache entries.
 
 Concurrency: identical in-flight queries are *single-flighted* — the
 second asker awaits the first run instead of scheduling a duplicate —
@@ -122,14 +125,55 @@ class SweepService:
 
     # -- query path ---------------------------------------------------------------
 
+    #: Request-envelope keys that are not part of a config/scenario body.
+    _ENVELOPE_KEYS = ("full", "engine", "scenario", "config")
+
     def _parse_config(self, body: Dict[str, Any]) -> ExperimentConfig:
+        """Accept either config dialect and lower both to one key space.
+
+        Legacy: an ``ExperimentConfig`` dict (recognized by ``cca_pair``),
+        bare or under ``"config"``.  IR: a scenario document
+        (docs/SCENARIO.md) under ``"scenario"`` — or bare/under
+        ``"config"``, recognized by its ``topology``/``flows`` fields —
+        with the backend named by a sibling ``"engine"`` (default
+        ``packet``).  Both dialects compile to the same canonical config,
+        so they hit the same cache entries; schema violations surface as
+        HTTP 400s carrying the IR's dotted field path.
+        """
         if not isinstance(body, dict):
             raise BadRequest("request body must be a JSON object")
+        engine = body.get("engine", "packet")
+        if not isinstance(engine, str):
+            raise BadRequest(f"'engine' must be a string, got {engine!r}")
+        scenario_doc = body.get("scenario")
+        if scenario_doc is None:
+            candidate = body.get("config", body)
+            if isinstance(candidate, dict) and (
+                "topology" in candidate or "flows" in candidate
+            ):
+                scenario_doc = {
+                    k: v for k, v in candidate.items() if k not in self._ENVELOPE_KEYS
+                }
+        if scenario_doc is not None:
+            from repro.scenario import Scenario, ScenarioError
+
+            if not isinstance(scenario_doc, dict):
+                raise BadRequest(
+                    "'scenario' must be a scenario IR object (docs/SCENARIO.md)"
+                )
+            try:
+                scenario = Scenario.from_dict(scenario_doc)
+                return scenario.to_experiment_config(
+                    engine=engine.replace("-", "_")
+                )
+            except ScenarioError as exc:
+                raise BadRequest(f"invalid scenario: {exc}") from None
         config_dict = body.get("config", body)
         if not isinstance(config_dict, dict) or "cca_pair" not in config_dict:
             raise BadRequest(
-                "missing experiment config (need at least 'cca_pair'); "
-                "send an ExperimentConfig dict, optionally under 'config'"
+                "missing experiment config (need at least 'cca_pair'); send "
+                "an ExperimentConfig dict or a scenario IR document under "
+                "'scenario', optionally with 'engine'"
             )
         config_dict = {k: v for k, v in config_dict.items() if k != "full"}
         try:

@@ -88,3 +88,35 @@ def test_validation(kwargs):
 def test_paper_constants():
     assert len(PAPER_CCA_PAIRS) == 9
     assert len(PAPER_BANDWIDTHS_BPS) == 5
+
+
+def test_canonical_dict_is_the_single_identity_form():
+    """``to_dict`` (stored results), the cache key, and the scenario IR
+    façade all derive from one ``canonical_dict()``: empty faults and an
+    unset fairness cadence are omitted, set values are kept."""
+    bare = ExperimentConfig(cca_pair=("cubic", "cubic"))
+    d = bare.canonical_dict()
+    assert d == bare.to_dict()
+    assert "faults" not in d and "fairness_interval_s" not in d
+
+    loud = ExperimentConfig.from_dict(
+        {
+            "cca_pair": ["cubic", "cubic"],
+            "fairness_interval_s": 1.0,
+            "faults": [{"kind": "link_flap", "at_s": 1.0, "duration_s": 0.5}],
+        }
+    )
+    d = loud.canonical_dict()
+    assert d["fairness_interval_s"] == 1.0 and d["faults"]
+
+
+def test_canonical_dict_roundtrips_every_preset():
+    import json
+
+    from repro.experiments.presets import PRESETS
+
+    for preset in PRESETS.values():
+        for cfg in preset.build()[:60]:
+            blob = json.dumps(cfg.canonical_dict(), sort_keys=True)
+            again = ExperimentConfig.from_dict(json.loads(blob))
+            assert json.dumps(again.canonical_dict(), sort_keys=True) == blob

@@ -151,6 +151,90 @@ def test_malformed_configs_get_clean_400s(tmp_path, monkeypatch):
     assert status == 400 and "not valid JSON" in body["error"]
 
 
+#: The same experiment as CONFIG, spoken in the scenario IR dialect
+#: (docs/SCENARIO.md).  The service must key both onto one cache entry.
+SCENARIO_BODY = {
+    "scenario": {
+        "topology": {"bottleneck_bw_bps": mbps(100)},
+        "flows": [
+            {"cca": "cubic", "node": 0},
+            {"cca": "cubic", "node": 1},
+        ],
+        "duration_s": 5.0,
+        "seed": 3,
+        "sampling": {"fairness_interval_s": 1.0},
+    },
+    "engine": "fluid",
+}
+
+
+def test_legacy_and_ir_queries_share_one_cache_entry(tmp_path, monkeypatch):
+    calls = []
+
+    async def scenario(port, service):
+        legacy_status, legacy = await _request(port, "POST", "/query", CONFIG)
+        ir_status, ir = await _request(port, "POST", "/query", SCENARIO_BODY)
+        return legacy_status, legacy, ir_status, ir
+
+    legacy_status, legacy, ir_status, ir = _serve(
+        tmp_path, monkeypatch, scenario, engine_calls=calls
+    )
+    assert legacy_status == 200 and ir_status == 200
+    assert legacy["cached"] is False and ir["cached"] is True
+    assert len(calls) == 1  # the IR dialect re-used the legacy run
+    assert legacy["key"] == ir["key"]
+
+
+def test_bare_ir_document_is_recognized(tmp_path, monkeypatch):
+    """An IR body without the 'scenario' envelope still parses (detected
+    by its topology/flows fields), with 'full'/'engine' as siblings."""
+    body = {**SCENARIO_BODY["scenario"], "engine": "fluid", "full": True}
+
+    async def scenario(port, service):
+        return await _request(port, "POST", "/query", body)
+
+    status, resp = _serve(tmp_path, monkeypatch, scenario, engine_calls=[])
+    assert status == 200
+    assert resp["engine"] == "fluid"
+    assert resp["result"]["config"]["seed"] == 3
+
+
+def test_ir_schema_errors_get_clean_400s(tmp_path, monkeypatch):
+    calls = []
+
+    async def scenario(port, service):
+        responses = {}
+        responses["bad_field"] = await _request(
+            port, "POST", "/query",
+            {"scenario": {**SCENARIO_BODY["scenario"], "nonsense": 1}},
+        )
+        bad_flow = {
+            **SCENARIO_BODY["scenario"],
+            "flows": [{"cca": "not-a-cca", "node": 0}, {"cca": "cubic", "node": 1}],
+        }
+        responses["bad_cca"] = await _request(
+            port, "POST", "/query", {"scenario": bad_flow}
+        )
+        responses["bad_engine"] = await _request(
+            port, "POST", "/query", {**SCENARIO_BODY, "engine": "ns3"}
+        )
+        responses["not_object"] = await _request(
+            port, "POST", "/query", {"scenario": "cell.json"}
+        )
+        return responses
+
+    r = _serve(tmp_path, monkeypatch, scenario, engine_calls=calls)
+    assert calls == []  # nothing malformed ever reaches the engine
+    status, body = r["bad_field"]
+    assert status == 400 and "unknown field" in body["error"]
+    status, body = r["bad_cca"]
+    assert status == 400 and "flows[0].cca" in body["error"]
+    status, body = r["bad_engine"]
+    assert status == 400 and "ns3" in body["error"]
+    status, body = r["not_object"]
+    assert status == 400 and "scenario" in body["error"]
+
+
 def test_unknown_route_is_404(tmp_path, monkeypatch):
     async def scenario(port, service):
         return await _request(port, "GET", "/nope")

@@ -216,3 +216,105 @@ def test_serve_help_via_predispatch(capsys):
     assert exc.value.code == 0
     out = capsys.readouterr().out
     assert "--cache" in out and "fairness" in out
+
+
+# -- scenario IR surface (docs/SCENARIO.md) -----------------------------------------
+
+
+def _write_cell(tmp_path, **overrides):
+    """A small fluid-friendly scenario document on disk."""
+    import json
+
+    doc = {
+        "topology": {"bottleneck_bw_bps": 20_000_000, "mss_bytes": 1500},
+        "flows": [
+            {"cca": "cubic", "node": 0, "count": 1},
+            {"cca": "cubic", "node": 1, "count": 1},
+        ],
+        "duration_s": 5.0,
+        "seed": 3,
+    }
+    doc.update(overrides)
+    path = tmp_path / "cell.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_run_from_scenario_document(tmp_path, capsys):
+    cell = _write_cell(tmp_path)
+    rc = main(["run", "--scenario", cell, "--engine", "fluid"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine      : fluid" in out
+    assert "cubic-vs-cubic_fifo_2bdp_20Mbps_seed3" in out
+
+
+def test_run_flags_and_scenario_document_share_one_path(tmp_path, capsys):
+    """Flags parse into the same IR, so both spellings produce the same
+    config label (and thus the same cache key)."""
+    cell = _write_cell(tmp_path)
+    assert main(["run", "--scenario", cell, "--engine", "fluid"]) == 0
+    from_doc = capsys.readouterr().out.splitlines()[0]
+    assert main([
+        "run", "--cca1", "cubic", "--cca2", "cubic", "--bw", "20M",
+        "--mss", "1500", "--flows", "1", "--duration", "5", "--seed", "3",
+        "--engine", "fluid",
+    ]) == 0
+    from_flags = capsys.readouterr().out.splitlines()[0]
+    assert from_doc == from_flags
+
+
+def test_run_rejects_bad_scenario_document(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"flows": [{"cca": "cubic", "node": 0}], "nonsense": 1}))
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--scenario", str(path)])
+    assert "unknown field" in str(exc.value)
+
+
+def test_scenario_show_prints_canonical_form_and_cache_key(tmp_path, capsys):
+    cell = _write_cell(tmp_path)
+    rc = main(["scenario", "show", cell, "--engine", "fluid"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert '"version": 1' in out
+    assert "cubic-vs-cubic_fifo_2bdp_20Mbps_seed3" in out
+    import re
+
+    key = re.search(r"cache key : ([0-9a-f]{64})", out)
+    assert key, out
+    # The printed key is the legacy cache's content address.
+    from repro.experiments.cache import config_key, default_salt
+    from repro.experiments.config import ExperimentConfig
+
+    cfg = ExperimentConfig(
+        cca_pair=("cubic", "cubic"), bottleneck_bw_bps=20_000_000, mss_bytes=1500,
+        flows_per_node=1, duration_s=5.0, seed=3, engine="fluid",
+    )
+    assert key.group(1) == config_key(cfg, default_salt())
+
+
+def test_validate_command_fluid_pair(tmp_path, capsys):
+    cell = _write_cell(tmp_path)
+    rc = main(["validate", "--scenario", cell, "--engines", "fluid,fluid-batched"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OK    fluid vs fluid_batched [exact]" in out
+    assert "cross-engine agreement: clean" in out
+
+
+def test_sweep_scenario_document_with_seeds(tmp_path, capsys):
+    cell = _write_cell(tmp_path)
+    out_path = tmp_path / "results.jsonl"
+    rc = main([
+        "sweep", "--scenario", cell, "--seeds", "1,2", "--engine", "fluid",
+        "--out", str(out_path), "--quiet",
+    ])
+    assert rc == 0
+    assert "completed 2 runs" in capsys.readouterr().out
+    from repro.experiments.storage import ResultStore
+
+    seeds = {r.config["seed"] for r in ResultStore(out_path).load()}
+    assert seeds == {1, 2}
